@@ -1,0 +1,390 @@
+// Package repro's root benchmark suite regenerates the measured
+// experiments of EXPERIMENTS.md as testing.B benchmarks, one group per
+// experiment id from DESIGN.md:
+//
+//	perf-norm   BenchmarkNormalizeSmart / BenchmarkNormalizeNaive
+//	thm13       BenchmarkNormalizeWorstCase
+//	perf-chase  BenchmarkCChase / BenchmarkSegmentChase / BenchmarkPointwiseChase
+//	perf-query  BenchmarkNaiveEval / BenchmarkCertainAnswers
+//	abl-egd     BenchmarkEgdBatch / BenchmarkEgdStepwise
+//	abl-norm    BenchmarkChaseNormStrategy
+//	(plus BenchmarkCoalesce and the homomorphism-search benchmarks in
+//	internal/logic)
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/coreof"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/jsonio"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// employment returns a deterministic source instance of roughly n facts.
+func employment(persons int) *instance.Concrete {
+	return workload.Employment(workload.EmploymentConfig{
+		Seed: 1, Persons: persons, JobsPerPerson: 4, SalaryCoverage: 0.7, Span: 200,
+	})
+}
+
+func BenchmarkNormalizeSmart(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	for _, persons := range []int{50, 200, 800} {
+		ic := employment(persons)
+		b.Run(fmt.Sprintf("facts=%d", ic.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := normalize.Smart(ic, m.TGDBodies())
+				if out.Len() < ic.Len() {
+					b.Fatal("normalization lost facts")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNormalizeNaive(b *testing.B) {
+	for _, persons := range []int{50, 200, 800} {
+		ic := employment(persons)
+		b.Run(fmt.Sprintf("facts=%d", ic.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := normalize.Naive(ic)
+				if out.Len() < ic.Len() {
+					b.Fatal("normalization lost facts")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNormalizeWorstCase(b *testing.B) {
+	// Theorem 13: the staircase forces O(n²) fragments.
+	for _, n := range []int{16, 64, 256} {
+		ic := workload.Staircase(n)
+		phi := workload.StaircasePhi()
+		b.Run(fmt.Sprintf("staircase=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := normalize.Smart(ic, phi)
+				if out.Len() != n*n {
+					b.Fatalf("fragments = %d, want %d", out.Len(), n*n)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCChase(b *testing.B) {
+	cases := []struct {
+		name string
+		ic   *instance.Concrete
+		m    func() *chase.Options
+	}{
+		{"paper-figure4", paperex.Figure4(), nil},
+		{"employment-200", employment(200), nil},
+	}
+	m := paperex.EmploymentMapping()
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(c.ic, m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("medical-200", func(b *testing.B) {
+		mm := workload.MedicalMapping()
+		ic := workload.Medical(workload.MedicalConfig{Seed: 42, Patients: 200, Span: 120})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chase.Concrete(ic, mm, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("taxi-150", func(b *testing.B) {
+		tm := workload.TaxiMapping()
+		ic := workload.Taxi(workload.TaxiConfig{Seed: 7, Drivers: 150, Cabs: 60, Span: 100})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chase.Concrete(ic, tm, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// chaseSpanBase is the fixed instance dilated across timeline spans.
+func chaseSpanBase() *instance.Concrete {
+	return workload.Employment(workload.EmploymentConfig{
+		Seed: 3, Persons: 12, JobsPerPerson: 2, SalaryCoverage: 0.8, Span: 20,
+	})
+}
+
+func BenchmarkSegmentChase(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	for _, k := range []interval.Time{1, 16, 64} {
+		ic := chase.Dilate(chaseSpanBase(), k)
+		ia := ic.Abstract()
+		b.Run(fmt.Sprintf("dilation=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Abstract(ia, m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPointwiseChase(b *testing.B) {
+	// The literal per-time-point semantics of §3: linear in the span.
+	m := paperex.EmploymentMapping()
+	for _, k := range []interval.Time{1, 16, 64} {
+		ic := chase.Dilate(chaseSpanBase(), k)
+		horizon := interval.Time(0)
+		for _, f := range ic.Facts() {
+			if f.T.End != interval.Infinity && f.T.End > horizon {
+				horizon = f.T.End
+			}
+		}
+		b.Run(fmt.Sprintf("dilation=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Pointwise(ic, m, horizon, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCChaseSpanIndependence(b *testing.B) {
+	// Companion to BenchmarkPointwiseChase: the same dilations through the
+	// c-chase — time should stay flat as the span grows.
+	m := paperex.EmploymentMapping()
+	for _, k := range []interval.Time{1, 16, 64} {
+		ic := chase.Dilate(chaseSpanBase(), k)
+		b.Run(fmt.Sprintf("dilation=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(ic, m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func empQuery(b *testing.B) query.UCQ {
+	u, err := query.NewUCQ("q", query.CQ{Name: "q", Head: []string{"n", "s"},
+		Body: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func BenchmarkNaiveEval(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	u := empQuery(b)
+	for _, persons := range []int{50, 200, 400} {
+		jc, _, err := chase.Concrete(employment(persons), m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("solution=%d", jc.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if query.NaiveEvalConcrete(u, jc).Len() == 0 {
+					b.Fatal("no answers")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCertainAnswers(b *testing.B) {
+	// End to end: chase + evaluate.
+	m := paperex.EmploymentMapping()
+	u := empQuery(b)
+	ic := employment(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.CertainAnswers(u, ic, m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEgdBatch(b *testing.B) {
+	for _, cfg := range []struct{ groups, k int }{{20, 4}, {40, 8}} {
+		m := workload.EgdStressMapping(cfg.k)
+		ic := workload.EgdStress(cfg.groups, cfg.k)
+		b.Run(fmt.Sprintf("groups=%d/k=%d", cfg.groups, cfg.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(ic, m, &chase.Options{Egd: chase.EgdBatch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEgdStepwise(b *testing.B) {
+	for _, cfg := range []struct{ groups, k int }{{20, 4}, {40, 8}} {
+		m := workload.EgdStressMapping(cfg.k)
+		ic := workload.EgdStress(cfg.groups, cfg.k)
+		b.Run(fmt.Sprintf("groups=%d/k=%d", cfg.groups, cfg.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(ic, m, &chase.Options{Egd: chase.EgdStepwise}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChaseNormStrategy(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	ic := employment(100)
+	for _, strat := range []normalize.Strategy{normalize.StrategySmart, normalize.StrategyNaive} {
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(ic, m, &chase.Options{Norm: strat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCoalesce(b *testing.B) {
+	// Coalescing a heavily fragmented instance back to canonical form.
+	ic := normalize.Naive(employment(400))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ic.Coalesce().Len() == 0 {
+			b.Fatal("coalesce lost everything")
+		}
+	}
+}
+
+func BenchmarkSemanticMap(b *testing.B) {
+	// ⟦·⟧: building the segmented abstract view.
+	ic := employment(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ic.Abstract().Segments()) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}
+
+func BenchmarkCoreOf(b *testing.B) {
+	// Core computation over a redundant chase result (no egds).
+	m := paperex.EmploymentMapping()
+	m.EGDs = nil
+	jc, _, err := chase.Concrete(employment(60), m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if coreof.Of(jc).Len() == 0 {
+			b.Fatal("empty core")
+		}
+	}
+}
+
+func BenchmarkTemporalChase(b *testing.B) {
+	src := schema.MustNew(schema.MustRelation("PhDgrad", "name"))
+	tgt := schema.MustNew(schema.MustRelation("PhDCan", "name", "adviser", "topic"))
+	m := &temporal.Mapping{Source: src, Target: tgt, TGDs: []temporal.TGD{{
+		Name: "was-candidate",
+		Body: logic.Conjunction{logic.NewAtom("PhDgrad", logic.Var("n"))},
+		Head: []temporal.HeadAtom{{
+			Ref:  temporal.SometimePast,
+			Atom: logic.NewAtom("PhDCan", logic.Var("n"), logic.Var("adv"), logic.Var("top")),
+		}},
+	}}}
+	ic := instance.NewConcrete(src)
+	for i := 0; i < 200; i++ {
+		s := interval.Time(5 + i%40)
+		ic.MustInsert(fact.NewC("PhDgrad", interval.MustNew(s, s+3), paperex.C(fmt.Sprintf("p%d", i))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := temporal.Chase(ic, m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbstractChaseParallel(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	ic := employment(150)
+	ia := ic.Abstract()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.AbstractParallel(ia, m, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	jc, _, err := chase.Concrete(employment(100), paperex.EmploymentMapping(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := jsonio.Encode(jc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jsonio.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	a := employment(200)
+	c := employment(210)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instance.Diff(a, c)
+	}
+}

@@ -1,0 +1,451 @@
+// Command tdx is the temporal data exchange command-line tool. It loads a
+// schema mapping and a concrete source instance in the TDX text format
+// and runs the paper's pipeline: normalization (§4.2), the concrete chase
+// (§4.3), and certain-answer query evaluation (§5).
+//
+// Usage:
+//
+//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-coalesce] [-table] [-stats] [-trace] [-json]
+//	tdx normalize -m mapping.tdx -d source.facts [-norm smart|naive] [-table]
+//	tdx query     -m mapping.tdx -d source.facts [-q 'query q(n) :- Emp(n, c, s)' | -name q] [-table]
+//	tdx snapshot  -m mapping.tdx -d source.facts -at 2013 [-target]
+//	tdx core      -m mapping.tdx -d source.facts [-table]
+//	tdx diff      -d new.facts -against old.facts [-m mapping.tdx] [-table]
+//	tdx validate  -m mapping.tdx [-d source.facts]
+//
+// Mappings whose tgd heads carry modal markers (past / future / always
+// past / always future — the §7 extension) are chased with the temporal
+// chase automatically. Fact output is in the TDX fact format and can be
+// fed back into tdx.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/coreof"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/jsonio"
+	"repro/internal/normalize"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	if os.Args[1] == "help" || os.Args[1] == "-h" || os.Args[1] == "--help" {
+		usage()
+		return
+	}
+	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdx:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches one subcommand, writing its report to w. Split from
+// main for testability.
+func run(cmd string, args []string, w io.Writer) error {
+	switch cmd {
+	case "chase":
+		return cmdChase(args, w)
+	case "normalize":
+		return cmdNormalize(args, w)
+	case "query":
+		return cmdQuery(args, w)
+	case "snapshot":
+		return cmdSnapshot(args, w)
+	case "core":
+		return cmdCore(args, w)
+	case "diff":
+		return cmdDiff(args, w)
+	case "validate":
+		return cmdValidate(args, w)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `tdx — temporal data exchange (Golshanara & Chomicki)
+
+commands:
+  chase      materialize a concrete universal solution (c-chase)
+  normalize  normalize the source instance w.r.t. the mapping
+  query      compute certain answers for a query
+  snapshot   print the abstract snapshot at a time point
+  core       chase, then shrink the solution to its snapshot-wise core
+  diff       semantic temporal difference between two fact files
+  validate   check a mapping (and optionally a fact file)
+
+run 'tdx <command> -h' for flags
+`)
+}
+
+// commonFlags bundles the flags shared by most subcommands.
+type commonFlags struct {
+	mapping string
+	data    string
+	norm    string
+	egd     string
+	table   bool
+}
+
+func (c *commonFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.mapping, "m", "", "mapping file (.tdx)")
+	fs.StringVar(&c.data, "d", "", "source facts file")
+	fs.StringVar(&c.norm, "norm", "smart", "normalization strategy: smart (Algorithm 1) or naive")
+	fs.StringVar(&c.egd, "egd", "batch", "egd application strategy: batch or stepwise")
+	fs.BoolVar(&c.table, "table", false, "render output as per-relation tables instead of fact lines")
+}
+
+func (c *commonFlags) options() (*chase.Options, error) {
+	opts := &chase.Options{}
+	switch c.norm {
+	case "smart", "":
+		opts.Norm = normalize.StrategySmart
+	case "naive":
+		opts.Norm = normalize.StrategyNaive
+	default:
+		return nil, fmt.Errorf("unknown -norm %q (want smart or naive)", c.norm)
+	}
+	switch c.egd {
+	case "batch", "":
+		opts.Egd = chase.EgdBatch
+	case "stepwise":
+		opts.Egd = chase.EgdStepwise
+	default:
+		return nil, fmt.Errorf("unknown -egd %q (want batch or stepwise)", c.egd)
+	}
+	return opts, nil
+}
+
+// load reads the mapping and facts files.
+func (c *commonFlags) load() (*core.Engine, []query.UCQ, *instance.Concrete, error) {
+	eng, _, queries, ic, err := c.loadFile()
+	return eng, queries, ic, err
+}
+
+// loadFile reads the mapping and facts files, also returning the parsed
+// file so callers can detect temporal (§7 extension) mappings.
+func (c *commonFlags) loadFile() (*core.Engine, *parser.File, []query.UCQ, *instance.Concrete, error) {
+	if c.mapping == "" {
+		return nil, nil, nil, nil, fmt.Errorf("-m mapping file is required")
+	}
+	mtext, err := os.ReadFile(c.mapping)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	f, err := parser.ParseMapping(string(mtext))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	eng, err := core.New(f.Mapping, nil)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var ic *instance.Concrete
+	if c.data != "" {
+		dtext, err := os.ReadFile(c.data)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		ic, err = core.LoadFacts(string(dtext), eng.Mapping().Source)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	return eng, f, f.Queries, ic, nil
+}
+
+// printInstance writes the instance as fact lines or tables.
+func printInstance(w io.Writer, c *instance.Concrete, asTable bool) {
+	if c.Len() == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	if asTable {
+		fmt.Fprint(w, render.Instance(c))
+		return
+	}
+	fmt.Fprint(w, parser.FormatFacts(c))
+}
+
+func cmdChase(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("chase", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	coalesce := fs.Bool("coalesce", false, "coalesce the solution")
+	stats := fs.Bool("stats", false, "print chase statistics to stderr")
+	trace := fs.Bool("trace", false, "print every chase step to stderr")
+	asJSON := fs.Bool("json", false, "emit the solution as JSON instead of fact lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	opts.Coalesce = *coalesce
+	if *trace {
+		opts.Trace = func(e chase.Event) { fmt.Fprintln(os.Stderr, "  ", e) }
+	}
+	eng, file, _, ic, err := cf.loadFile()
+	if err != nil {
+		return err
+	}
+	if ic == nil {
+		return fmt.Errorf("-d facts file is required")
+	}
+	var res *core.Result
+	if file.Temporal != nil {
+		// Modal mapping (§7 extension): run the temporal chase.
+		jc, stats, err := temporal.Chase(ic, file.Temporal, opts)
+		if err != nil {
+			return err
+		}
+		if opts.Coalesce {
+			jc = jc.Coalesce()
+		}
+		res = &core.Result{Solution: jc, Stats: stats}
+	} else {
+		eng.SetOptions(*opts)
+		res, err = eng.Exchange(ic)
+		if err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		data, err := jsonio.Encode(res.Solution)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(data))
+	} else {
+		printInstance(w, res.Solution, cf.table)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%+v\n", res.Stats)
+	}
+	return nil
+}
+
+func cmdCore(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("core", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	eng, _, ic, err := cf.load()
+	if err != nil {
+		return err
+	}
+	if ic == nil {
+		return fmt.Errorf("-d facts file is required")
+	}
+	eng.SetOptions(*opts)
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		return err
+	}
+	printInstance(w, coreof.Of(res.Solution), cf.table)
+	return nil
+}
+
+func cmdNormalize(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("normalize", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	eng, _, ic, err := cf.load()
+	if err != nil {
+		return err
+	}
+	if ic == nil {
+		return fmt.Errorf("-d facts file is required")
+	}
+	eng.SetOptions(*opts)
+	printInstance(w, eng.NormalizeSource(ic), cf.table)
+	return nil
+}
+
+func cmdQuery(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	qtext := fs.String("q", "", "inline query, e.g. 'query q(n) :- Emp(n, c, s)'")
+	qname := fs.String("name", "", "run the query with this name from the mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	eng, queries, ic, err := cf.load()
+	if err != nil {
+		return err
+	}
+	if ic == nil {
+		return fmt.Errorf("-d facts file is required")
+	}
+	eng.SetOptions(*opts)
+	var u query.UCQ
+	switch {
+	case *qtext != "":
+		cq, err := parser.ParseQueryLine(*qtext)
+		if err != nil {
+			return err
+		}
+		u, err = query.NewUCQ(cq.Name, cq)
+		if err != nil {
+			return err
+		}
+	case *qname != "":
+		found := false
+		for _, q := range queries {
+			if q.Name == *qname {
+				u, found = q, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no query named %q in %s", *qname, cf.mapping)
+		}
+	case len(queries) == 1:
+		u = queries[0]
+	default:
+		return fmt.Errorf("specify -q or -name (mapping declares %d queries)", len(queries))
+	}
+	ans, err := eng.Answer(u, ic)
+	if err != nil {
+		return err
+	}
+	printInstance(w, ans, cf.table)
+	return nil
+}
+
+func cmdSnapshot(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	at := fs.String("at", "", "time point (required)")
+	target := fs.Bool("target", false, "chase first and snapshot the solution instead of the source")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *at == "" {
+		return fmt.Errorf("-at time point is required")
+	}
+	tp, err := interval.ParseTime(*at)
+	if err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	eng, _, ic, err := cf.load()
+	if err != nil {
+		return err
+	}
+	if ic == nil {
+		return fmt.Errorf("-d facts file is required")
+	}
+	inst := ic
+	if *target {
+		eng.SetOptions(*opts)
+		res, err := eng.Exchange(ic)
+		if err != nil {
+			return err
+		}
+		inst = res.Solution
+	}
+	fmt.Fprintf(w, "db%v = %s\n", tp, inst.Snapshot(tp))
+	return nil
+}
+
+func cmdDiff(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	other := fs.String("against", "", "second facts file (required): output is <-d> minus <-against>, per time point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cf.data == "" || *other == "" {
+		return fmt.Errorf("diff needs -d and -against fact files")
+	}
+	var sch *schema.Schema
+	if cf.mapping != "" {
+		eng, _, _, err := cf.load()
+		if err != nil {
+			return err
+		}
+		sch = eng.Mapping().Source
+	}
+	read := func(path string) (*instance.Concrete, error) {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return core.LoadFacts(string(text), sch)
+	}
+	a, err := read(cf.data)
+	if err != nil {
+		return err
+	}
+	b, err := read(*other)
+	if err != nil {
+		return err
+	}
+	printInstance(w, instance.Diff(a, b), cf.table)
+	return nil
+}
+
+func cmdValidate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, queries, ic, err := cf.load()
+	if err != nil {
+		return err
+	}
+	m := eng.Mapping()
+	fmt.Fprintf(w, "mapping ok: %d source relations, %d target relations, %d tgds, %d egds, %d queries\n",
+		m.Source.Len(), m.Target.Len(), len(m.TGDs), len(m.EGDs), len(queries))
+	if ic != nil {
+		coalesced := "coalesced"
+		if !ic.IsCoalesced() {
+			coalesced = "NOT coalesced"
+		}
+		fmt.Fprintf(w, "facts ok: %d facts, %s, complete=%v\n", ic.Len(), coalesced, ic.IsComplete())
+	}
+	return nil
+}

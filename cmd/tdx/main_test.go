@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testdata(name string) string {
+	return filepath.Join("..", "..", "testdata", name)
+}
+
+// runCmd invokes a subcommand against the testdata files and returns its
+// output.
+func runCmd(t *testing.T, cmd string, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(cmd, args, &b); err != nil {
+		t.Fatalf("tdx %s %v: %v", cmd, args, err)
+	}
+	return b.String()
+}
+
+func TestChaseCommand(t *testing.T) {
+	out := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	for _, want := range []string{
+		"Emp(Ada, IBM, 18k) @ [2013,2014)",
+		"Emp(Ada, Google, 18k) @ [2014,inf)",
+		"Emp(Bob, IBM, 13k) @ [2015,2018)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chase output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "N1^[2012,2013)") {
+		t.Fatalf("chase output missing annotated null:\n%s", out)
+	}
+	// Table mode renders per-relation headers.
+	table := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-table")
+	if !strings.Contains(table, "Emp+") || !strings.Contains(table, "salary") {
+		t.Fatalf("table output:\n%s", table)
+	}
+}
+
+func TestChaseOutputReparses(t *testing.T) {
+	// The fact-line output must be valid TDX fact syntax (quoting rules
+	// included), so pipelines can feed it back in.
+	out := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, "@") {
+			t.Fatalf("line %q is not a fact line", line)
+		}
+	}
+}
+
+func TestNormalizeCommand(t *testing.T) {
+	smart := runCmd(t, "normalize", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	if got := strings.Count(smart, "@"); got != 9 {
+		t.Fatalf("smart normalization = %d facts, want 9 (Figure 5):\n%s", got, smart)
+	}
+	naive := runCmd(t, "normalize", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-norm", "naive")
+	if got := strings.Count(naive, "@"); got != 14 {
+		t.Fatalf("naive normalization = %d facts, want 14 (Figure 6):\n%s", got, naive)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	// The mapping's declared query.
+	out := runCmd(t, "query", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	if !strings.Contains(out, "q(Ada, 18k) @ [2013,inf)") || !strings.Contains(out, "q(Bob, 13k) @ [2015,2018)") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	// An inline query.
+	out = runCmd(t, "query", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-q", `query who(n) :- Emp(n, "IBM", s)`)
+	if !strings.Contains(out, "who(Ada)") || !strings.Contains(out, "who(Bob)") {
+		t.Fatalf("inline query output:\n%s", out)
+	}
+}
+
+func TestSnapshotCommand(t *testing.T) {
+	src := runCmd(t, "snapshot", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-at", "2013")
+	if !strings.Contains(src, "E(Ada, IBM)") || !strings.Contains(src, "S(Ada, 18k)") {
+		t.Fatalf("source snapshot:\n%s", src)
+	}
+	tgt := runCmd(t, "snapshot", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-at", "2013", "-target")
+	if !strings.Contains(tgt, "Emp(Ada, IBM, 18k)") {
+		t.Fatalf("target snapshot:\n%s", tgt)
+	}
+}
+
+func TestCoreCommand(t *testing.T) {
+	// Figure 9 is already a core, so core == chase here.
+	out := runCmd(t, "core", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	if got := strings.Count(out, "@"); got != 5 {
+		t.Fatalf("core = %d facts, want 5:\n%s", got, out)
+	}
+}
+
+func TestValidateCommand(t *testing.T) {
+	out := runCmd(t, "validate", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"))
+	if !strings.Contains(out, "mapping ok: 2 source relations, 1 target relations, 2 tgds, 1 egds, 1 queries") {
+		t.Fatalf("validate output:\n%s", out)
+	}
+	if !strings.Contains(out, "facts ok: 5 facts, coalesced, complete=true") {
+		t.Fatalf("validate output:\n%s", out)
+	}
+}
+
+func TestNormExampleFiles(t *testing.T) {
+	// The Figure 7/8 testdata: normalization with the Example 14 mapping.
+	out := runCmd(t, "normalize", "-m", testdata("norm-example.tdx"), "-d", testdata("norm-example.facts"))
+	if got := strings.Count(out, "@"); got != 13 {
+		t.Fatalf("Figure 8 normalization = %d facts, want 13:\n%s", got, out)
+	}
+	for _, want := range []string{"R(a) @ [5,7)", "P(b) @ [20,25)", "S(b) @ [25,inf)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var b strings.Builder
+	if err := run("chase", []string{"-d", testdata("employment.facts")}, &b); err == nil {
+		t.Fatal("missing -m accepted")
+	}
+	if err := run("chase", []string{"-m", testdata("employment.tdx")}, &b); err == nil {
+		t.Fatal("missing -d accepted")
+	}
+	if err := run("frobnicate", nil, &b); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run("chase", []string{"-m", "no-such-file.tdx", "-d", "x"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run("chase", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-norm", "bogus"}, &b); err == nil {
+		t.Fatal("bad -norm accepted")
+	}
+	if err := run("snapshot", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts")}, &b); err == nil {
+		t.Fatal("missing -at accepted")
+	}
+	if err := run("query", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-name", "nope"}, &b); err == nil {
+		t.Fatal("unknown query name accepted")
+	}
+}
+
+func TestChaseJSONOutput(t *testing.T) {
+	out := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-json")
+	if !strings.Contains(out, `"rel": "Emp"`) || !strings.Contains(out, `"interval": "[2013,2014)"`) {
+		t.Fatalf("json output:\n%s", out)
+	}
+}
+
+func TestTemporalMappingChase(t *testing.T) {
+	out := runCmd(t, "chase", "-m", testdata("phd.tdx"), "-d", testdata("phd.facts"))
+	if !strings.Contains(out, "PhDCan(ada, ") || !strings.Contains(out, "@ [2015,2016)") {
+		t.Fatalf("past witness missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Alumni(ada, ") || !strings.Contains(out, "@ [2017,inf)") {
+		t.Fatalf("always-future witness missing:\n%s", out)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.facts")
+	b := filepath.Join(dir, "b.facts")
+	if err := os.WriteFile(a, []byte("E(Ada, IBM) @ [0, 10)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("E(Ada, IBM) @ [3, 7)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "diff", "-d", a, "-against", b)
+	if !strings.Contains(out, "E(Ada, IBM) @ [0,3)") || !strings.Contains(out, "E(Ada, IBM) @ [7,10)") {
+		t.Fatalf("diff output:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run("diff", []string{"-d", a}, &sb); err == nil {
+		t.Fatal("missing -against accepted")
+	}
+}

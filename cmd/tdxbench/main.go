@@ -1,0 +1,94 @@
+// Command tdxbench regenerates every figure of the paper and runs the
+// measured experiments recorded in EXPERIMENTS.md. Each experiment is
+// addressed by the id used in DESIGN.md's experiment index:
+//
+//	tdxbench -exp fig5        # one experiment
+//	tdxbench -exp all         # everything (figures + checks + sweeps)
+//	tdxbench -list            # show available experiments
+//
+// Figures print the same rows as the paper; theorem checks run
+// randomized validation and report pass counts; perf-* sweeps print
+// timing/size tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// experiment is one addressable unit of the harness.
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer) error
+}
+
+var experiments = []experiment{
+	{"fig1", "Figure 1: abstract view of the employment instance", runFig1},
+	{"fig2", "Figure 2 / Example 2: homomorphism asymmetry from shared nulls", runFig2},
+	{"fig3", "Figure 3 / Example 5: abstract chase result per snapshot", runFig3},
+	{"fig4", "Figure 4: concrete source instance Ic", runFig4},
+	{"fig5", "Figure 5 / Example 8: Algorithm 1 normalization w.r.t. lhs(σ2+)", runFig5},
+	{"fig6", "Figure 6: naïve normalization (over-fragmentation)", runFig6},
+	{"fig8", "Figures 7-8 / Example 14: Algorithm 1 on the R/P/S instance", runFig8},
+	{"fig9", "Figure 9 / Example 17: c-chase result with interval-annotated nulls", runFig9},
+	{"fig10", "Figure 10 / Corollary 20: commutativity of c-chase and abstract chase", runFig10},
+	{"thm11", "Theorem 11: normalized ⟺ empty intersection property", runThm11},
+	{"thm13", "Theorem 13: worst-case O(n²) fragmentation sweep", runThm13},
+	{"thm21", "Theorem 21 / Corollary 22: naïve evaluation agreement", runThm21},
+	{"perf-norm", "normalization: smart (Algorithm 1) vs naïve — time and output size", runPerfNorm},
+	{"perf-chase", "chase cost vs timeline span: c-chase / segment chase / pointwise chase", runPerfChase},
+	{"perf-query", "naïve query evaluation scaling", runPerfQuery},
+	{"abl-egd", "ablation: batch (union-find) vs stepwise egd application", runAblEgd},
+	{"abl-norm-strategy", "ablation: chase end-to-end under smart vs naive normalization", runAblNormStrategy},
+	{"ext-temporal", "§7 extension: modal-operator mappings (PhD example, ◆)", runExtTemporal},
+	{"ext-core", "§7 extension: snapshot-wise core of a materialized solution", runExtCore},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+	if *list || *exp == "" {
+		ids := make([]string, 0, len(experiments))
+		for _, e := range experiments {
+			ids = append(ids, fmt.Sprintf("  %-18s %s", e.id, e.title))
+		}
+		sort.Strings(ids)
+		fmt.Println("experiments:")
+		for _, l := range ids {
+			fmt.Println(l)
+		}
+		fmt.Println("  all                run everything")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range experiments {
+			fmt.Printf("==== %s — %s ====\n", e.id, e.title)
+			if err := e.run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tdxbench: %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.id == *exp {
+			fmt.Printf("==== %s — %s ====\n", e.id, e.title)
+			if err := e.run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tdxbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tdxbench: unknown experiment %q (use -list)\n", *exp)
+	os.Exit(2)
+}

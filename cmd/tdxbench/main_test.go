@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment against a buffer,
+// checking they complete and emit output — the integration test for the
+// harness itself.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if testing.Short() && strings.HasPrefix(e.id, "perf") {
+				t.Skip("perf sweeps skipped in -short mode")
+			}
+			var b strings.Builder
+			if err := e.run(&b); err != nil {
+				t.Fatalf("experiment %s failed: %v", e.id, err)
+			}
+			if b.Len() == 0 {
+				t.Fatalf("experiment %s produced no output", e.id)
+			}
+		})
+	}
+}
+
+// TestExperimentGoldenLines spot-checks the figure experiments for the
+// rows the paper prints.
+func TestExperimentGoldenLines(t *testing.T) {
+	want := map[string][]string{
+		"fig1":         {"2013  {E(Ada, IBM), E(Bob, IBM), S(Ada, 18k)}"},
+		"fig3":         {"2015  {Emp(Ada, Google, 18k), Emp(Bob, IBM, 13k)}"},
+		"fig5":         {"5 facts in, 9 facts out, 2 merged component(s)"},
+		"fig6":         {"14 facts"},
+		"fig8":         {"merged components: 2"},
+		"fig9":         {"Ada   IBM      18k", "[2012,2013)"},
+		"fig10":        {"true"},
+		"thm13":        {"16384"},
+		"ext-temporal": {"universal"},
+		"ext-core":     {"snapshot-wise core (5 facts)"},
+	}
+	for _, e := range experiments {
+		lines, ok := want[e.id]
+		if !ok {
+			continue
+		}
+		var b strings.Builder
+		if err := e.run(&b); err != nil {
+			t.Fatalf("%s: %v", e.id, err)
+		}
+		out := b.String()
+		for _, l := range lines {
+			if !strings.Contains(out, l) {
+				t.Errorf("%s output missing %q:\n%s", e.id, l, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Medical integrates hospital admissions, diagnoses, and prescriptions
+// into unified patient charts — the kind of temporal data integration the
+// paper's introduction motivates for medical systems. It shows incomplete
+// information arising naturally: a patient admitted without a recorded
+// diagnosis gets an interval-annotated null in their chart, and the
+// one-primary-diagnosis egd resolves it when a diagnosis overlapping the
+// stay appears.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/chase"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
+
+func main() {
+	m := workload.MedicalMapping()
+	fmt.Println("schema mapping:")
+	fmt.Println(m)
+
+	// A hand-built ward: day granularity.
+	ic := instance.NewConcrete(m.Source)
+	c := paperex.C
+	for _, f := range []fact.CFact{
+		// Iris: admitted twice; the diagnosis only covers the second stay.
+		fact.NewC("Admission", iv(1, 5), c("iris"), c("cardio")),
+		fact.NewC("Admission", iv(9, 14), c("iris"), c("cardio")),
+		fact.NewC("Diagnosis", iv(8, 20), c("iris"), c("arrhythmia")),
+		fact.NewC("Prescription", iv(10, 14), c("iris"), c("betablocker")),
+		// Jon: admitted, never diagnosed — his chart keeps an unknown.
+		fact.NewC("Admission", iv(3, 7), c("jon"), c("ortho")),
+	} {
+		if _, err := ic.Insert(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nsource (admissions / diagnoses / prescriptions):")
+	fmt.Print(render.Instance(ic))
+
+	jc, _, err := chase.Concrete(ic, m, &chase.Options{Coalesce: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintegrated target (charts and treatments):")
+	fmt.Print(render.Instance(jc))
+	fmt.Println("\nIris's chart carries 'arrhythmia' exactly while a diagnosis overlaps")
+	fmt.Println("her stay ([9,14)); her first stay and Jon's whole stay carry")
+	fmt.Println("interval-annotated nulls — diagnoses unknown, possibly different each day.")
+
+	// Certain answers: which patients were certainly treated for what?
+	u, err := query.NewUCQ("treated", query.CQ{
+		Name: "treated",
+		Head: []string{"p", "d"},
+		Body: logic.Conjunction{logic.NewAtom("Treatment", logic.Var("p"), logic.Var("dr"), logic.Var("d"))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans := query.NaiveEvalConcrete(u, jc)
+	fmt.Println("\ncertain answers to treated(p, d):")
+	fmt.Print(render.Instance(ans))
+
+	// Conflicting primary diagnoses on overlapping stays make the setting
+	// unsatisfiable — the chase proves no solution exists.
+	bad := ic.Clone()
+	bad.MustInsert(fact.NewC("Diagnosis", iv(10, 12), c("iris"), c("flu")))
+	if _, _, err := chase.Concrete(bad, m, nil); errors.Is(err, chase.ErrNoSolution) {
+		fmt.Println("\nadding a second overlapping diagnosis for Iris:")
+		fmt.Println("  ", err)
+	}
+
+	// Scale up with the generator to show the pipeline beyond toy sizes.
+	big := workload.Medical(workload.MedicalConfig{Seed: 42, Patients: 200, Span: 120})
+	bigJc, stats, err := chase.Concrete(big, m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthetic hospital: %d source facts → %d target facts "+
+		"(%d tgd firings, %d egd merges)\n", big.Len(), bigJc.Len(), stats.TGDFires, stats.EgdMerges)
+}

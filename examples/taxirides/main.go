@@ -1,0 +1,86 @@
+// Taxirides integrates driver shift rosters with per-cab ride logs into
+// per-driver trip records — the ride-sharing scenario cited in the
+// paper's introduction ([26]: taxi and bicycle rides). Shifts and rides
+// are recorded on misaligned intervals, so the example highlights
+// normalization: the shared temporal variable of the shift-ride join
+// finds no homomorphism until the instance is fragmented.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chase"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
+
+func main() {
+	m := workload.TaxiMapping()
+	c := paperex.C
+
+	ic := instance.NewConcrete(m.Source)
+	for _, f := range []fact.CFact{
+		// Dee drives cab7 for a long shift; the cab's ride log is finer.
+		fact.NewC("Shift", iv(0, 12), c("dee"), c("cab7")),
+		fact.NewC("Ride", iv(2, 5), c("cab7"), c("downtown")),
+		fact.NewC("Ride", iv(5, 9), c("cab7"), c("airport")),
+		// Eve takes over the same cab later.
+		fact.NewC("Shift", iv(12, 20), c("eve"), c("cab7")),
+		fact.NewC("Ride", iv(11, 15), c("cab7"), c("harbor")),
+	} {
+		if _, err := ic.Insert(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("source (shifts and ride logs):")
+	fmt.Print(render.Instance(ic))
+
+	// The §4.2 phenomenon: before normalization the shift-ride join has
+	// no homomorphism — no single interval serves both atoms.
+	join := m.TGDs[1].ConcreteBody()
+	fmt.Printf("\nhomomorphism for Shift⋈Ride before normalization: %v\n",
+		logic.Exists(ic.Store(), join, nil))
+	norm := normalize.Smart(ic, []logic.Conjunction{join})
+	fmt.Printf("after norm(Ic, Φ+) (%d → %d facts):              %v\n",
+		ic.Len(), norm.Len(), logic.Exists(norm.Store(), join, nil))
+
+	jc, _, err := chase.Concrete(ic, m, &chase.Options{Coalesce: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintegrated trips (zones unknown where the log is silent):")
+	fmt.Print(render.Instance(jc))
+
+	// Where was Dee, certainly, and when?
+	u, err := query.NewUCQ("where", query.CQ{
+		Name: "where",
+		Head: []string{"z"},
+		Body: logic.Conjunction{logic.NewAtom("Trip", logic.Lit(paperex.C("dee")), logic.Var("c"), logic.Var("z"))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans := query.NaiveEvalConcrete(u, jc)
+	fmt.Println("\ncertain answers to where(z) :- Trip(dee, c, z):")
+	fmt.Print(render.Instance(ans))
+
+	// A bigger synthetic fleet.
+	big := workload.Taxi(workload.TaxiConfig{Seed: 7, Drivers: 150, Cabs: 60, Span: 100})
+	bigJc, stats, err := chase.Concrete(big, m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthetic fleet: %d source facts → %d trips "+
+		"(source normalized to %d facts, %d egd rounds)\n",
+		big.Len(), bigJc.Len(), stats.NormalizedSourceFacts, stats.EgdRounds)
+}

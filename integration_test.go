@@ -1,0 +1,215 @@
+package repro
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/coreof"
+	"repro/internal/instance"
+	"repro/internal/jsonio"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/temporal"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// readTestdata loads one of the shipped .tdx/.facts files.
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestEndToEndPaperExample drives the full pipeline from the shipped
+// files: parse → exchange → verify → core → query → JSON round trip.
+func TestEndToEndPaperExample(t *testing.T) {
+	eng, queries, err := core.FromMappingSource(readTestdata(t, "employment.tdx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := core.LoadFacts(readTestdata(t, "employment.facts"), eng.Mapping().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Len() != 5 {
+		t.Fatalf("solution:\n%s", res.Solution)
+	}
+	// Solution is a solution, universal vs the abstract chase, already a
+	// core, and survives a JSON round trip.
+	if ok, why := verify.IsSolution(ic.Abstract(), res.Solution.Abstract(), eng.Mapping()); !ok {
+		t.Fatal(why)
+	}
+	ja, err := eng.ExchangeAbstract(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.HomEquivalent(res.Solution.Abstract(), ja) {
+		t.Fatal("Cor. 20 violated end to end")
+	}
+	if !coreof.IsCore(res.Solution) {
+		t.Fatal("Figure 9 should be a core")
+	}
+	data, err := jsonio.Encode(res.Solution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := jsonio.Decode(data)
+	if err != nil || !back.Equal(res.Solution) {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	ans, err := eng.AnswerOn(queries[0], res.Solution)
+	if err != nil || ans.Len() != 2 {
+		t.Fatalf("answers: %v\n%s", err, ans)
+	}
+}
+
+// TestEndToEndWorkloads runs the three domain workloads through the full
+// pipeline and checks solution-hood on each.
+func TestEndToEndWorkloads(t *testing.T) {
+	type wl struct {
+		name string
+		run  func(t *testing.T)
+	}
+	for _, w := range []wl{
+		{"employment", func(t *testing.T) {
+			m := workload.EgdStressMapping(3)
+			ic := workload.EgdStress(10, 3)
+			jc, _, err := chase.Concrete(ic, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, why := verify.IsSolution(ic.Abstract(), jc.Abstract(), m); !ok {
+				t.Fatal(why)
+			}
+		}},
+		{"medical", func(t *testing.T) {
+			m := workload.MedicalMapping()
+			ic := workload.Medical(workload.MedicalConfig{Seed: 11, Patients: 40, Span: 60})
+			jc, _, err := chase.Concrete(ic, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cq, err := parser.ParseQueryLine("query q(p, d) :- Chart(p, w, d)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := query.NewUCQ("q", cq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if query.NaiveEvalConcrete(u, jc) == nil {
+				t.Fatal("no answers")
+			}
+		}},
+		{"taxi", func(t *testing.T) {
+			m := workload.TaxiMapping()
+			ic := workload.Taxi(workload.TaxiConfig{Seed: 13, Drivers: 40, Cabs: 15, Span: 50})
+			jc, _, err := chase.Concrete(ic, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jc.Len() == 0 {
+				t.Fatal("no trips")
+			}
+		}},
+	} {
+		t.Run(w.name, w.run)
+	}
+}
+
+// TestEndToEndTemporal drives the shipped temporal mapping through the
+// CLI-level pipeline.
+func TestEndToEndTemporal(t *testing.T) {
+	f, err := parser.ParseMapping(readTestdata(t, "phd.tdx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Temporal == nil {
+		t.Fatal("phd.tdx should parse as a temporal mapping")
+	}
+	ic, err := parser.ParseFacts(readTestdata(t, "phd.facts"), f.Temporal.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _, err := temporal.Chase(ic, f.Temporal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := temporal.Satisfies(ic, jc, f.Temporal); !ok {
+		t.Fatal(why)
+	}
+	if jc.Len() != 2 {
+		t.Fatalf("result:\n%s", jc)
+	}
+}
+
+// TestFailurePipeline checks unsatisfiable inputs fail identically at
+// every level: engine, queries, and both chases.
+func TestFailurePipeline(t *testing.T) {
+	eng, queries, err := core.FromMappingSource(readTestdata(t, "employment.tdx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := core.LoadFacts(readTestdata(t, "employment.facts")+"\nS(Ada, 99k) @ [2013, 2014)\n", eng.Mapping().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exchange(bad); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if _, err := eng.Answer(queries[0], bad); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("Answer: %v", err)
+	}
+	if _, _, err := chase.Abstract(bad.Abstract(), eng.Mapping(), nil); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("Abstract: %v", err)
+	}
+	if _, _, err := chase.AbstractParallel(bad.Abstract(), eng.Mapping(), nil, 4); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("AbstractParallel: %v", err)
+	}
+}
+
+// TestDiffAcrossChases: the smart- and naive-strategy solutions are
+// semantically identical instances up to null naming; their constant
+// parts have empty semantic difference.
+func TestDiffAcrossChases(t *testing.T) {
+	eng, _, err := core.FromMappingSource(readTestdata(t, "employment.tdx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := core.LoadFacts(readTestdata(t, "employment.facts"), eng.Mapping().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constOnly := func(c *instance.Concrete) *instance.Concrete {
+		out := instance.NewConcrete(c.Schema())
+		for _, f := range c.Facts() {
+			if !f.HasNulls() {
+				out.MustInsert(f)
+			}
+		}
+		return out
+	}
+	a := constOnly(res.Solution)
+	if !instance.SameSemantics(a, a.Coalesce()) {
+		t.Fatal("coalescing changed semantics")
+	}
+	if d := instance.Diff(a, res.Solution); d.Len() != 0 {
+		t.Fatalf("constants not contained in solution:\n%s", d)
+	}
+}

@@ -1,0 +1,65 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/value"
+)
+
+// Abstract runs the abstract chase (paper §3):
+//
+//	chase(Ia, M) = ⟨chase(db0, M), chase(db1, M), ...⟩
+//
+// applied to the finite segmented representation: every snapshot inside a
+// segment is an identical copy, so one chase per segment suffices, with
+// the fresh nulls materialized as interval-annotated families over the
+// segment — precisely the "fresh labeled nulls produced in a snapshot are
+// distinct from the labeled nulls produced in the other snapshots"
+// requirement, since a family projects to a distinct null per snapshot.
+//
+// A failure in any segment is a failure of the whole chase, and by
+// Proposition 4 part 2 proves that no solution exists.
+func Abstract(ia *instance.Abstract, m *dependency.Mapping, opts *Options) (*instance.Abstract, Stats, error) {
+	gen := opts.gen()
+	var total Stats
+	segs := make([]instance.Segment, 0, len(ia.Segments()))
+	for _, seg := range ia.Segments() {
+		// Build the segment's representative source snapshot. Source
+		// instances are complete (paper §2), so segment facts carry only
+		// constants; reject anything else loudly.
+		src := instance.NewSnapshot()
+		for _, f := range seg.Facts {
+			for _, v := range f.Args {
+				if !v.IsConst() {
+					return nil, total, fmt.Errorf("chase: abstract source must be complete, found %v in segment %v", v, seg.Iv)
+				}
+			}
+			src.Insert(fact.New(f.Rel, f.Args...))
+		}
+		segIv := seg.Iv
+		fresh := func() value.Value { return gen.FreshAnn(segIv) }
+		tgtSnap, stats, err := Snapshot(src, m, fresh, opts)
+		total.TGDHoms += stats.TGDHoms
+		total.TGDFires += stats.TGDFires
+		total.FactsCreated += stats.FactsCreated
+		total.NullsCreated += stats.NullsCreated
+		total.EgdRounds += stats.EgdRounds
+		total.EgdMerges += stats.EgdMerges
+		if err != nil {
+			return nil, total, fmt.Errorf("in segment %v: %w", seg.Iv, err)
+		}
+		tgtSeg := instance.Segment{Iv: segIv}
+		for _, f := range tgtSnap.Facts() {
+			tgtSeg.Facts = append(tgtSeg.Facts, fact.NewC(f.Rel, segIv, f.Args...))
+		}
+		segs = append(segs, tgtSeg)
+	}
+	out, err := instance.NewAbstract(segs)
+	if err != nil {
+		return nil, total, err
+	}
+	return out, total, nil
+}

@@ -1,0 +1,207 @@
+// Package chase implements the two chase procedures of the paper: the
+// abstract chase, applied snapshot-wise to the abstract view (§3), and
+// the concrete chase (c-chase) on concrete instances (§4.3, Definition
+// 16). A successful c-chase materializes a concrete solution Jc whose
+// semantics ⟦Jc⟧ is a universal solution for ⟦Ic⟧ (Theorem 19); a failing
+// chase proves no solution exists.
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/normalize"
+	"repro/internal/value"
+)
+
+// ErrNoSolution is wrapped by every failure of an egd chase step that
+// equates two distinct constants: by Proposition 4/Theorem 19 no solution
+// exists for the source instance.
+var ErrNoSolution = errors.New("chase: no solution exists")
+
+// FailError carries the details of a failing egd chase step.
+type FailError struct {
+	Dep    string      // label of the violated egd
+	V1, V2 value.Value // the two distinct constants being equated
+}
+
+func (e *FailError) Error() string {
+	return fmt.Sprintf("chase: egd %s equates distinct constants %v and %v: no solution exists", e.Dep, e.V1, e.V2)
+}
+
+// Unwrap makes errors.Is(err, ErrNoSolution) work.
+func (e *FailError) Unwrap() error { return ErrNoSolution }
+
+// EgdStrategy selects how equality generating dependencies are applied.
+type EgdStrategy int
+
+const (
+	// EgdBatch collects every violated equality in a round, merges them
+	// in one union-find pass, and rewrites the instance once per round
+	// (the default; asymptotically cheaper).
+	EgdBatch EgdStrategy = iota
+	// EgdStepwise applies one equality at a time and re-searches, the
+	// textbook chase-step formulation. Used as the ablation baseline.
+	EgdStepwise
+)
+
+func (s EgdStrategy) String() string {
+	if s == EgdStepwise {
+		return "stepwise"
+	}
+	return "batch"
+}
+
+// Options configures a chase run. The zero value is the default
+// configuration: Algorithm 1 normalization, batch egd application, no
+// final coalescing.
+type Options struct {
+	// Norm selects the normalization algorithm (paper §4.2).
+	Norm normalize.Strategy
+	// Egd selects the egd application strategy.
+	Egd EgdStrategy
+	// Coalesce coalesces the solution before returning it, restoring the
+	// compact form of the paper's Figure 9.
+	Coalesce bool
+	// Gen supplies null family ids; a private generator is used when nil.
+	Gen *value.NullGen
+	// Trace, when set, receives one Event per chase action (normalization
+	// passes, tgd firings, egd merges, failures). For debugging and the
+	// CLI's -trace flag; adds no cost when nil.
+	Trace func(Event)
+}
+
+func (o *Options) gen() *value.NullGen {
+	if o == nil || o.Gen == nil {
+		return &value.NullGen{}
+	}
+	return o.Gen
+}
+
+func (o *Options) norm() normalize.Strategy {
+	if o == nil {
+		return normalize.StrategySmart
+	}
+	return o.Norm
+}
+
+func (o *Options) egd() EgdStrategy {
+	if o == nil {
+		return EgdBatch
+	}
+	return o.Egd
+}
+
+func (o *Options) coalesce() bool { return o != nil && o.Coalesce }
+
+// Stats reports what a chase run did, for the experiment harness.
+type Stats struct {
+	NormalizedSourceFacts int // source facts after normalization
+	TGDHoms               int // homomorphisms found for s-t tgd bodies
+	TGDFires              int // tgd chase steps that actually fired
+	FactsCreated          int // target facts added by tgd steps
+	NullsCreated          int // fresh interval-annotated nulls
+	EgdRounds             int // egd rounds (normalize + merge + rewrite)
+	EgdMerges             int // value identifications applied
+	NormalizeRuns         int // normalization passes over the target
+}
+
+// valueUF is a union-find over database values with constant absorption:
+// the representative of a class containing a constant is that constant;
+// two distinct constants in one class are a chase failure.
+type valueUF struct {
+	parent map[value.Value]value.Value
+}
+
+func newValueUF() *valueUF { return &valueUF{parent: make(map[value.Value]value.Value)} }
+
+// find returns the representative of v (v itself if never merged).
+func (u *valueUF) find(v value.Value) value.Value {
+	p, ok := u.parent[v]
+	if !ok {
+		return v
+	}
+	root := u.find(p)
+	u.parent[v] = root
+	return root
+}
+
+// union merges the classes of a and b. It fails exactly when that would
+// equate two distinct constants (the failing egd chase step of
+// Definition 16).
+func (u *valueUF) union(a, b value.Value) error {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return nil
+	}
+	switch {
+	case ra.IsConst() && rb.IsConst():
+		return fmt.Errorf("cannot equate constants %v and %v", ra, rb)
+	case ra.IsConst():
+		u.parent[rb] = ra
+	case rb.IsConst():
+		u.parent[ra] = rb
+	default:
+		// Both nulls: deterministic representative (smaller value wins) so
+		// chase output does not depend on iteration order.
+		if value.Compare(ra, rb) < 0 {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+	return nil
+}
+
+// dirty reports whether any merge has been recorded.
+func (u *valueUF) dirty() bool { return len(u.parent) > 0 }
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EventNormalize reports a normalization pass and its output size.
+	EventNormalize EventKind = iota
+	// EventTGDFire reports one s-t tgd chase step.
+	EventTGDFire
+	// EventEgdMerge reports one value identification by an egd.
+	EventEgdMerge
+	// EventEgdFail reports the failing egd step (no solution).
+	EventEgdFail
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventNormalize:
+		return "normalize"
+	case EventTGDFire:
+		return "tgd-fire"
+	case EventEgdMerge:
+		return "egd-merge"
+	case EventEgdFail:
+		return "egd-fail"
+	}
+	return "unknown"
+}
+
+// Event is one step of a chase run, delivered to Options.Trace.
+type Event struct {
+	Kind   EventKind
+	Dep    string // dependency label, when applicable
+	Detail string // human-readable specifics
+}
+
+func (e Event) String() string {
+	if e.Dep != "" {
+		return fmt.Sprintf("%s %s: %s", e.Kind, e.Dep, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Kind, e.Detail)
+}
+
+// emit delivers an event to the trace hook when one is installed.
+func (o *Options) emit(kind EventKind, dep, format string, args ...any) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace(Event{Kind: kind, Dep: dep, Detail: fmt.Sprintf(format, args...)})
+}

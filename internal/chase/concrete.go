@@ -1,0 +1,194 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/value"
+)
+
+// Concrete runs the c-chase of Definition 16 / §4.3 on a concrete source
+// instance:
+//
+//  1. normalize Ic w.r.t. the left-hand sides of Σst;
+//  2. apply all s-t tgd c-chase steps, inventing a fresh
+//     interval-annotated null N^h(t) per existential variable per firing;
+//  3. normalize the target w.r.t. the left-hand sides of Σeg;
+//  4. apply egd c-chase steps to a fixpoint, failing when two distinct
+//     constants are equated.
+//
+// With the Smart normalization strategy, step 3 is repeated after every
+// egd rewrite round: identifying a null with a constant can reveal new
+// egd homomorphisms between facts whose intervals properly overlap,
+// which would otherwise escape the empty intersection property. The
+// Naive strategy fragments on the global endpoint partition once, which
+// is stable under egd rewrites (intervals never change), so no
+// renormalization is needed — the classic time/size trade-off of §4.2.
+//
+// On success the returned instance is a concrete solution; ⟦Jc⟧ is a
+// universal solution for ⟦Ic⟧ (Theorem 19). On failure the error wraps
+// ErrNoSolution.
+func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*instance.Concrete, Stats, error) {
+	var stats Stats
+	gen := opts.gen()
+
+	// Step 1: normalize the source w.r.t. lhs(Σst).
+	src := normalize.ForMapping(ic, m.TGDBodies(), opts.norm())
+	stats.NormalizeRuns++
+	stats.NormalizedSourceFacts = src.Len()
+	opts.emit(EventNormalize, "", "source normalized (%s): %d → %d facts", opts.norm(), ic.Len(), src.Len())
+
+	// Step 2: s-t tgd steps. Bodies read only the source, so a single
+	// deterministic pass over all homomorphisms reaches the tgd fixpoint.
+	tgt := instance.NewConcrete(m.Target)
+	for _, d := range m.TGDs {
+		body := d.ConcreteBody()
+		head := d.ConcreteHead()
+		ms := logic.FindAll(src.Store(), body, nil)
+		stats.TGDHoms += len(ms)
+		for _, h := range ms {
+			if logic.Exists(tgt.Store(), head, h.Binding) {
+				continue // extension h' to φ+ ∧ ψ+ already exists
+			}
+			tv, ok := h.Binding[dependency.TemporalVar]
+			if !ok || !tv.IsInterval() {
+				return nil, stats, fmt.Errorf("chase: tgd %s: temporal variable unbound", d.Name)
+			}
+			t, _ := tv.Interval()
+			stats.TGDFires++
+			opts.emit(EventTGDFire, d.Name, "fired at %v with %v", t, h.Binding)
+			ext := h.Binding.Clone()
+			for _, y := range d.Existentials() {
+				ext[y] = gen.FreshAnn(t)
+				stats.NullsCreated++
+			}
+			for _, atom := range head {
+				n := len(atom.Terms) - 1 // last term is the temporal variable
+				args := make([]value.Value, n)
+				for i := 0; i < n; i++ {
+					v, ok := ext.Apply(atom.Terms[i])
+					if !ok {
+						return nil, stats, fmt.Errorf("chase: tgd %s: unbound head variable %v", d.Name, atom.Terms[i])
+					}
+					args[i] = v
+				}
+				added, err := tgt.Insert(fact.NewC(atom.Rel, t, args...))
+				if err != nil {
+					return nil, stats, fmt.Errorf("chase: tgd %s: %w", d.Name, err)
+				}
+				if added {
+					stats.FactsCreated++
+				}
+			}
+		}
+	}
+
+	// Steps 3–4: egd phase with renormalization.
+	tgt, err := concreteEgds(tgt, m, opts, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if opts.coalesce() {
+		tgt = tgt.Coalesce()
+	}
+	return tgt, stats, nil
+}
+
+// concreteEgds normalizes the target and applies egd c-chase steps until
+// every egd is satisfied.
+func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, stats *Stats) (*instance.Concrete, error) {
+	if len(m.EGDs) == 0 {
+		return tgt, nil
+	}
+	egdBodies := m.EGDBodies()
+	naiveDone := false
+	for {
+		stats.EgdRounds++
+		// Normalize w.r.t. lhs(Σeg) and synchronize null families (an egd
+		// identification replaces an annotated null "everywhere", which is
+		// only sound when all overlapping occurrences of a family carry the
+		// same annotation): every round for Smart; once for Naive (rewrites
+		// never change intervals, so the global fragmentation — which is
+		// family-consistent by construction — stays normalized).
+		if opts.norm() == normalize.StrategyNaive {
+			if !naiveDone {
+				tgt = normalize.Naive(tgt)
+				stats.NormalizeRuns++
+				naiveDone = true
+			}
+		} else {
+			tgt = normalize.ForEgdPhase(tgt, egdBodies, normalize.StrategySmart)
+			stats.NormalizeRuns++
+			opts.emit(EventNormalize, "", "target normalized for egd round %d: %d facts", stats.EgdRounds, tgt.Len())
+		}
+
+		uf := newValueUF()
+		var stepErr error
+		stop := false
+		for _, d := range m.EGDs {
+			logic.ForEach(tgt.Store(), d.ConcreteBody(), nil, func(h logic.Match) bool {
+				v1, v2 := uf.find(h.Binding[d.X1]), uf.find(h.Binding[d.X2])
+				if v1 == v2 {
+					return true
+				}
+				if v1.IsConst() && v2.IsConst() {
+					stepErr = &FailError{Dep: d.Name, V1: v1, V2: v2}
+					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", v1, v2)
+					return false
+				}
+				if err := uf.union(v1, v2); err != nil {
+					stepErr = &FailError{Dep: d.Name, V1: v1, V2: v2}
+					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", v1, v2)
+					return false
+				}
+				stats.EgdMerges++
+				opts.emit(EventEgdMerge, d.Name, "%v = %v", v1, v2)
+				stop = opts.egd() == EgdStepwise
+				return !stop
+			})
+			if stepErr != nil {
+				return nil, stepErr
+			}
+			if stop {
+				break
+			}
+		}
+		if !uf.dirty() {
+			return tgt, nil
+		}
+		tgt = rewriteConcrete(tgt, uf)
+	}
+}
+
+// rewriteConcrete applies the union-find substitution to every fact of a
+// concrete instance, deduplicating collapsed facts. Identifications are
+// per annotated-null value — the same family fragmented over two
+// intervals yields two independent unknowns (one per snapshot range), and
+// only the equated fragment is replaced, exactly as the abstract
+// semantics requires.
+func rewriteConcrete(c *instance.Concrete, uf *valueUF) *instance.Concrete {
+	out := instance.NewConcrete(c.Schema())
+	for _, f := range c.Facts() {
+		args := make([]value.Value, len(f.Args))
+		for i, v := range f.Args {
+			args[i] = uf.find(v)
+		}
+		out.MustInsert(fact.CFact{Rel: f.Rel, Args: args, T: f.T})
+	}
+	return out
+}
+
+// EgdPhase exposes the egd stage of the c-chase for callers that build
+// the target instance themselves (e.g. the temporal-mapping extension):
+// it normalizes tgt w.r.t. the mapping's egd bodies, synchronizes null
+// families, and applies egd steps to a fixpoint.
+func EgdPhase(tgt *instance.Concrete, m *dependency.Mapping, opts *Options) (*instance.Concrete, Stats, error) {
+	var stats Stats
+	out, err := concreteEgds(tgt, m, opts, &stats)
+	return out, stats, err
+}

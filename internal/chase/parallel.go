@@ -1,0 +1,106 @@
+package chase
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/value"
+)
+
+// AbstractParallel is Abstract with segment-level parallelism: segments
+// of the abstract view are independent (the dependencies are
+// non-temporal, §3), so their chases run concurrently on a worker pool.
+// workers ≤ 0 selects GOMAXPROCS. The result is deterministic and equal
+// to the sequential Abstract up to null family ids (the shared generator
+// is atomic, so ids depend on scheduling; snapshots are isomorphic).
+func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Options, workers int) (*instance.Abstract, Stats, error) {
+	segsIn := ia.Segments()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segsIn) {
+		workers = len(segsIn)
+	}
+	if workers <= 1 {
+		return Abstract(ia, m, opts)
+	}
+	gen := opts.gen()
+
+	results := make([]segResult, len(segsIn))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = chaseSegment(segsIn[idx], m, gen, opts)
+			}
+		}()
+	}
+	for i := range segsIn {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var total Stats
+	segs := make([]instance.Segment, len(segsIn))
+	for i, r := range results {
+		total.TGDHoms += r.stats.TGDHoms
+		total.TGDFires += r.stats.TGDFires
+		total.FactsCreated += r.stats.FactsCreated
+		total.NullsCreated += r.stats.NullsCreated
+		total.EgdRounds += r.stats.EgdRounds
+		total.EgdMerges += r.stats.EgdMerges
+		if r.err != nil {
+			return nil, total, r.err
+		}
+		segs[i] = r.seg
+	}
+	out, err := instance.NewAbstract(segs)
+	if err != nil {
+		return nil, total, err
+	}
+	return out, total, nil
+}
+
+// segResult is the outcome of chasing one segment.
+type segResult struct {
+	seg   instance.Segment
+	stats Stats
+	err   error
+}
+
+// chaseSegment chases one segment's representative snapshot, returning
+// the target segment.
+func chaseSegment(seg instance.Segment, m *dependency.Mapping, gen *value.NullGen, opts *Options) (res segResult) {
+	src := instance.NewSnapshot()
+	for _, f := range seg.Facts {
+		for _, v := range f.Args {
+			if !v.IsConst() {
+				res.err = fmt.Errorf("chase: abstract source must be complete, found %v in segment %v", v, seg.Iv)
+				return res
+			}
+		}
+		src.Insert(fact.New(f.Rel, f.Args...))
+	}
+	segIv := seg.Iv
+	fresh := func() value.Value { return gen.FreshAnn(segIv) }
+	tgtSnap, stats, err := Snapshot(src, m, fresh, opts)
+	res.stats = stats
+	if err != nil {
+		res.err = fmt.Errorf("in segment %v: %w", seg.Iv, err)
+		return res
+	}
+	tgtSeg := instance.Segment{Iv: segIv}
+	for _, f := range tgtSnap.Facts() {
+		tgtSeg.Facts = append(tgtSeg.Facts, fact.NewC(f.Rel, segIv, f.Args...))
+	}
+	res.seg = tgtSeg
+	return res
+}

@@ -1,0 +1,116 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/value"
+)
+
+// Snapshot runs the standard relational chase of Fagin et al. on a single
+// snapshot: all s-t tgd steps against the (static) source snapshot,
+// followed by egd steps to a fixpoint. freshNull supplies the labeled
+// null created per existential variable per firing. The source snapshot
+// is never modified.
+//
+// This is the per-snapshot building block of the abstract chase (§3): the
+// paper applies it independently to every db_ℓ of the abstract instance.
+func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() value.Value, opts *Options) (*instance.Snapshot, Stats, error) {
+	var stats Stats
+	tgt := instance.NewSnapshot()
+
+	// TGD phase: bodies read only the source, so one pass over all
+	// homomorphisms reaches the fixpoint.
+	for _, d := range m.TGDs {
+		ms := logic.FindAll(src.Store(), d.Body, nil)
+		stats.TGDHoms += len(ms)
+		for _, h := range ms {
+			if logic.Exists(tgt.Store(), d.Head, h.Binding) {
+				continue // an extension to the head already exists
+			}
+			stats.TGDFires++
+			ext := h.Binding.Clone()
+			for _, y := range d.Existentials() {
+				ext[y] = freshNull()
+				stats.NullsCreated++
+			}
+			for _, atom := range d.Head {
+				args := make([]value.Value, len(atom.Terms))
+				for i, t := range atom.Terms {
+					v, ok := ext.Apply(t)
+					if !ok {
+						return nil, stats, fmt.Errorf("chase: unbound head variable %v in tgd %s", t, d.Name)
+					}
+					args[i] = v
+				}
+				if tgt.Insert(fact.New(atom.Rel, args...)) {
+					stats.FactsCreated++
+				}
+			}
+		}
+	}
+
+	// EGD phase.
+	out, egdStats, err := snapshotEgds(tgt, m, opts.egd())
+	stats.EgdRounds, stats.EgdMerges = egdStats.EgdRounds, egdStats.EgdMerges
+	return out, stats, err
+}
+
+// snapshotEgds applies the egds of m to the snapshot until satisfied.
+func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrategy) (*instance.Snapshot, Stats, error) {
+	var stats Stats
+	for {
+		stats.EgdRounds++
+		uf := newValueUF()
+		fail := func(d dependency.EGD, v1, v2 value.Value) error {
+			return &FailError{Dep: d.Name, V1: v1, V2: v2}
+		}
+		stop := false
+		var stepErr error
+		for _, d := range m.EGDs {
+			logic.ForEach(tgt.Store(), d.Body, nil, func(h logic.Match) bool {
+				v1, v2 := uf.find(h.Binding[d.X1]), uf.find(h.Binding[d.X2])
+				if v1 == v2 {
+					return true
+				}
+				if v1.IsConst() && v2.IsConst() {
+					stepErr = fail(d, v1, v2)
+					return false
+				}
+				if err := uf.union(v1, v2); err != nil {
+					stepErr = fail(d, v1, v2)
+					return false
+				}
+				stats.EgdMerges++
+				stop = strat == EgdStepwise // one merge per round
+				return !stop
+			})
+			if stepErr != nil {
+				return nil, stats, stepErr
+			}
+			if stop {
+				break
+			}
+		}
+		if !uf.dirty() {
+			return tgt, stats, nil
+		}
+		tgt = rewriteSnapshot(tgt, uf)
+	}
+}
+
+// rewriteSnapshot applies the union-find substitution to every fact.
+func rewriteSnapshot(s *instance.Snapshot, uf *valueUF) *instance.Snapshot {
+	out := instance.NewSnapshot()
+	for _, f := range s.Facts() {
+		args := make([]value.Value, len(f.Args))
+		for i, v := range f.Args {
+			args[i] = uf.find(v)
+		}
+		out.Insert(fact.New(f.Rel, args...))
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/paperex"
+	"repro/internal/value"
+)
+
+func TestTraceEvents(t *testing.T) {
+	var events []Event
+	opts := &Options{Trace: func(e Event) { events = append(events, e) }}
+	if _, _, err := Concrete(paperex.Figure4(), paperex.EmploymentMapping(), opts); err != nil {
+		t.Fatal(err)
+	}
+	var norm, fires, merges int
+	for _, e := range events {
+		switch e.Kind {
+		case EventNormalize:
+			norm++
+		case EventTGDFire:
+			fires++
+		case EventEgdMerge:
+			merges++
+		case EventEgdFail:
+			t.Fatalf("unexpected failure event: %v", e)
+		}
+	}
+	if norm != 3 || fires != 8 || merges != 3 {
+		t.Fatalf("event counts: norm=%d fires=%d merges=%d (want 3/8/3)", norm, fires, merges)
+	}
+	// The first event is the source normalization with sizes.
+	if events[0].Kind != EventNormalize || !strings.Contains(events[0].Detail, "5 → 9") {
+		t.Fatalf("first event = %v", events[0])
+	}
+	// Event rendering includes the dependency label when present.
+	found := false
+	for _, e := range events {
+		if e.Kind == EventTGDFire && strings.HasPrefix(e.String(), "tgd-fire sigma") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no labelled tgd-fire event in %v", events)
+	}
+}
+
+func TestTraceFailureEvent(t *testing.T) {
+	m := paperex.EmploymentMapping()
+	ic := paperex.Figure4()
+	// A second salary conflicting with Ada's 18k while she is at IBM.
+	ic.MustInsert(fact.NewC("S", paperex.Iv(2013, 2014), paperex.C("Ada"), paperex.C("99k")))
+	var failures int
+	opts := &Options{Trace: func(e Event) {
+		if e.Kind == EventEgdFail {
+			failures++
+		}
+	}}
+	if _, _, err := Concrete(ic, m, opts); err == nil {
+		t.Fatal("expected failure")
+	}
+	if failures != 1 {
+		t.Fatalf("failure events = %d", failures)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if EgdBatch.String() != "batch" || EgdStepwise.String() != "stepwise" {
+		t.Fatal("EgdStrategy strings")
+	}
+	kinds := map[EventKind]string{
+		EventNormalize: "normalize",
+		EventTGDFire:   "tgd-fire",
+		EventEgdMerge:  "egd-merge",
+		EventEgdFail:   "egd-fail",
+		EventKind(99):  "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q want %q", k, k.String(), want)
+		}
+	}
+	e := Event{Kind: EventEgdMerge, Detail: "x = y"}
+	if e.String() != "egd-merge: x = y" {
+		t.Fatalf("Event.String = %q", e.String())
+	}
+}
+
+func TestValueUFEdgeCases(t *testing.T) {
+	uf := newValueUF()
+	a, b := value.NewConst("a"), value.NewConst("b")
+	n1, n2, n3 := value.NewNull(1), value.NewNull(2), value.NewNull(3)
+	// Merging a value with itself is a no-op.
+	if err := uf.union(n1, n1); err != nil {
+		t.Fatal(err)
+	}
+	if uf.dirty() {
+		t.Fatal("self-union must not dirty the structure")
+	}
+	// Null chains resolve to the constant at the end.
+	if err := uf.union(n1, n2); err != nil {
+		t.Fatal(err)
+	}
+	if err := uf.union(n2, n3); err != nil {
+		t.Fatal(err)
+	}
+	if err := uf.union(n3, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []value.Value{n1, n2, n3} {
+		if uf.find(n) != a {
+			t.Fatalf("find(%v) = %v, want a", n, uf.find(n))
+		}
+	}
+	// Transitive constant clash.
+	if err := uf.union(n1, b); err == nil {
+		t.Fatal("clash through chain not detected")
+	}
+	// Direct constant clash.
+	uf2 := newValueUF()
+	if err := uf2.union(a, b); err == nil {
+		t.Fatal("direct clash not detected")
+	}
+	// Deterministic representative for null-null merges.
+	uf3 := newValueUF()
+	if err := uf3.union(n2, n1); err != nil {
+		t.Fatal(err)
+	}
+	if uf3.find(n2) != n1 {
+		t.Fatalf("representative = %v, want the smaller null", uf3.find(n2))
+	}
+}

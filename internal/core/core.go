@@ -1,0 +1,133 @@
+// Package core is the public face of the temporal data exchange library:
+// an Engine that bundles a validated schema mapping with chase options
+// and exposes the full pipeline of the paper — materialize a concrete
+// universal solution with the c-chase (§4), answer unions of conjunctive
+// queries with certain-answer semantics (§5), and inspect both the
+// concrete and the abstract view of every artifact (§2).
+//
+// Typical use:
+//
+//	eng, queries, err := core.FromMappingSource(mappingText)
+//	ic, err := core.LoadFacts(factsText, eng.Mapping().Source)
+//	res, err := eng.Exchange(ic)
+//	answers, err := eng.AnswerOn(queries[0], res.Solution)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/normalize"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Engine executes temporal data exchange for one schema mapping.
+type Engine struct {
+	mapping *dependency.Mapping
+	opts    chase.Options
+}
+
+// New builds an engine after validating the mapping. opts may be nil for
+// defaults (Algorithm 1 normalization, batch egds, no coalescing).
+func New(m *dependency.Mapping, opts *chase.Options) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil mapping")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{mapping: m}
+	if opts != nil {
+		e.opts = *opts
+	}
+	return e, nil
+}
+
+// FromMappingSource parses a TDX mapping file and builds an engine with
+// default options, returning any queries declared in the file.
+func FromMappingSource(src string) (*Engine, []query.UCQ, error) {
+	f, err := parser.ParseMapping(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := New(f.Mapping, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, f.Queries, nil
+}
+
+// LoadFacts parses a TDX facts file into a concrete instance over the
+// given schema (nil for schemaless).
+func LoadFacts(src string, sch *schema.Schema) (*instance.Concrete, error) {
+	return parser.ParseFacts(src, sch)
+}
+
+// Mapping returns the engine's schema mapping.
+func (e *Engine) Mapping() *dependency.Mapping { return e.mapping }
+
+// SetOptions replaces the chase options.
+func (e *Engine) SetOptions(opts chase.Options) { e.opts = opts }
+
+// Options returns the current chase options.
+func (e *Engine) Options() chase.Options { return e.opts }
+
+// Result is the outcome of a successful exchange.
+type Result struct {
+	// Solution is the materialized concrete solution Jc (the c-chase
+	// result; Figure 9 for the paper's running example).
+	Solution *instance.Concrete
+	// Stats reports what the chase did.
+	Stats chase.Stats
+}
+
+// Exchange materializes a concrete universal solution for the source
+// instance using the c-chase. The returned error wraps
+// chase.ErrNoSolution when the setting admits no solution.
+func (e *Engine) Exchange(ic *instance.Concrete) (*Result, error) {
+	opts := e.opts
+	jc, stats, err := chase.Concrete(ic, e.mapping, &opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Solution: jc, Stats: stats}, nil
+}
+
+// ExchangeAbstract runs the abstract chase on ⟦ic⟧ — the semantic
+// reference the c-chase is proven equivalent to (Corollary 20). Mostly
+// useful for verification and experiments; real deployments use Exchange.
+func (e *Engine) ExchangeAbstract(ic *instance.Concrete) (*instance.Abstract, error) {
+	opts := e.opts
+	ja, _, err := chase.Abstract(ic.Abstract(), e.mapping, &opts)
+	return ja, err
+}
+
+// Answer computes the certain answers of q over the target schema for
+// source instance ic (Corollary 22): it exchanges, then evaluates.
+func (e *Engine) Answer(q query.UCQ, ic *instance.Concrete) (*instance.Concrete, error) {
+	if err := q.Validate(e.mapping.Target); err != nil {
+		return nil, err
+	}
+	opts := e.opts
+	return query.CertainAnswers(q, ic, e.mapping, &opts)
+}
+
+// AnswerOn evaluates q naïvely on an already materialized solution —
+// the common case when one solution serves many queries.
+func (e *Engine) AnswerOn(q query.UCQ, jc *instance.Concrete) (*instance.Concrete, error) {
+	if err := q.Validate(e.mapping.Target); err != nil {
+		return nil, err
+	}
+	return query.NaiveEvalConcrete(q, jc), nil
+}
+
+// NormalizeSource normalizes ic with respect to the mapping's s-t tgd
+// bodies — exposed for inspection and the experiment harness; Exchange
+// performs it internally.
+func (e *Engine) NormalizeSource(ic *instance.Concrete) *instance.Concrete {
+	return normalize.ForMapping(ic, e.mapping.TGDBodies(), e.opts.Norm)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/paperex"
+	"repro/internal/query"
+)
+
+const mappingSrc = `
+source schema {
+    E(name, company)
+    S(name, salary)
+}
+target schema {
+    Emp(name, company, salary)
+}
+tgd sigma1: E(n, c) -> exists s . Emp(n, c, s)
+tgd sigma2: E(n, c), S(n, s) -> Emp(n, c, s)
+egd key:    Emp(n, c, s), Emp(n, c, s2) -> s = s2
+query q(n, s) :- Emp(n, c, s)
+`
+
+const factsSrc = `
+E(Ada, IBM)    @ [2012, 2014)
+E(Ada, Google) @ [2014, inf)
+E(Bob, IBM)    @ [2013, 2018)
+S(Ada, 18k)    @ [2013, inf)
+S(Bob, 13k)    @ [2015, inf)
+`
+
+func TestEndToEndPipeline(t *testing.T) {
+	eng, queries, err := FromMappingSource(mappingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := LoadFacts(factsSrc, eng.Mapping().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Len() != 5 {
+		t.Fatalf("solution:\n%s", res.Solution)
+	}
+	if res.Stats.TGDFires != 8 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	ans, err := eng.AnswerOn(queries[0], res.Solution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ans.String()
+	if !strings.Contains(s, "q(Ada, 18k, [2013,inf))") || !strings.Contains(s, "q(Bob, 13k, [2015,2018))") {
+		t.Fatalf("answers:\n%s", s)
+	}
+	// One-shot answering produces the same result.
+	direct, err := eng.Answer(queries[0], ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(ans) {
+		t.Fatalf("Answer != AnswerOn:\n%s\nvs\n%s", direct, ans)
+	}
+}
+
+func TestExchangeAbstractAgrees(t *testing.T) {
+	eng, _, err := FromMappingSource(mappingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := paperex.Figure4()
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := eng.ExchangeAbstract(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []interval.Time{2012, 2013, 2015, 2020} {
+		a := res.Solution.Abstract().Snapshot(tp)
+		b := ja.Snapshot(tp)
+		if a.Len() != b.Len() {
+			t.Fatalf("snapshot size mismatch at %d: %s vs %s", tp, a, b)
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil mapping accepted")
+	}
+	bad := &dependency.Mapping{}
+	if _, err := New(bad, nil); err == nil {
+		t.Fatal("invalid mapping accepted")
+	}
+	if _, _, err := FromMappingSource("not a mapping"); err == nil {
+		t.Fatal("garbage mapping accepted")
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	eng, _, err := FromMappingSource(mappingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetOptions(chase.Options{Norm: normalize.StrategyNaive, Coalesce: true})
+	if eng.Options().Norm != normalize.StrategyNaive {
+		t.Fatal("options not stored")
+	}
+	res, err := eng.Exchange(paperex.Figure4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.IsCoalesced() {
+		t.Fatal("coalesce option ignored")
+	}
+	norm := eng.NormalizeSource(paperex.Figure4())
+	if norm.Len() != 14 {
+		t.Fatalf("naive source normalization = %d facts", norm.Len())
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	eng, queries, err := FromMappingSource(mappingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := LoadFacts(factsSrc+"\nS(Ada, 99k) @ [2013, 2014)", eng.Mapping().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exchange(bad); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("Exchange error = %v", err)
+	}
+	if _, err := eng.Answer(queries[0], bad); !errors.Is(err, chase.ErrNoSolution) {
+		t.Fatalf("Answer error = %v", err)
+	}
+}
+
+func TestAnswerValidatesQuery(t *testing.T) {
+	eng, _, err := FromMappingSource(mappingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query over a relation outside the target schema is rejected.
+	bad := query.CQ{Name: "q", Head: []string{"x"}, Body: logic.Conjunction{
+		logic.NewAtom("Nope", logic.Var("x"))}}
+	u, err := query.NewUCQ("q", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AnswerOn(u, paperex.Figure4()); err == nil {
+		t.Fatal("query over unknown relation accepted")
+	}
+	if _, err := eng.Answer(u, paperex.Figure4()); err == nil {
+		t.Fatal("query over unknown relation accepted by Answer")
+	}
+}

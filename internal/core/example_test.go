@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// Example runs the paper's running example end to end: Figure 4 in,
+// Figure 9 out, certain answers per Corollary 22.
+func Example() {
+	eng, queries, err := core.FromMappingSource(`
+source schema {
+    E(name, company)
+    S(name, salary)
+}
+target schema {
+    Emp(name, company, salary)
+}
+tgd sigma1: E(n, c) -> exists s . Emp(n, c, s)
+tgd sigma2: E(n, c), S(n, s) -> Emp(n, c, s)
+egd salary-key: Emp(n, c, s), Emp(n, c, s2) -> s = s2
+query q(n, s) :- Emp(n, c, s)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ic, err := core.LoadFacts(`
+E(Ada, IBM)    @ [2012, 2014)
+E(Ada, Google) @ [2014, inf)
+E(Bob, IBM)    @ [2013, 2018)
+S(Ada, 18k)    @ [2013, inf)
+S(Bob, 13k)    @ [2015, inf)
+`, eng.Mapping().Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := eng.AnswerOn(queries[0], res.Solution)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+	// Output:
+	// q(Ada, 18k, [2013,inf))
+	// q(Bob, 13k, [2015,2018))
+}
+
+// ExampleEngine_Exchange shows the abstract view of a materialized
+// solution at a single time point.
+func ExampleEngine_Exchange() {
+	eng, _, err := core.FromMappingSource(`
+source schema { E(name, company) }
+target schema { Emp(name, company, salary) }
+tgd: E(n, c) -> exists s . Emp(n, c, s)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ic, err := core.LoadFacts("E(Ada, IBM) @ [2012, 2014)", eng.Mapping().Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Exchange(ic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Solution.Snapshot(2013))
+	// Output:
+	// {Emp(Ada, IBM, N1@2013)}
+}

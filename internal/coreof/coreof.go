@@ -1,0 +1,146 @@
+// Package coreof computes cores of concrete temporal solutions — the §7
+// direction "revisit the classical data exchange problems ... such as
+// the notion of core [Fagin, Kolaitis, Popa]" lifted to the temporal
+// setting.
+//
+// The core of a (naïve-table) instance is its smallest retract: a
+// subinstance C with a homomorphism from the whole instance onto C. For
+// temporal instances the right notion is snapshot-wise: the core of the
+// abstract view taken at every time point. Because interval-annotated
+// null families denote per-snapshot distinct nulls, snapshots are
+// independent, and the segment structure makes the computation finite:
+// fragment the instance on its global endpoint partition, core each
+// equal-interval group as a relational instance, and coalesce the
+// fragments back together.
+//
+// The c-chase result is not a core in general — e.g. chasing the paper's
+// Figure 4 without the salary egd materializes both Emp(Ada, IBM, N) and
+// Emp(Ada, IBM, 18k) over [2013,2014), and the null fact folds into the
+// constant one — which is exactly the classical motivation for cores:
+// smaller, equivalent materializations.
+package coreof
+
+import (
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Of computes the snapshot-wise core of a concrete instance and returns
+// it coalesced. The result represents an abstract instance that is
+// homomorphically equivalent to ⟦jc⟧ with a minimal snapshot at every
+// time point. Runtime is exponential in the number of nulls per snapshot
+// in the worst case (core computation is NP-hard in general); intended
+// for materialized solutions, which are small per snapshot.
+func Of(jc *instance.Concrete) *instance.Concrete {
+	// Global fragmentation groups facts into equal-interval classes, each
+	// representing the homogeneous run of snapshots it spans.
+	norm := normalize.Naive(jc)
+	groups := make(map[interval.Interval][]fact.CFact)
+	var order []interval.Interval
+	for _, f := range norm.Facts() {
+		if _, ok := groups[f.T]; !ok {
+			order = append(order, f.T)
+		}
+		groups[f.T] = append(groups[f.T], f)
+	}
+	out := instance.NewConcrete(jc.Schema())
+	for _, iv := range order {
+		for _, f := range snapshotCore(groups[iv]) {
+			out.MustInsert(f)
+		}
+	}
+	return out.Coalesce()
+}
+
+// snapshotCore computes the core of one equal-interval fact group viewed
+// as a relational instance (annotated nulls are the labeled nulls).
+func snapshotCore(facts []fact.CFact) []fact.CFact {
+	cur := facts
+	for {
+		smaller, shrunk := shrinkOnce(cur)
+		if !shrunk {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// shrinkOnce looks for a proper retraction: a homomorphism from the
+// instance into itself minus one fact. On success it returns the image
+// instance (deduplicated), which is strictly smaller.
+func shrinkOnce(facts []fact.CFact) ([]fact.CFact, bool) {
+	if len(facts) <= 1 {
+		return facts, false
+	}
+	// Only facts containing nulls can be folded away: homomorphisms are
+	// the identity on constants, so an all-constant fact maps to itself.
+	for drop, f := range facts {
+		if !f.HasNulls() {
+			continue
+		}
+		st := storage.NewStore()
+		for i, g := range facts {
+			if i == drop {
+				continue
+			}
+			st.Insert(g.Rel, g.Args)
+		}
+		conj := make(logic.Conjunction, len(facts))
+		for i, g := range facts {
+			conj[i] = factPattern(g)
+		}
+		if m, ok := logic.FindOne(st, conj, nil); ok {
+			return applyHom(facts, m.Binding), true
+		}
+	}
+	return facts, false
+}
+
+// factPattern renders a fact as a search atom: nulls become variables
+// named by their value, constants stay literals.
+func factPattern(f fact.CFact) logic.Atom {
+	terms := make([]logic.Term, len(f.Args))
+	for i, v := range f.Args {
+		if v.IsNullLike() {
+			terms[i] = logic.Var("ν:" + v.String())
+		} else {
+			terms[i] = logic.Lit(v)
+		}
+	}
+	return logic.Atom{Rel: f.Rel, Terms: terms}
+}
+
+// applyHom maps every fact through the binding and deduplicates.
+func applyHom(facts []fact.CFact, b logic.Binding) []fact.CFact {
+	seen := make(map[string]bool)
+	var out []fact.CFact
+	for _, f := range facts {
+		args := make([]value.Value, len(f.Args))
+		for i, v := range f.Args {
+			if v.IsNullLike() {
+				if w, ok := b["ν:"+v.String()]; ok {
+					args[i] = w.WithAnnotation(f.T)
+					continue
+				}
+			}
+			args[i] = v
+		}
+		nf := fact.CFact{Rel: f.Rel, Args: args, T: f.T}
+		if k := nf.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, nf)
+		}
+	}
+	return out
+}
+
+// IsCore reports whether the instance is already its own snapshot-wise
+// core (no proper retraction exists in any equal-interval group).
+func IsCore(jc *instance.Concrete) bool {
+	return Of(jc).Len() == normalize.Naive(jc).Coalesce().Len()
+}

@@ -1,0 +1,169 @@
+package coreof
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/paperex"
+	"repro/internal/value"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestChaseWithoutEgdsIsNotCore(t *testing.T) {
+	// Without the salary egd, the chase of Figure 4 keeps both the
+	// σ1-null facts and the σ2-constant facts on overlapping year ranges;
+	// the core folds every dominated null fact into its constant twin.
+	m := paperex.EmploymentMapping()
+	m.EGDs = nil
+	jc, _, err := chase.Concrete(paperex.Figure4(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.Len() != 8 {
+		t.Fatalf("chase without egds = %d facts", jc.Len())
+	}
+	core := Of(jc)
+	// The core must agree with the egd-chase result shape: the three
+	// constant facts plus the two genuinely unknown periods.
+	if core.Len() != 5 {
+		t.Fatalf("core = %d facts:\n%s", core.Len(), core)
+	}
+	iv, c, inf := paperex.Iv, paperex.C, paperex.Inf
+	for _, w := range []fact.CFact{
+		fact.NewC("Emp", iv(2013, 2014), c("Ada"), c("IBM"), c("18k")),
+		fact.NewC("Emp", iv(2014, inf), c("Ada"), c("Google"), c("18k")),
+		fact.NewC("Emp", iv(2015, 2018), c("Bob"), c("IBM"), c("13k")),
+	} {
+		if !core.Contains(w) {
+			t.Fatalf("core missing %v:\n%s", w, core)
+		}
+	}
+	// Core is homomorphically equivalent to the original solution.
+	if !verify.HomEquivalent(core.Abstract(), jc.Abstract()) {
+		t.Fatal("core not equivalent to original")
+	}
+	if !IsCore(core) {
+		t.Fatal("core of core must be itself")
+	}
+	if IsCore(jc) {
+		t.Fatal("redundant instance wrongly reported as core")
+	}
+}
+
+func TestEgdChaseResultIsAlreadyCore(t *testing.T) {
+	// With the egd, the Figure 9 solution has no redundancy.
+	jc, _, err := chase.Concrete(paperex.Figure4(), paperex.EmploymentMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCore(jc) {
+		t.Fatalf("Figure 9 should be a core:\n%s\ncore:\n%s", jc, Of(jc))
+	}
+}
+
+func TestNullChainFolds(t *testing.T) {
+	// A chain of facts where each null fact is dominated by the next:
+	// R(a, N1), R(a, N2), R(a, 5) over one interval folds to R(a, 5).
+	var g value.NullGen
+	iv := paperex.Iv(1, 4)
+	jc := instance.NewConcrete(nil)
+	jc.MustInsert(fact.NewC("R", iv, paperex.C("a"), g.FreshAnn(iv)))
+	jc.MustInsert(fact.NewC("R", iv, paperex.C("a"), g.FreshAnn(iv)))
+	jc.MustInsert(fact.NewC("R", iv, paperex.C("a"), paperex.C("5")))
+	core := Of(jc)
+	if core.Len() != 1 || !core.Contains(fact.NewC("R", iv, paperex.C("a"), paperex.C("5"))) {
+		t.Fatalf("core:\n%s", core)
+	}
+}
+
+func TestNonDominatedNullsSurvive(t *testing.T) {
+	// R(a, N) with no constant twin cannot fold: the unknown is real.
+	var g value.NullGen
+	iv := paperex.Iv(1, 4)
+	jc := instance.NewConcrete(nil)
+	jc.MustInsert(fact.NewC("R", iv, paperex.C("a"), g.FreshAnn(iv)))
+	jc.MustInsert(fact.NewC("R", iv, paperex.C("b"), paperex.C("5")))
+	core := Of(jc)
+	if core.Len() != 2 {
+		t.Fatalf("core dropped a needed fact:\n%s", core)
+	}
+}
+
+func TestTemporalScoping(t *testing.T) {
+	// A null fact is dominated only where the constant twin's interval
+	// overlaps it: R(a, N, [0,10)) with R(a, 5, [4,6)) folds exactly on
+	// [4,6) and survives on [0,4) and [6,10).
+	var g value.NullGen
+	jc := instance.NewConcrete(nil)
+	jc.MustInsert(fact.NewC("R", paperex.Iv(0, 10), paperex.C("a"), g.FreshAnn(paperex.Iv(0, 10))))
+	jc.MustInsert(fact.NewC("R", paperex.Iv(4, 6), paperex.C("a"), paperex.C("5")))
+	core := Of(jc)
+	// Expect: constant on [4,6), nulls on [0,4) and [6,10).
+	if core.Len() != 3 {
+		t.Fatalf("core:\n%s", core)
+	}
+	if !core.Contains(fact.NewC("R", paperex.Iv(4, 6), paperex.C("a"), paperex.C("5"))) {
+		t.Fatalf("constant fragment missing:\n%s", core)
+	}
+	nullIvs := interval.NewSet()
+	for _, f := range core.Facts() {
+		if f.HasNulls() {
+			nullIvs.Add(f.T)
+		}
+	}
+	want := interval.NewSet(paperex.Iv(0, 4), paperex.Iv(6, 10))
+	if !nullIvs.Equal(&want) {
+		t.Fatalf("null coverage = %s, want %s", nullIvs.String(), want.String())
+	}
+	if !verify.HomEquivalent(core.Abstract(), jc.Abstract()) {
+		t.Fatal("core not equivalent")
+	}
+}
+
+func TestCoreEquivalenceProperty(t *testing.T) {
+	// Random chase outputs: the core is always homomorphically equivalent
+	// to the original and never larger.
+	r := rand.New(rand.NewSource(83))
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		m := workload.RandomMapping(r)
+		m.EGDs = nil // keep redundancy around
+		ic := workload.RandomInstanceFor(r, m, 1+r.Intn(3))
+		jc, _, err := chase.Concrete(ic, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := Of(jc)
+		// Snapshot-wise minimality: the core never has more facts than the
+		// original at any time point. (Its *concrete* fact count can grow:
+		// a null that folds on part of its interval splits the fact.)
+		ca, ja := core.Abstract(), jc.Abstract()
+		for _, tp := range instance.SamplePoints(ca, ja) {
+			if ca.Snapshot(tp).Len() > ja.Snapshot(tp).Len() {
+				t.Fatalf("core grew at %v:\n%s\nvs\n%s", tp, core, jc)
+			}
+		}
+		// The homomorphic-equivalence witness search is exponential in the
+		// null count; bound the instances it runs on to keep the test fast
+		// while still checking the vast majority of trials.
+		if jc.Len() > 18 {
+			continue
+		}
+		checked++
+		if !verify.HomEquivalent(core.Abstract(), jc.Abstract()) {
+			t.Fatalf("core not equivalent on:\n%s\ncore:\n%s", jc, core)
+		}
+		again := Of(core)
+		if again.Len() != core.Len() {
+			t.Fatalf("core not idempotent:\n%s\nvs\n%s", core, again)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d trials fully checked — generator drifted", checked)
+	}
+}

@@ -1,0 +1,244 @@
+// Package dependency defines schema mappings for temporal data exchange:
+// source-to-target tuple generating dependencies (s-t tgds), equality
+// generating dependencies (egds), and the data exchange setting
+// M = (RS, RT, Σst, Σeg) (paper §2).
+//
+// Dependencies are stored in their non-temporal form φ(x) → ∃y ψ(x,y) /
+// φ(x) → x1 = x2. The concrete form σ+ — every atom augmented with the
+// shared universally quantified temporal variable t — is derived
+// mechanically (ConcreteBody / ConcreteHead). The reserved internal
+// variable name for t cannot clash with user variables because it is not
+// a legal identifier in the mapping language.
+package dependency
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/schema"
+)
+
+// TemporalVar is the reserved name of the universally quantified temporal
+// variable added to every atom of a concrete dependency (σ+, paper §2).
+const TemporalVar = "%t"
+
+// addTemporal appends the shared temporal variable to every atom.
+func addTemporal(c logic.Conjunction) logic.Conjunction {
+	out := make(logic.Conjunction, len(c))
+	for i, a := range c {
+		terms := make([]logic.Term, len(a.Terms)+1)
+		copy(terms, a.Terms)
+		terms[len(a.Terms)] = logic.Var(TemporalVar)
+		out[i] = logic.Atom{Rel: a.Rel, Terms: terms}
+	}
+	return out
+}
+
+// TGD is a source-to-target tuple generating dependency
+// ∀x φ(x) → ∃y ψ(x, y). Body atoms range over the source schema, head
+// atoms over the target schema.
+type TGD struct {
+	Name string // optional label for diagnostics
+	Body logic.Conjunction
+	Head logic.Conjunction
+}
+
+// Existentials returns the head variables that do not occur in the body —
+// the existentially quantified y, for which the chase invents nulls.
+func (d TGD) Existentials() []string {
+	bodyVars := make(map[string]bool)
+	for _, v := range d.Body.Vars() {
+		bodyVars[v] = true
+	}
+	var out []string
+	for _, v := range d.Head.Vars() {
+		if !bodyVars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ConcreteBody returns φ+(x, t): the body with the shared temporal
+// variable appended to each atom.
+func (d TGD) ConcreteBody() logic.Conjunction { return addTemporal(d.Body) }
+
+// ConcreteHead returns ψ+(x, y, t).
+func (d TGD) ConcreteHead() logic.Conjunction { return addTemporal(d.Head) }
+
+// Validate checks the dependency against the source and target schemas:
+// non-empty sides, body over source, head over target, matching arities,
+// and no literal values containing nulls or intervals.
+func (d TGD) Validate(src, tgt *schema.Schema) error {
+	if len(d.Body) == 0 || len(d.Head) == 0 {
+		return fmt.Errorf("tgd %s: empty body or head", d.label())
+	}
+	if err := checkAtoms(d.Body, src, "source"); err != nil {
+		return fmt.Errorf("tgd %s: body: %w", d.label(), err)
+	}
+	if err := checkAtoms(d.Head, tgt, "target"); err != nil {
+		return fmt.Errorf("tgd %s: head: %w", d.label(), err)
+	}
+	return nil
+}
+
+func (d TGD) label() string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return d.String()
+}
+
+// String renders the dependency as φ → ∃y. ψ.
+func (d TGD) String() string {
+	if ex := d.Existentials(); len(ex) > 0 {
+		return fmt.Sprintf("%s → ∃%s. %s", d.Body, strings.Join(ex, ","), d.Head)
+	}
+	return fmt.Sprintf("%s → %s", d.Body, d.Head)
+}
+
+// EGD is an equality generating dependency ∀x φ(x) → x1 = x2 over the
+// target schema.
+type EGD struct {
+	Name   string
+	Body   logic.Conjunction
+	X1, X2 string // the equated variable names
+}
+
+// ConcreteBody returns φ+(x, t).
+func (d EGD) ConcreteBody() logic.Conjunction { return addTemporal(d.Body) }
+
+// Validate checks the egd: body over the target schema and both equated
+// variables occurring in the body (safety).
+func (d EGD) Validate(tgt *schema.Schema) error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("egd %s: empty body", d.label())
+	}
+	if err := checkAtoms(d.Body, tgt, "target"); err != nil {
+		return fmt.Errorf("egd %s: body: %w", d.label(), err)
+	}
+	if !d.Body.HasVar(d.X1) || !d.Body.HasVar(d.X2) {
+		return fmt.Errorf("egd %s: equated variables %s, %s must occur in the body", d.label(), d.X1, d.X2)
+	}
+	if d.X1 == d.X2 {
+		return fmt.Errorf("egd %s: trivial equality %s = %s", d.label(), d.X1, d.X2)
+	}
+	return nil
+}
+
+func (d EGD) label() string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return d.String()
+}
+
+// String renders the dependency as φ → x1 = x2.
+func (d EGD) String() string {
+	return fmt.Sprintf("%s → %s = %s", d.Body, d.X1, d.X2)
+}
+
+func checkAtoms(c logic.Conjunction, sch *schema.Schema, which string) error {
+	for _, a := range c {
+		if sch != nil {
+			r, ok := sch.Relation(a.Rel)
+			if !ok {
+				return fmt.Errorf("relation %s not in %s schema", a.Rel, which)
+			}
+			if len(a.Terms) != r.Arity() {
+				return fmt.Errorf("atom %s has %d terms, relation has arity %d", a, len(a.Terms), r.Arity())
+			}
+		}
+		for _, t := range a.Terms {
+			if t.IsVar {
+				if t.Name == TemporalVar {
+					return fmt.Errorf("atom %s uses the reserved temporal variable %q; dependencies are stored in non-temporal form", a, TemporalVar)
+				}
+				continue
+			}
+			if !t.Val.IsConst() {
+				return fmt.Errorf("atom %s: literal %v must be a constant", a, t.Val)
+			}
+		}
+	}
+	return nil
+}
+
+// Mapping is a data exchange setting M = (RS, RT, Σst, Σeg).
+type Mapping struct {
+	Source *schema.Schema
+	Target *schema.Schema
+	TGDs   []TGD
+	EGDs   []EGD
+}
+
+// Validate checks the whole setting: disjoint schemas and valid
+// dependencies.
+func (m *Mapping) Validate() error {
+	if m.Source == nil || m.Target == nil {
+		return fmt.Errorf("mapping: source and target schemas are required")
+	}
+	if !m.Source.Disjoint(m.Target) {
+		return fmt.Errorf("mapping: source and target schemas must be disjoint")
+	}
+	for _, d := range m.TGDs {
+		if err := d.Validate(m.Source, m.Target); err != nil {
+			return err
+		}
+	}
+	for _, d := range m.EGDs {
+		if err := d.Validate(m.Target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TGDBodies returns the non-temporal bodies of all s-t tgds — the Φ set
+// the source instance is normalized against (in concrete form, §4.3).
+func (m *Mapping) TGDBodies() []logic.Conjunction {
+	out := make([]logic.Conjunction, len(m.TGDs))
+	for i, d := range m.TGDs {
+		out[i] = d.ConcreteBody()
+	}
+	return out
+}
+
+// EGDBodies returns the concrete bodies of all egds — the Φ set the
+// target instance is normalized against.
+func (m *Mapping) EGDBodies() []logic.Conjunction {
+	out := make([]logic.Conjunction, len(m.EGDs))
+	for i, d := range m.EGDs {
+		out[i] = d.ConcreteBody()
+	}
+	return out
+}
+
+// String renders the whole setting.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	b.WriteString("source:\n")
+	if m.Source != nil {
+		b.WriteString(indent(m.Source.String()))
+	}
+	b.WriteString("\ntarget:\n")
+	if m.Target != nil {
+		b.WriteString(indent(m.Target.String()))
+	}
+	for _, d := range m.TGDs {
+		b.WriteString("\ntgd: " + d.String())
+	}
+	for _, d := range m.EGDs {
+		b.WriteString("\negd: " + d.String())
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}

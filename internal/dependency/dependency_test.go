@@ -1,0 +1,174 @@
+package dependency
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func employmentSchemas() (src, tgt *schema.Schema) {
+	src = schema.MustNew(
+		schema.MustRelation("E", "name", "company"),
+		schema.MustRelation("S", "name", "salary"),
+	)
+	tgt = schema.MustNew(schema.MustRelation("Emp", "name", "company", "salary"))
+	return src, tgt
+}
+
+func sigma1() TGD {
+	return TGD{
+		Name: "sigma1",
+		Body: logic.Conjunction{logic.NewAtom("E", logic.Var("n"), logic.Var("c"))},
+		Head: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))},
+	}
+}
+
+func salaryKey() EGD {
+	return EGD{
+		Name: "key",
+		Body: logic.Conjunction{
+			logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s")),
+			logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s2")),
+		},
+		X1: "s", X2: "s2",
+	}
+}
+
+func TestTGDExistentials(t *testing.T) {
+	d := sigma1()
+	ex := d.Existentials()
+	if len(ex) != 1 || ex[0] != "s" {
+		t.Fatalf("Existentials = %v", ex)
+	}
+	full := TGD{
+		Body: logic.Conjunction{
+			logic.NewAtom("E", logic.Var("n"), logic.Var("c")),
+			logic.NewAtom("S", logic.Var("n"), logic.Var("s")),
+		},
+		Head: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))},
+	}
+	if ex := full.Existentials(); len(ex) != 0 {
+		t.Fatalf("full tgd existentials = %v", ex)
+	}
+}
+
+func TestConcreteForms(t *testing.T) {
+	d := sigma1()
+	cb := d.ConcreteBody()
+	ch := d.ConcreteHead()
+	if len(cb[0].Terms) != 3 || cb[0].Terms[2].Name != TemporalVar {
+		t.Fatalf("ConcreteBody = %v", cb)
+	}
+	if len(ch[0].Terms) != 4 || ch[0].Terms[3].Name != TemporalVar {
+		t.Fatalf("ConcreteHead = %v", ch)
+	}
+	// The non-temporal originals must be untouched.
+	if len(d.Body[0].Terms) != 2 || len(d.Head[0].Terms) != 3 {
+		t.Fatal("concrete form mutated the dependency")
+	}
+	e := salaryKey()
+	if eb := e.ConcreteBody(); len(eb[0].Terms) != 4 {
+		t.Fatalf("egd ConcreteBody = %v", eb)
+	}
+}
+
+func TestTGDValidate(t *testing.T) {
+	src, tgt := employmentSchemas()
+	if err := sigma1().Validate(src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	bad := sigma1()
+	bad.Body = logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))}
+	if bad.Validate(src, tgt) == nil {
+		t.Fatal("body over target schema accepted")
+	}
+	bad2 := sigma1()
+	bad2.Head = logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"))}
+	if bad2.Validate(src, tgt) == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	bad3 := sigma1()
+	bad3.Head = nil
+	if bad3.Validate(src, tgt) == nil {
+		t.Fatal("empty head accepted")
+	}
+	bad4 := sigma1()
+	bad4.Body = logic.Conjunction{logic.NewAtom("E", logic.Var("n"), logic.Var(TemporalVar))}
+	if bad4.Validate(src, tgt) == nil {
+		t.Fatal("reserved temporal variable accepted")
+	}
+	bad5 := sigma1()
+	bad5.Body = logic.Conjunction{logic.NewAtom("E", logic.Var("n"), logic.Lit(value.NewNull(1)))}
+	if bad5.Validate(src, tgt) == nil {
+		t.Fatal("null literal accepted")
+	}
+}
+
+func TestEGDValidate(t *testing.T) {
+	_, tgt := employmentSchemas()
+	if err := salaryKey().Validate(tgt); err != nil {
+		t.Fatal(err)
+	}
+	bad := salaryKey()
+	bad.X2 = "zz"
+	if bad.Validate(tgt) == nil {
+		t.Fatal("unbound equated variable accepted")
+	}
+	bad2 := salaryKey()
+	bad2.X2 = bad2.X1
+	if bad2.Validate(tgt) == nil {
+		t.Fatal("trivial equality accepted")
+	}
+	bad3 := salaryKey()
+	bad3.Body = nil
+	if bad3.Validate(tgt) == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	src, tgt := employmentSchemas()
+	m := &Mapping{Source: src, Target: tgt, TGDs: []TGD{sigma1()}, EGDs: []EGD{salaryKey()}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	overlap := &Mapping{Source: src, Target: src.Clone()}
+	if overlap.Validate() == nil {
+		t.Fatal("non-disjoint schemas accepted")
+	}
+	if (&Mapping{Source: src}).Validate() == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestBodyCollections(t *testing.T) {
+	src, tgt := employmentSchemas()
+	m := &Mapping{Source: src, Target: tgt, TGDs: []TGD{sigma1()}, EGDs: []EGD{salaryKey()}}
+	tb := m.TGDBodies()
+	if len(tb) != 1 || len(tb[0][0].Terms) != 3 {
+		t.Fatalf("TGDBodies = %v", tb)
+	}
+	eb := m.EGDBodies()
+	if len(eb) != 1 || len(eb[0][0].Terms) != 4 {
+		t.Fatalf("EGDBodies = %v", eb)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	d := sigma1()
+	if got := d.String(); !strings.Contains(got, "∃s") || !strings.Contains(got, "→") {
+		t.Fatalf("TGD String = %q", got)
+	}
+	e := salaryKey()
+	if got := e.String(); !strings.Contains(got, "s = s2") {
+		t.Fatalf("EGD String = %q", got)
+	}
+	src, tgt := employmentSchemas()
+	m := &Mapping{Source: src, Target: tgt, TGDs: []TGD{d}, EGDs: []EGD{e}}
+	if got := m.String(); !strings.Contains(got, "tgd:") || !strings.Contains(got, "egd:") {
+		t.Fatalf("Mapping String = %q", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package fact defines the two fact shapes of temporal data exchange:
+// abstract facts R(a1, ..., an) living in individual snapshots, and
+// concrete facts R+(a1, ..., an, [s,e)) timestamped with a validity
+// interval (paper §2). Concrete facts support the fragmentation operation
+// at the heart of normalization (§4.2), which re-annotates any
+// interval-annotated nulls so that a null's annotation always equals the
+// time interval of the fact it occurs in.
+package fact
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/value"
+)
+
+// Fact is an abstract (snapshot-level) fact: a relation name applied to
+// constants and labeled nulls.
+type Fact struct {
+	Rel  string
+	Args []value.Value
+}
+
+// New builds an abstract fact.
+func New(rel string, args ...value.Value) Fact {
+	return Fact{Rel: rel, Args: args}
+}
+
+// Key returns a canonical string identifying the fact, usable for
+// set-membership and deduplication.
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact in the paper's notation, e.g. "E(Ada, IBM)".
+func (f Fact) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports deep equality.
+func (f Fact) Equal(other Fact) bool {
+	if f.Rel != other.Rel || len(f.Args) != len(other.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != other.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNulls reports whether any argument is a (labeled) null.
+func (f Fact) HasNulls() bool {
+	for _, a := range f.Args {
+		if a.IsNullLike() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy (fresh Args slice).
+func (f Fact) Clone() Fact {
+	return Fact{Rel: f.Rel, Args: append([]value.Value(nil), f.Args...)}
+}
+
+// CFact is a concrete fact: data arguments plus the validity interval T.
+// Invariant: every interval-annotated null among Args is annotated with
+// exactly T (the paper's assumption after Example 12; Validate checks it).
+type CFact struct {
+	Rel  string
+	Args []value.Value
+	T    interval.Interval
+}
+
+// NewC builds a concrete fact, re-annotating any annotated nulls in args
+// to the fact's interval so the invariant holds by construction.
+func NewC(rel string, t interval.Interval, args ...value.Value) CFact {
+	out := CFact{Rel: rel, Args: make([]value.Value, len(args)), T: t}
+	for i, a := range args {
+		out.Args[i] = a.WithAnnotation(t)
+	}
+	return out
+}
+
+// Validate checks the fact's structural invariants: a valid interval, no
+// interval values among the data arguments, and annotated nulls carrying
+// the fact's own interval.
+func (f CFact) Validate() error {
+	if !f.T.Valid() {
+		return fmt.Errorf("fact %s: invalid interval %v", f.Rel, f.T)
+	}
+	for i, a := range f.Args {
+		switch a.Kind() {
+		case value.Invalid:
+			return fmt.Errorf("fact %s: argument %d is invalid", f.Rel, i)
+		case value.IntervalVal:
+			return fmt.Errorf("fact %s: argument %d is an interval; intervals may only appear as the temporal attribute", f.Rel, i)
+		case value.AnnNull:
+			if ann, _ := a.Interval(); ann != f.T {
+				return fmt.Errorf("fact %s: annotated null %v disagrees with fact interval %v", f.Rel, a, f.T)
+			}
+		}
+	}
+	return nil
+}
+
+// Key returns a canonical string identifying the fact, including the
+// interval.
+func (f CFact) Key() string {
+	return f.DataKey() + "@" + f.T.String()
+}
+
+// DataKey returns the canonical string of the relation and data
+// arguments only, ignoring both the interval and null annotations. Facts
+// sharing a DataKey are "facts with identical data attribute values" in
+// the paper's coalescing definition — for nulls, identical means the same
+// null family.
+func (f CFact) DataKey() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if a.Kind() == value.AnnNull {
+			// Annotation follows the fact interval; identity is the family.
+			fmt.Fprintf(&b, "N%d^", a.ID)
+		} else {
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact as R(args, [s,e)).
+func (f CFact) String() string {
+	parts := make([]string, len(f.Args)+1)
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	parts[len(f.Args)] = f.T.String()
+	return f.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports deep equality including the interval.
+func (f CFact) Equal(other CFact) bool {
+	if f.Rel != other.Rel || f.T != other.T || len(f.Args) != len(other.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != other.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameData reports whether two facts agree on relation and data values
+// (null families compared by id), regardless of their intervals.
+func (f CFact) SameData(other CFact) bool {
+	if f.Rel != other.Rel || len(f.Args) != len(other.Args) {
+		return false
+	}
+	for i := range f.Args {
+		a, b := f.Args[i], other.Args[i]
+		if a.Kind() == value.AnnNull && b.Kind() == value.AnnNull {
+			if a.ID != b.ID {
+				return false
+			}
+			continue
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNulls reports whether any data argument is an annotated null.
+func (f CFact) HasNulls() bool {
+	for _, a := range f.Args {
+		if a.IsNullLike() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (f CFact) Clone() CFact {
+	return CFact{Rel: f.Rel, Args: append([]value.Value(nil), f.Args...), T: f.T}
+}
+
+// Project materializes the snapshot-level fact at time point tp: every
+// interval-annotated null N^[s,e) becomes the labeled null Π_tp(N^[s,e))
+// (paper §4.1). ok is false when tp lies outside the fact's interval.
+func (f CFact) Project(tp interval.Time) (Fact, bool) {
+	if !f.T.Contains(tp) {
+		return Fact{}, false
+	}
+	args := make([]value.Value, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.Project(tp)
+	}
+	return Fact{Rel: f.Rel, Args: args}, true
+}
+
+// WithInterval returns the fact restricted to interval t, re-annotating
+// any annotated nulls to t. t should be a sub-interval of f.T (the
+// fragmentation use case); this is not checked here so that callers such
+// as coalescing can also extend intervals.
+func (f CFact) WithInterval(t interval.Interval) CFact {
+	args := make([]value.Value, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.WithAnnotation(t)
+	}
+	return CFact{Rel: f.Rel, Args: args, T: t}
+}
+
+// Fragment splits the fact along the given cut points (only cuts strictly
+// inside f.T apply), producing consecutive facts with the same data whose
+// annotated nulls are re-annotated per fragment — e.g. fragmenting
+// Emp(Ada, IBM, N^[5,11), [5,11)) at 8 yields facts carrying N^[5,8) and
+// N^[8,11) for the same null family (paper §4.2).
+func (f CFact) Fragment(cuts []interval.Time) []CFact {
+	pieces := f.T.Fragment(cuts)
+	if len(pieces) == 1 {
+		return []CFact{f}
+	}
+	out := make([]CFact, len(pieces))
+	for i, p := range pieces {
+		out[i] = f.WithInterval(p)
+	}
+	return out
+}
+
+// CompareC orders concrete facts deterministically: by relation, then
+// data arguments, then interval.
+func CompareC(a, b CFact) int {
+	if c := strings.Compare(a.Rel, b.Rel); c != 0 {
+		return c
+	}
+	n := len(a.Args)
+	if len(b.Args) < n {
+		n = len(b.Args)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a.Args) != len(b.Args) {
+		if len(a.Args) < len(b.Args) {
+			return -1
+		}
+		return 1
+	}
+	return a.T.Compare(b.T)
+}
+
+// Compare orders abstract facts deterministically.
+func Compare(a, b Fact) int {
+	if c := strings.Compare(a.Rel, b.Rel); c != 0 {
+		return c
+	}
+	n := len(a.Args)
+	if len(b.Args) < n {
+		n = len(b.Args)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a.Args) < len(b.Args):
+		return -1
+	case len(a.Args) > len(b.Args):
+		return 1
+	}
+	return 0
+}

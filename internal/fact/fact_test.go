@@ -1,0 +1,208 @@
+package fact
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/value"
+)
+
+func iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
+
+func c(s string) value.Value { return value.NewConst(s) }
+
+func TestAbstractFactBasics(t *testing.T) {
+	f := New("E", c("Ada"), c("IBM"))
+	if got := f.String(); got != "E(Ada, IBM)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := f.Key(); got != "E(Ada,IBM)" {
+		t.Fatalf("Key = %q", got)
+	}
+	if f.HasNulls() {
+		t.Fatal("no nulls expected")
+	}
+	g := New("E", c("Ada"), value.NewProjectedNull(1, 2013))
+	if !g.HasNulls() {
+		t.Fatal("nulls expected")
+	}
+	if f.Equal(g) || !f.Equal(f.Clone()) {
+		t.Fatal("Equal broken")
+	}
+	cl := f.Clone()
+	cl.Args[0] = c("Bob")
+	if f.Args[0] != c("Ada") {
+		t.Fatal("Clone shares Args")
+	}
+}
+
+func TestNewCReannotates(t *testing.T) {
+	// NewC must rewrite annotated nulls to the fact's own interval,
+	// establishing the paper's invariant by construction.
+	n := value.NewAnnNull(7, iv(0, 100))
+	f := NewC("Emp", iv(2012, 2013), c("Ada"), c("IBM"), n)
+	if ann, _ := f.Args[2].Interval(); ann != iv(2012, 2013) {
+		t.Fatalf("annotation not rewritten: %v", f.Args[2])
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := NewC("E", iv(1, 5), c("a"))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad1 := CFact{Rel: "E", Args: []value.Value{c("a")}, T: interval.Interval{}}
+	if bad1.Validate() == nil {
+		t.Fatal("invalid interval accepted")
+	}
+	bad2 := CFact{Rel: "E", Args: []value.Value{value.NewInterval(iv(1, 2))}, T: iv(1, 5)}
+	if bad2.Validate() == nil {
+		t.Fatal("interval data argument accepted")
+	}
+	bad3 := CFact{Rel: "E", Args: []value.Value{value.NewAnnNull(1, iv(1, 2))}, T: iv(1, 5)}
+	if bad3.Validate() == nil {
+		t.Fatal("mis-annotated null accepted")
+	}
+	bad4 := CFact{Rel: "E", Args: []value.Value{{}}, T: iv(1, 5)}
+	if bad4.Validate() == nil {
+		t.Fatal("invalid value accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	// The paper's example: Emp(Ada, IBM, N^[8,inf), [8,inf)) projects at 8
+	// and 9 to facts with the distinct nulls N_8 and N_9.
+	n := value.NewAnnNull(1, iv(8, interval.Infinity))
+	f := NewC("Emp", iv(8, interval.Infinity), c("Ada"), c("IBM"), n)
+	f8, ok8 := f.Project(8)
+	f9, ok9 := f.Project(9)
+	if !ok8 || !ok9 {
+		t.Fatal("projection inside the interval failed")
+	}
+	if f8.Args[2] == f9.Args[2] {
+		t.Fatal("projected nulls at distinct snapshots must differ")
+	}
+	if f8.Args[2] != value.NewProjectedNull(1, 8) {
+		t.Fatalf("Π_8 = %v", f8.Args[2])
+	}
+	if _, ok := f.Project(7); ok {
+		t.Fatal("projection outside the interval must fail")
+	}
+	if f8.Rel != "Emp" || f8.Args[0] != c("Ada") {
+		t.Fatal("constants must project to themselves")
+	}
+}
+
+func TestFragment(t *testing.T) {
+	// Fragmenting a fact with an annotated null renames the annotation per
+	// fragment but keeps the family (paper §4.2 after Example 12).
+	n := value.NewAnnNull(4, iv(5, 11))
+	f := NewC("R", iv(5, 11), c("a"), n)
+	frags := f.Fragment([]interval.Time{7, 8, 10, 15})
+	if len(frags) != 4 {
+		t.Fatalf("got %d fragments: %v", len(frags), frags)
+	}
+	wantIvs := []interval.Interval{iv(5, 7), iv(7, 8), iv(8, 10), iv(10, 11)}
+	for i, fr := range frags {
+		if fr.T != wantIvs[i] {
+			t.Fatalf("fragment %d interval %v want %v", i, fr.T, wantIvs[i])
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if fr.Args[1].ID != 4 {
+			t.Fatal("null family must be preserved across fragments")
+		}
+		if !fr.SameData(f) {
+			t.Fatal("fragments must share data with the original")
+		}
+	}
+	// No interior cuts: identity.
+	same := f.Fragment([]interval.Time{5, 11, 100})
+	if len(same) != 1 || !same[0].Equal(f) {
+		t.Fatalf("identity fragmentation broken: %v", same)
+	}
+}
+
+func TestKeysAndSameData(t *testing.T) {
+	n1 := value.NewAnnNull(9, iv(1, 3))
+	f1 := NewC("Emp", iv(1, 3), c("Bob"), n1)
+	f2 := f1.WithInterval(iv(3, 7))
+	if f1.Key() == f2.Key() {
+		t.Fatal("different intervals must give different keys")
+	}
+	if f1.DataKey() != f2.DataKey() {
+		t.Fatalf("DataKey must ignore interval and annotation: %q vs %q", f1.DataKey(), f2.DataKey())
+	}
+	if !f1.SameData(f2) {
+		t.Fatal("SameData must ignore intervals")
+	}
+	f3 := NewC("Emp", iv(1, 3), c("Bob"), value.NewAnnNull(8, iv(1, 3)))
+	if f1.SameData(f3) {
+		t.Fatal("different null families are different data")
+	}
+	if !strings.Contains(f1.String(), "[1,3)") {
+		t.Fatalf("String misses interval: %q", f1.String())
+	}
+}
+
+func TestCompareDeterminism(t *testing.T) {
+	a := NewC("A", iv(1, 2), c("x"))
+	b := NewC("B", iv(1, 2), c("x"))
+	if CompareC(a, b) >= 0 || CompareC(b, a) <= 0 || CompareC(a, a) != 0 {
+		t.Fatal("CompareC relation ordering broken")
+	}
+	c1 := NewC("A", iv(1, 2), c("x"))
+	c2 := NewC("A", iv(1, 3), c("x"))
+	if CompareC(c1, c2) >= 0 {
+		t.Fatal("CompareC interval ordering broken")
+	}
+	fa := New("A", c("x"))
+	fb := New("A", c("x"), c("y"))
+	if Compare(fa, fb) >= 0 || Compare(fb, fa) <= 0 {
+		t.Fatal("Compare arity ordering broken")
+	}
+}
+
+func TestQuickProjectFragmentAgreement(t *testing.T) {
+	// For every fragmentation and every time point, projecting a fragment
+	// equals projecting the original fact: fragmentation is invisible in
+	// the abstract view.
+	r := rand.New(rand.NewSource(11))
+	var g value.NullGen
+	for i := 0; i < 1000; i++ {
+		s := interval.Time(r.Intn(20))
+		e := s + 1 + interval.Time(r.Intn(20))
+		fiv := iv(s, e)
+		args := []value.Value{c("k"), g.FreshAnn(fiv)}
+		f := NewC("R", fiv, args...)
+		cuts := make([]interval.Time, r.Intn(5))
+		for j := range cuts {
+			cuts[j] = interval.Time(r.Intn(45))
+		}
+		frags := f.Fragment(cuts)
+		for tp := s; tp < e; tp++ {
+			orig, ok := f.Project(tp)
+			if !ok {
+				t.Fatalf("projection inside own interval failed at %v", tp)
+			}
+			var hit int
+			for _, fr := range frags {
+				if got, ok := fr.Project(tp); ok {
+					hit++
+					if !got.Equal(orig) {
+						t.Fatalf("fragment projection %v != original %v at %v", got, orig, tp)
+					}
+				}
+			}
+			if hit != 1 {
+				t.Fatalf("time point %v covered by %d fragments", tp, hit)
+			}
+		}
+	}
+}

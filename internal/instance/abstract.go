@@ -1,0 +1,316 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fact"
+	"repro/internal/interval"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Snapshot is one state db_ℓ of the abstract view: a set of facts over
+// constants and labeled nulls.
+type Snapshot struct {
+	st *storage.Store
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot { return &Snapshot{st: storage.NewStore()} }
+
+// Insert adds a fact, reporting whether it was new.
+func (s *Snapshot) Insert(f fact.Fact) bool { return s.st.Insert(f.Rel, f.Args) }
+
+// Contains reports membership.
+func (s *Snapshot) Contains(f fact.Fact) bool { return s.st.Contains(f.Rel, f.Args) }
+
+// Len returns the number of facts.
+func (s *Snapshot) Len() int { return s.st.Size() }
+
+// Store exposes the tuple store for the homomorphism engine.
+func (s *Snapshot) Store() *storage.Store { return s.st }
+
+// FactAt returns the fact at the given storage row.
+func (s *Snapshot) FactAt(rel string, row int) fact.Fact {
+	return fact.Fact{Rel: rel, Args: s.st.Rel(rel).Tuple(row)}
+}
+
+// Facts returns all facts in deterministic order.
+func (s *Snapshot) Facts() []fact.Fact {
+	out := make([]fact.Fact, 0, s.Len())
+	s.st.Each(func(rel string, tup []value.Value) bool {
+		out = append(out, fact.Fact{Rel: rel, Args: tup})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return fact.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Nulls returns the distinct labeled nulls occurring in the snapshot
+// (the paper's Null(db)).
+func (s *Snapshot) Nulls() []value.Value {
+	seen := make(map[value.Value]bool)
+	var out []value.Value
+	s.st.Each(func(rel string, tup []value.Value) bool {
+		for _, v := range tup {
+			if v.Kind() == value.Null && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return value.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Equal reports set equality of facts.
+func (s *Snapshot) Equal(other *Snapshot) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	eq := true
+	s.st.Each(func(rel string, tup []value.Value) bool {
+		if !other.st.Contains(rel, tup) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// Clone returns an independent copy.
+func (s *Snapshot) Clone() *Snapshot { return &Snapshot{st: s.st.Clone()} }
+
+// String renders the snapshot as {f1, f2, ...} in deterministic order.
+func (s *Snapshot) String() string {
+	fs := s.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Segment is a maximal run of identical consecutive snapshots in the
+// finite representation of an abstract instance. Facts carry the
+// segment's interval; an interval-annotated null inside means the
+// per-snapshot projections differ (paper §4.1), while a plain labeled
+// null denotes the same null shared by every snapshot of the segment
+// (needed to represent instances like J1 of Figure 2).
+type Segment struct {
+	Iv    interval.Interval
+	Facts []fact.CFact
+}
+
+// Abstract is a finitely represented abstract temporal instance: a
+// sequence of consecutive segments covering [0, ∞). The finite change
+// condition (paper §2) guarantees every abstract instance of interest has
+// this form. The zero value is not useful; build with NewAbstract or
+// Concrete.Abstract.
+type Abstract struct {
+	segs []Segment
+}
+
+// NewAbstract builds an abstract instance from segments. Segments must be
+// consecutive, start at 0, and end unbounded. Facts must carry the
+// segment's interval.
+func NewAbstract(segs []Segment) (*Abstract, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("instance: abstract instance needs at least one segment")
+	}
+	if segs[0].Iv.Start != 0 {
+		return nil, fmt.Errorf("instance: first segment must start at 0, got %v", segs[0].Iv)
+	}
+	if !segs[len(segs)-1].Iv.Unbounded() {
+		return nil, fmt.Errorf("instance: last segment must be unbounded, got %v", segs[len(segs)-1].Iv)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Iv.Start != segs[i-1].Iv.End {
+			return nil, fmt.Errorf("instance: segments %v and %v are not consecutive", segs[i-1].Iv, segs[i].Iv)
+		}
+	}
+	for _, sg := range segs {
+		for _, f := range sg.Facts {
+			if f.T != sg.Iv {
+				return nil, fmt.Errorf("instance: fact %v disagrees with segment %v", f, sg.Iv)
+			}
+		}
+	}
+	return &Abstract{segs: segs}, nil
+}
+
+// Abstract computes ⟦c⟧: the abstract view of a concrete instance, cut at
+// every endpoint occurring in the instance so that each segment is a
+// maximal homogeneous run of snapshots.
+func (c *Concrete) Abstract() *Abstract {
+	eps := c.Endpoints()
+	cuts := make([]interval.Time, 0, len(eps)+2)
+	if len(eps) == 0 || eps[0] != 0 {
+		cuts = append(cuts, 0)
+	}
+	for _, e := range eps {
+		if e != interval.Infinity {
+			cuts = append(cuts, e)
+		}
+	}
+	segs := make([]Segment, 0, len(cuts))
+	for i, s := range cuts {
+		var iv interval.Interval
+		if i+1 < len(cuts) {
+			iv = interval.Interval{Start: s, End: cuts[i+1]}
+		} else {
+			iv = interval.Interval{Start: s, End: interval.Infinity}
+		}
+		seg := Segment{Iv: iv}
+		for _, f := range c.Facts() {
+			if f.T.ContainsInterval(iv) {
+				seg.Facts = append(seg.Facts, f.WithInterval(iv))
+			} else if f.T.Overlaps(iv) {
+				// Cannot happen: iv is an atomic segment of the endpoint
+				// partition, so every fact interval either covers it or
+				// misses it.
+				panic(fmt.Sprintf("instance: fact %v partially overlaps atomic segment %v", f, iv))
+			}
+		}
+		segs = append(segs, seg)
+	}
+	a, err := NewAbstract(segs)
+	if err != nil {
+		panic(err) // construction above satisfies the invariants
+	}
+	return a
+}
+
+// Segments returns the segments in temporal order. The caller must not
+// mutate them.
+func (a *Abstract) Segments() []Segment { return a.segs }
+
+// SegmentAt returns the segment covering time point tp.
+func (a *Abstract) SegmentAt(tp interval.Time) Segment {
+	i := sort.Search(len(a.segs), func(i int) bool { return a.segs[i].Iv.End > tp })
+	return a.segs[i]
+}
+
+// Snapshot materializes db_tp by projecting the covering segment's facts.
+func (a *Abstract) Snapshot(tp interval.Time) *Snapshot {
+	seg := a.SegmentAt(tp)
+	snap := NewSnapshot()
+	for _, f := range seg.Facts {
+		if af, ok := f.Project(tp); ok {
+			snap.Insert(af)
+		}
+	}
+	return snap
+}
+
+// Cuts returns the segment boundary time points (excluding 0 and ∞).
+func (a *Abstract) Cuts() []interval.Time {
+	var out []interval.Time
+	for _, sg := range a.segs[1:] {
+		out = append(out, sg.Iv.Start)
+	}
+	return out
+}
+
+// Refine splits segments at the given additional cut points, preserving
+// semantics. Used to align two abstract instances on a common
+// segmentation before comparing them.
+func (a *Abstract) Refine(cuts []interval.Time) *Abstract {
+	var segs []Segment
+	for _, sg := range a.segs {
+		pieces := sg.Iv.Fragment(cuts)
+		for _, p := range pieces {
+			ns := Segment{Iv: p}
+			for _, f := range sg.Facts {
+				ns.Facts = append(ns.Facts, f.WithInterval(p))
+			}
+			segs = append(segs, ns)
+		}
+	}
+	out, err := NewAbstract(segs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SamplePoints returns one representative time point per segment of the
+// common refinement of a and others — enough to decide any per-snapshot
+// property of the instances, since snapshots within a segment are
+// isomorphic copies of each other.
+func SamplePoints(insts ...*Abstract) []interval.Time {
+	cutSet := make(map[interval.Time]bool)
+	for _, in := range insts {
+		for _, t := range in.Cuts() {
+			cutSet[t] = true
+		}
+	}
+	cuts := make([]interval.Time, 0, len(cutSet)+1)
+	cuts = append(cuts, 0)
+	for t := range cutSet {
+		cuts = append(cuts, t)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	return cuts
+}
+
+// EqualTo reports snapshot-wise equality with another abstract instance
+// (same facts, same null identities, at every time point). Segments are
+// aligned first; one representative point per aligned segment is checked,
+// plus a second interior point to distinguish shared nulls from
+// per-snapshot families.
+func (a *Abstract) EqualTo(b *Abstract) bool {
+	pts := SamplePoints(a, b)
+	for _, tp := range pts {
+		if !a.Snapshot(tp).Equal(b.Snapshot(tp)) {
+			return false
+		}
+		// Second interior point of the covering segment, when available:
+		// families project differently there, shared nulls do not.
+		seg := a.SegmentAt(tp)
+		if in := seg.Iv; in.Contains(tp + 1) {
+			if !a.Snapshot(tp + 1).Equal(b.Snapshot(tp + 1)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders each segment's snapshot on one line.
+func (a *Abstract) String() string {
+	var b strings.Builder
+	for i, sg := range a.segs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		snap := a.Snapshot(sg.Iv.Start)
+		fmt.Fprintf(&b, "%v %s", sg.Iv, snap.String())
+	}
+	return b.String()
+}
+
+// ToConcrete converts the abstract instance back to a coalesced concrete
+// instance. It fails when a segment contains a plain shared labeled null,
+// which the concrete view cannot represent (interval-annotated nulls
+// denote per-snapshot distinct nulls, §4.1).
+func (a *Abstract) ToConcrete() (*Concrete, error) {
+	out := NewConcrete(nil)
+	for _, sg := range a.segs {
+		for _, f := range sg.Facts {
+			for _, v := range f.Args {
+				if v.Kind() == value.Null {
+					return nil, fmt.Errorf("instance: shared null %v has no concrete representation", v)
+				}
+			}
+			if _, err := out.Insert(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out.Coalesce(), nil
+}

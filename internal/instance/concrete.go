@@ -1,0 +1,266 @@
+// Package instance implements the two views of a temporal database
+// (paper §2): the concrete view — a finite set of interval-timestamped
+// facts — and the abstract view — conceptually an infinite sequence of
+// snapshots ⟨db0, db1, ...⟩, represented finitely here as a sequence of
+// segments justified by the finite change condition. The semantic map
+// ⟦·⟧ connects the two, extended to interval-annotated nulls per §4.1.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fact"
+	"repro/internal/interval"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Concrete is a concrete temporal database instance: per-relation sets of
+// interval-timestamped facts. Internally facts are stored as tuples whose
+// last component is the interval value, which is what lets the
+// homomorphism engine treat the temporal attribute uniformly with data
+// attributes (intervals behave as constants after normalization, §4.2).
+type Concrete struct {
+	sch *schema.Schema // may be nil: schemaless instances allowed
+	st  *storage.Store
+}
+
+// NewConcrete returns an empty concrete instance over the given schema
+// (nil for schemaless).
+func NewConcrete(sch *schema.Schema) *Concrete {
+	return &Concrete{sch: sch, st: storage.NewStore()}
+}
+
+// Schema returns the instance's schema (possibly nil).
+func (c *Concrete) Schema() *schema.Schema { return c.sch }
+
+// Store exposes the underlying tuple store for the homomorphism engine.
+// Callers must not mutate it directly.
+func (c *Concrete) Store() *storage.Store { return c.st }
+
+// Insert validates and adds a fact, reporting whether it was new.
+func (c *Concrete) Insert(f fact.CFact) (bool, error) {
+	if err := f.Validate(); err != nil {
+		return false, err
+	}
+	if c.sch != nil {
+		r, ok := c.sch.Relation(f.Rel)
+		if !ok {
+			return false, fmt.Errorf("instance: unknown relation %s", f.Rel)
+		}
+		if len(f.Args) != r.Arity() {
+			return false, fmt.Errorf("instance: %s expects %d data attributes, got %d", f.Rel, r.Arity(), len(f.Args))
+		}
+	}
+	return c.st.Insert(f.Rel, ToTuple(f)), nil
+}
+
+// MustInsert is Insert but panics on error; for tests and examples.
+func (c *Concrete) MustInsert(f fact.CFact) {
+	if _, err := c.Insert(f); err != nil {
+		panic(err)
+	}
+}
+
+// InsertAll inserts a batch, stopping at the first error.
+func (c *Concrete) InsertAll(fs []fact.CFact) error {
+	for _, f := range fs {
+		if _, err := c.Insert(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ToTuple encodes a concrete fact as a stored tuple: data values followed
+// by the interval value.
+func ToTuple(f fact.CFact) []value.Value {
+	tup := make([]value.Value, len(f.Args)+1)
+	copy(tup, f.Args)
+	tup[len(f.Args)] = value.NewInterval(f.T)
+	return tup
+}
+
+// FromTuple decodes a stored tuple back into a concrete fact. It panics
+// on tuples whose last component is not an interval, which indicates
+// corruption.
+func FromTuple(rel string, tup []value.Value) fact.CFact {
+	n := len(tup) - 1
+	iv, ok := tup[n].Interval()
+	if !ok || tup[n].Kind() != value.IntervalVal {
+		panic(fmt.Sprintf("instance: tuple of %s lacks interval tail: %v", rel, tup))
+	}
+	return fact.CFact{Rel: rel, Args: tup[:n:n], T: iv}
+}
+
+// FactAt returns the fact at the given storage row.
+func (c *Concrete) FactAt(rel string, row int) fact.CFact {
+	return FromTuple(rel, c.st.Rel(rel).Tuple(row))
+}
+
+// Len returns the number of facts.
+func (c *Concrete) Len() int { return c.st.Size() }
+
+// Relations returns the names of non-empty relations, sorted.
+func (c *Concrete) Relations() []string { return c.st.Relations() }
+
+// Facts returns every fact in deterministic order.
+func (c *Concrete) Facts() []fact.CFact {
+	out := make([]fact.CFact, 0, c.Len())
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		out = append(out, FromTuple(rel, tup))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return fact.CompareC(out[i], out[j]) < 0 })
+	return out
+}
+
+// FactsOf returns the facts of one relation in deterministic order.
+func (c *Concrete) FactsOf(rel string) []fact.CFact {
+	r := c.st.Rel(rel)
+	if r == nil {
+		return nil
+	}
+	out := make([]fact.CFact, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		out[i] = FromTuple(rel, r.Tuple(i))
+	}
+	sort.Slice(out, func(i, j int) bool { return fact.CompareC(out[i], out[j]) < 0 })
+	return out
+}
+
+// Contains reports whether the instance holds the identical fact.
+func (c *Concrete) Contains(f fact.CFact) bool {
+	return c.st.Contains(f.Rel, ToTuple(f))
+}
+
+// Clone returns an independent copy sharing immutable tuples.
+func (c *Concrete) Clone() *Concrete {
+	return &Concrete{sch: c.sch, st: c.st.Clone()}
+}
+
+// IsComplete reports whether the instance is null-free (a complete
+// instance in the paper's sense).
+func (c *Concrete) IsComplete() bool {
+	complete := true
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		for _, v := range tup {
+			if v.IsNullLike() {
+				complete = false
+				return false
+			}
+		}
+		return true
+	})
+	return complete
+}
+
+// Endpoints returns the sorted distinct start/end points over all facts.
+func (c *Concrete) Endpoints() []interval.Time {
+	ivs := make([]interval.Interval, 0, c.Len())
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		iv, _ := tup[len(tup)-1].Interval()
+		ivs = append(ivs, iv)
+		return true
+	})
+	return interval.Endpoints(ivs)
+}
+
+// Snapshot materializes the abstract snapshot db_tp = ⟦c⟧(tp): every fact
+// whose interval contains tp, with interval-annotated nulls projected to
+// per-snapshot labeled nulls (paper §4.1).
+func (c *Concrete) Snapshot(tp interval.Time) *Snapshot {
+	snap := NewSnapshot()
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		cf := FromTuple(rel, tup)
+		if f, ok := cf.Project(tp); ok {
+			snap.Insert(f)
+		}
+		return true
+	})
+	return snap
+}
+
+// String renders the facts one per line, deterministically sorted.
+func (c *Concrete) String() string {
+	fs := c.Facts()
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Equal reports whether two instances contain exactly the same facts.
+func (c *Concrete) Equal(other *Concrete) bool {
+	if c.Len() != other.Len() {
+		return false
+	}
+	equal := true
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		if !other.st.Contains(rel, tup) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+// IsCoalesced reports whether facts with identical data values have
+// pairwise disjoint, non-adjacent intervals (paper §2).
+func (c *Concrete) IsCoalesced() bool {
+	groups := make(map[string][]interval.Interval)
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		f := FromTuple(rel, tup)
+		k := f.DataKey()
+		groups[k] = append(groups[k], f.T)
+		return true
+	})
+	for _, ivs := range groups {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Compare(ivs[j]) < 0 })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i-1].Overlaps(ivs[i]) || ivs[i-1].Adjacent(ivs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Coalesce returns the canonical coalesced equivalent: facts sharing data
+// values (including the null family of annotated nulls) have their
+// intervals merged into maximal disjoint intervals, re-annotating nulls
+// accordingly. Coalescing is the inverse of fragmentation and preserves
+// ⟦·⟧.
+func (c *Concrete) Coalesce() *Concrete {
+	type group struct {
+		proto fact.CFact
+		set   interval.Set
+	}
+	groups := make(map[string]*group)
+	var order []string
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		f := FromTuple(rel, tup)
+		k := f.DataKey()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{proto: f}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.set.Add(f.T)
+		return true
+	})
+	out := NewConcrete(c.sch)
+	for _, k := range order {
+		g := groups[k]
+		for _, iv := range g.set.Intervals() {
+			out.MustInsert(g.proto.WithInterval(iv))
+		}
+	}
+	return out
+}

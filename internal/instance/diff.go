@@ -1,0 +1,46 @@
+package instance
+
+import (
+	"repro/internal/interval"
+)
+
+// Diff computes the semantic temporal difference a ∖ b: for every time
+// point ℓ, the facts of ⟦a⟧(ℓ) that are not in ⟦b⟧(ℓ), returned as a
+// coalesced concrete instance. Facts are compared by data values — for
+// annotated nulls, by family — so a null fact is "covered" only by a
+// fragment of the same family. The classic temporal-database difference
+// with interval splitting.
+func Diff(a, b *Concrete) *Concrete {
+	// Interval coverage of b per data key.
+	bCover := make(map[string]*interval.Set)
+	for _, f := range b.Facts() {
+		k := f.DataKey()
+		s, ok := bCover[k]
+		if !ok {
+			s = &interval.Set{}
+			bCover[k] = s
+		}
+		s.Add(f.T)
+	}
+	out := NewConcrete(a.Schema())
+	for _, f := range a.Facts() {
+		cover := bCover[f.DataKey()]
+		if cover == nil {
+			out.MustInsert(f)
+			continue
+		}
+		var mine interval.Set
+		mine.Add(f.T)
+		rest := mine.Subtract(cover)
+		for _, iv := range rest.Intervals() {
+			out.MustInsert(f.WithInterval(iv))
+		}
+	}
+	return out.Coalesce()
+}
+
+// SameSemantics reports whether two concrete instances denote the same
+// abstract instance: both directions of Diff are empty.
+func SameSemantics(a, b *Concrete) bool {
+	return Diff(a, b).Len() == 0 && Diff(b, a).Len() == 0
+}

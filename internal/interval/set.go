@@ -1,0 +1,175 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a set of time points represented as sorted, disjoint,
+// non-adjacent intervals (the canonical coalesced form, paper §2).
+// The zero value is the empty set, ready to use.
+type Set struct {
+	ivs []Interval // invariant: sorted by Start; ivs[i].End < ivs[i+1].Start
+}
+
+// NewSet builds a Set from arbitrary intervals, merging overlaps and
+// adjacencies into canonical form. Zero-value (invalid) intervals are
+// ignored.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Add inserts an interval, merging it with any overlapping or adjacent
+// members to preserve the canonical form.
+func (s *Set) Add(iv Interval) {
+	if !iv.Valid() {
+		return
+	}
+	// Find insertion window: all members that overlap or are adjacent to iv.
+	lo := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= iv.Start })
+	hi := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Start > iv.End })
+	if lo == hi {
+		// No merge partners; plain insertion.
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[lo+1:], s.ivs[lo:])
+		s.ivs[lo] = iv
+		return
+	}
+	merged := Interval{
+		Start: min(iv.Start, s.ivs[lo].Start),
+		End:   max(iv.End, s.ivs[hi-1].End),
+	}
+	s.ivs[lo] = merged
+	s.ivs = append(s.ivs[:lo+1], s.ivs[hi:]...)
+}
+
+// Contains reports whether the time point t is in the set.
+func (s *Set) Contains(t Time) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// ContainsInterval reports whether every point of iv is in the set.
+func (s *Set) ContainsInterval(iv Interval) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > iv.Start })
+	return i < len(s.ivs) && s.ivs[i].ContainsInterval(iv)
+}
+
+// Intervals returns the canonical members in ascending order. The caller
+// must not mutate the returned slice.
+func (s *Set) Intervals() []Interval { return s.ivs }
+
+// Len returns the number of canonical intervals (not time points).
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Empty reports whether the set contains no time points.
+func (s *Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Min returns the least time point in the set; ok=false when empty.
+func (s *Set) Min() (Time, bool) {
+	if len(s.ivs) == 0 {
+		return 0, false
+	}
+	return s.ivs[0].Start, true
+}
+
+// Unbounded reports whether the set extends to infinity.
+func (s *Set) Unbounded() bool {
+	return len(s.ivs) > 0 && s.ivs[len(s.ivs)-1].Unbounded()
+}
+
+// IntersectInterval returns the sub-intervals of the set lying inside iv.
+func (s *Set) IntersectInterval(iv Interval) []Interval {
+	var out []Interval
+	for _, m := range s.ivs {
+		if x, ok := m.Intersect(iv); ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Union returns a new set containing every point of s and other.
+func (s *Set) Union(other *Set) Set {
+	out := NewSet(s.ivs...)
+	for _, iv := range other.ivs {
+		out.Add(iv)
+	}
+	return out
+}
+
+// Intersect returns a new set containing the points common to s and other.
+func (s *Set) Intersect(other *Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		if x, ok := s.ivs[i].Intersect(other.ivs[j]); ok {
+			out.ivs = append(out.ivs, x)
+		}
+		if s.ivs[i].End < other.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same time points.
+func (s *Set) Equal(other *Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a comma-separated interval list, e.g.
+// "[1,3), [5,inf)". The empty set renders as "{}".
+func (s *Set) String() string {
+	if len(s.ivs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Subtract returns a new set containing the points of s not in other.
+func (s *Set) Subtract(other *Set) Set {
+	var out Set
+	for _, iv := range s.ivs {
+		remains := []Interval{iv}
+		for _, cut := range other.ivs {
+			var next []Interval
+			for _, r := range remains {
+				x, ok := r.Intersect(cut)
+				if !ok {
+					next = append(next, r)
+					continue
+				}
+				if r.Start < x.Start {
+					next = append(next, Interval{Start: r.Start, End: x.Start})
+				}
+				if x.End < r.End {
+					next = append(next, Interval{Start: x.End, End: r.End})
+				}
+			}
+			remains = next
+		}
+		for _, r := range remains {
+			out.Add(r)
+		}
+	}
+	return out
+}

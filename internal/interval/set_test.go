@@ -1,0 +1,179 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetAddCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Interval
+		want string
+	}{
+		{"empty", nil, "{}"},
+		{"single", []Interval{MustNew(1, 3)}, "[1,3)"},
+		{"disjoint-sorted", []Interval{MustNew(1, 3), MustNew(5, 7)}, "[1,3), [5,7)"},
+		{"disjoint-unsorted", []Interval{MustNew(5, 7), MustNew(1, 3)}, "[1,3), [5,7)"},
+		{"adjacent-merge", []Interval{MustNew(1, 3), MustNew(3, 5)}, "[1,5)"},
+		{"overlap-merge", []Interval{MustNew(1, 4), MustNew(2, 6)}, "[1,6)"},
+		{"contained", []Interval{MustNew(1, 9), MustNew(3, 4)}, "[1,9)"},
+		{"bridge", []Interval{MustNew(1, 3), MustNew(5, 7), MustNew(3, 5)}, "[1,7)"},
+		{"unbounded-swallow", []Interval{MustNew(10, Infinity), MustNew(1, 2), MustNew(12, 20)}, "[1,2), [10,inf)"},
+		{"zero-ignored", []Interval{{}, MustNew(1, 2)}, "[1,2)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSet(tt.in...)
+			if got := s.String(); got != tt.want {
+				t.Fatalf("NewSet(%v) = %q want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(MustNew(1, 3), MustNew(5, Infinity))
+	for _, tt := range []struct {
+		t    Time
+		want bool
+	}{{0, false}, {1, true}, {2, true}, {3, false}, {4, false}, {5, true}, {1 << 50, true}} {
+		if got := s.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%v)=%v want %v", tt.t, got, tt.want)
+		}
+	}
+	if !s.ContainsInterval(MustNew(6, 100)) || s.ContainsInterval(MustNew(2, 6)) {
+		t.Error("ContainsInterval broken")
+	}
+	if !s.Unbounded() {
+		t.Error("set should be unbounded")
+	}
+	if mn, ok := s.Min(); !ok || mn != 1 {
+		t.Errorf("Min=%v,%v", mn, ok)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(MustNew(1, 5), MustNew(8, 12))
+	b := NewSet(MustNew(3, 9), MustNew(11, Infinity))
+	inter := a.Intersect(&b)
+	if got := inter.String(); got != "[3,5), [8,9), [11,12)" {
+		t.Fatalf("Intersect = %q", got)
+	}
+	uni := a.Union(&b)
+	if got := uni.String(); got != "[1,inf)" {
+		t.Fatalf("Union = %q", got)
+	}
+	if !inter.Equal(&inter) || inter.Equal(&uni) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestSetIntersectInterval(t *testing.T) {
+	s := NewSet(MustNew(1, 4), MustNew(6, 9))
+	got := s.IntersectInterval(MustNew(3, 7))
+	if len(got) != 2 || got[0] != MustNew(3, 4) || got[1] != MustNew(6, 7) {
+		t.Fatalf("IntersectInterval = %v", got)
+	}
+}
+
+func TestQuickSetMembership(t *testing.T) {
+	// A set built from random intervals contains exactly the points any
+	// input interval contains.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 800; i++ {
+		n := 1 + r.Intn(6)
+		ivs := make([]Interval, n)
+		for j := range ivs {
+			ivs[j] = randomInterval(r, 25)
+		}
+		s := NewSet(ivs...)
+		for tp := Time(0); tp < 60; tp++ {
+			want := false
+			for _, iv := range ivs {
+				if iv.Contains(tp) {
+					want = true
+					break
+				}
+			}
+			if got := s.Contains(tp); got != want {
+				t.Fatalf("set %v of %v: Contains(%v)=%v want %v", s.String(), ivs, tp, got, want)
+			}
+		}
+		// Canonical form invariant.
+		prev := Interval{}
+		for k, iv := range s.Intervals() {
+			if !iv.Valid() {
+				t.Fatalf("invalid member %v", iv)
+			}
+			if k > 0 && prev.End >= iv.Start {
+				t.Fatalf("set not canonical: %v", s.String())
+			}
+			prev = iv
+		}
+	}
+}
+
+func TestQuickSetOpsSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 400; i++ {
+		mk := func() Set {
+			n := r.Intn(5)
+			ivs := make([]Interval, n)
+			for j := range ivs {
+				ivs[j] = randomInterval(r, 20)
+			}
+			return NewSet(ivs...)
+		}
+		a, b := mk(), mk()
+		u := a.Union(&b)
+		x := a.Intersect(&b)
+		for tp := Time(0); tp < 50; tp++ {
+			if u.Contains(tp) != (a.Contains(tp) || b.Contains(tp)) {
+				t.Fatalf("union semantics broken at %v: %v %v", tp, a.String(), b.String())
+			}
+			if x.Contains(tp) != (a.Contains(tp) && b.Contains(tp)) {
+				t.Fatalf("intersect semantics broken at %v: %v %v", tp, a.String(), b.String())
+			}
+		}
+	}
+}
+
+func TestSetSubtract(t *testing.T) {
+	a := NewSet(MustNew(0, 10), MustNew(20, Infinity))
+	b := NewSet(MustNew(3, 5), MustNew(8, 25))
+	got := a.Subtract(&b)
+	if got.String() != "[0,3), [5,8), [25,inf)" {
+		t.Fatalf("Subtract = %q", got.String())
+	}
+	empty := a.Subtract(&a)
+	if !empty.Empty() {
+		t.Fatalf("self-subtraction = %q", empty.String())
+	}
+	var zero Set
+	same := a.Subtract(&zero)
+	if !same.Equal(&a) {
+		t.Fatalf("subtracting empty changed set: %q", same.String())
+	}
+}
+
+func TestQuickSubtractSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for i := 0; i < 400; i++ {
+		mk := func() Set {
+			n := r.Intn(5)
+			ivs := make([]Interval, n)
+			for j := range ivs {
+				ivs[j] = randomInterval(r, 20)
+			}
+			return NewSet(ivs...)
+		}
+		a, b := mk(), mk()
+		d := a.Subtract(&b)
+		for tp := Time(0); tp < 50; tp++ {
+			if d.Contains(tp) != (a.Contains(tp) && !b.Contains(tp)) {
+				t.Fatalf("subtract semantics broken at %v: %v %v", tp, a.String(), b.String())
+			}
+		}
+	}
+}

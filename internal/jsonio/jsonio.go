@@ -1,0 +1,100 @@
+// Package jsonio serializes concrete instances (and schemas) to and from
+// JSON, for interchange with other tools. Values use the same textual
+// syntax as the TDX language (constants verbatim, N7^[s,e) for
+// interval-annotated nulls), so round trips are exact.
+package jsonio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// factJSON is the wire form of one concrete fact.
+type factJSON struct {
+	Rel      string   `json:"rel"`
+	Args     []string `json:"args"`
+	Interval string   `json:"interval"`
+}
+
+// instanceJSON is the wire form of an instance: an optional schema
+// (relation name → attribute list, with declaration order preserved
+// separately) plus the fact list.
+type instanceJSON struct {
+	Schema []relJSON  `json:"schema,omitempty"`
+	Facts  []factJSON `json:"facts"`
+}
+
+type relJSON struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// Encode renders the instance as JSON. Facts appear in deterministic
+// order. The schema is included when present.
+func Encode(c *instance.Concrete) ([]byte, error) {
+	var out instanceJSON
+	if sch := c.Schema(); sch != nil {
+		for _, name := range sch.Names() {
+			r, _ := sch.Relation(name)
+			out.Schema = append(out.Schema, relJSON{Name: r.Name, Attrs: r.Attrs})
+		}
+	}
+	for _, f := range c.Facts() {
+		fj := factJSON{Rel: f.Rel, Interval: f.T.String(), Args: make([]string, len(f.Args))}
+		for i, a := range f.Args {
+			fj.Args[i] = a.String()
+		}
+		out.Facts = append(out.Facts, fj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Decode parses an instance from JSON. When the document carries a
+// schema, facts are validated against it; otherwise the instance is
+// schemaless. Argument strings that parse as nulls or intervals become
+// those values (the value syntax is injective for strings produced by
+// Encode).
+func Decode(data []byte) (*instance.Concrete, error) {
+	var in instanceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("jsonio: %w", err)
+	}
+	var sch *schema.Schema
+	if len(in.Schema) > 0 {
+		sch, _ = schema.New()
+		for _, r := range in.Schema {
+			rel, err := schema.NewRelation(r.Name, r.Attrs...)
+			if err != nil {
+				return nil, fmt.Errorf("jsonio: %w", err)
+			}
+			if err := sch.Add(rel); err != nil {
+				return nil, fmt.Errorf("jsonio: %w", err)
+			}
+		}
+	}
+	out := instance.NewConcrete(sch)
+	for i, fj := range in.Facts {
+		iv, err := interval.Parse(fj.Interval)
+		if err != nil {
+			return nil, fmt.Errorf("jsonio: fact %d: %w", i, err)
+		}
+		args := make([]value.Value, len(fj.Args))
+		for j, s := range fj.Args {
+			v, err := value.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("jsonio: fact %d arg %d: %w", i, j, err)
+			}
+			args[j] = v
+		}
+		if _, err := out.Insert(fact.NewC(fj.Rel, iv, args...)); err != nil {
+			return nil, fmt.Errorf("jsonio: fact %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

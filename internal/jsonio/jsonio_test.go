@@ -1,0 +1,84 @@
+package jsonio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/paperex"
+)
+
+func TestRoundTripSourceInstance(t *testing.T) {
+	ic := paperex.Figure4()
+	data, err := Encode(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(ic) {
+		t.Fatalf("round trip changed instance:\n%s\nvs\n%s", back, ic)
+	}
+	// The schema travels with the data: inserting a wrong-arity fact into
+	// the decoded instance fails.
+	if back.Schema() == nil || !back.Schema().Has("E") {
+		t.Fatal("schema lost in round trip")
+	}
+	if !strings.Contains(string(data), `"interval": "[2012,2014)"`) {
+		t.Fatalf("unexpected wire format:\n%s", data)
+	}
+}
+
+func TestRoundTripSolutionWithNulls(t *testing.T) {
+	jc, _, err := chase.Concrete(paperex.Figure4(), paperex.EmploymentMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(jc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(jc) {
+		t.Fatalf("solution round trip changed:\n%s\nvs\n%s", back, jc)
+	}
+	if !strings.Contains(string(data), "N1^[2012,2013)") {
+		t.Fatalf("annotated null not serialized:\n%s", data)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`, // syntax
+		`{"facts":[{"rel":"R","args":["a"],"interval":"nope"}]}`,
+		`{"facts":[{"rel":"R","args":["a"],"interval":"[5,2)"}]}`,
+		`{"schema":[{"name":"","attrs":["a"]}],"facts":[]}`,
+		`{"schema":[{"name":"R","attrs":["a"]}],"facts":[{"rel":"R","args":["a","b"],"interval":"[1,2)"}]}`, // arity
+		`{"schema":[{"name":"R","attrs":["a"]}],"facts":[{"rel":"Zz","args":["a"],"interval":"[1,2)"}]}`,    // unknown rel
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c)); err == nil {
+			t.Errorf("no error for %s", c)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	data, err := Encode(paperex.Figure4().Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = data
+	empty, err := Decode([]byte(`{"facts":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 || empty.Schema() != nil {
+		t.Fatal("empty decode wrong")
+	}
+}

@@ -1,0 +1,357 @@
+// Package logic implements conjunctions of atomic formulas and the
+// homomorphism search engine used throughout temporal data exchange: a
+// chase step fires on a homomorphism from the left-hand side of a
+// dependency to an instance (paper §2, §4.3), normalization enumerates
+// homomorphisms from the renamed conjunctions N(Φ+) (Algorithm 1), and
+// naïve query evaluation finds all homomorphisms from a query body (§5).
+//
+// A homomorphism here maps variables to database values such that every
+// atom's image is a stored tuple; it is the identity on literals. Nulls
+// are treated as plain values (naïve-table semantics): a null matches
+// only itself.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Term is a variable or a literal value in an atom.
+type Term struct {
+	IsVar bool
+	Name  string      // variable name when IsVar
+	Val   value.Value // literal otherwise
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{IsVar: true, Name: name} }
+
+// Lit returns a literal term.
+func Lit(v value.Value) Term { return Term{Val: v} }
+
+// Const returns a literal constant term — shorthand for Lit(NewConst(s)).
+func Const(s string) Term { return Lit(value.NewConst(s)) }
+
+// String renders the term: variables as ?name, literals via value syntax.
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Name
+	}
+	return t.Val.String()
+}
+
+// Atom is a relational atom R(t1, ..., tn).
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, terms ...Term) Atom { return Atom{Rel: rel, Terms: terms} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Vars returns the variable names occurring in the atom, in order of
+// first occurrence.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Terms {
+		if t.IsVar && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Conjunction is a conjunction of atoms φ = A1 ∧ ... ∧ Ak.
+type Conjunction []Atom
+
+// String renders the conjunction with " ∧ " separators.
+func (c Conjunction) String() string {
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Vars returns all variable names in order of first occurrence.
+func (c Conjunction) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range c {
+		for _, t := range a.Terms {
+			if t.IsVar && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+// HasVar reports whether the named variable occurs in the conjunction.
+func (c Conjunction) HasVar(name string) bool {
+	for _, a := range c {
+		for _, t := range a.Terms {
+			if t.IsVar && t.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RenameTemporal returns a copy of the conjunction where each occurrence
+// of the temporal variable tvar is replaced by a fresh variable unique to
+// its atom: the paper's N(Φ+) construction (§4.2, Example 9). The fresh
+// variables are named tvar#0, tvar#1, ... per atom index.
+func (c Conjunction) RenameTemporal(tvar string) Conjunction {
+	out := make(Conjunction, len(c))
+	for i, a := range c {
+		na := Atom{Rel: a.Rel, Terms: make([]Term, len(a.Terms))}
+		for j, t := range a.Terms {
+			if t.IsVar && t.Name == tvar {
+				na.Terms[j] = Var(fmt.Sprintf("%s#%d", tvar, i))
+			} else {
+				na.Terms[j] = t
+			}
+		}
+		out[i] = na
+	}
+	return out
+}
+
+// Binding maps variable names to values. It plays the role of a
+// homomorphism restricted to the variables of a formula.
+type Binding map[string]value.Value
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Apply maps a term to its value under the binding; ok=false when the
+// term is an unbound variable.
+func (b Binding) Apply(t Term) (value.Value, bool) {
+	if !t.IsVar {
+		return t.Val, true
+	}
+	v, ok := b[t.Name]
+	return v, ok
+}
+
+// RowRef identifies a stored tuple: relation name and row number.
+type RowRef struct {
+	Rel string
+	Row int
+}
+
+// Match is one homomorphism from a conjunction into a store: the variable
+// binding plus, per atom (in conjunction order), the row its image landed
+// on. The Rows witness is what Algorithm 1's set-building step consumes
+// (h : φ* ↦ {f1, ..., fn}).
+type Match struct {
+	Binding Binding
+	Rows    []RowRef
+}
+
+// unify extends binding b so atom a's terms match tuple tup. It reports
+// success and records any newly bound variables in added (so the caller
+// can backtrack).
+func unify(a Atom, tup []value.Value, b Binding, added *[]string) bool {
+	if len(a.Terms) != len(tup) {
+		return false
+	}
+	for i, t := range a.Terms {
+		if !t.IsVar {
+			if t.Val != tup[i] {
+				return false
+			}
+			continue
+		}
+		if bound, ok := b[t.Name]; ok {
+			if bound != tup[i] {
+				return false
+			}
+			continue
+		}
+		b[t.Name] = tup[i]
+		*added = append(*added, t.Name)
+	}
+	return true
+}
+
+// candidateRows returns the rows of rel worth testing against atom a
+// under binding b, using the cheapest available index on a bound
+// position, or all rows when nothing is bound.
+func candidateRows(rel *storage.Rel, a Atom, b Binding) []int {
+	bestRows := -1
+	var best []int
+	for pos, t := range a.Terms {
+		v, ok := b.Apply(t)
+		if !ok {
+			continue
+		}
+		rows := rel.Candidates(pos, v)
+		if bestRows == -1 || len(rows) < bestRows {
+			bestRows = len(rows)
+			best = rows
+			if bestRows == 0 {
+				return nil
+			}
+		}
+	}
+	if bestRows >= 0 {
+		return best
+	}
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// boundCount counts the atom's terms that are literals or bound variables
+// under b — the join-order heuristic score.
+func boundCount(a Atom, b Binding) int {
+	n := 0
+	for _, t := range a.Terms {
+		if _, ok := b.Apply(t); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach enumerates homomorphisms from the conjunction into the store,
+// starting from the initial binding (which may pre-bind variables; pass
+// nil for none). It invokes fn for each match and stops early when fn
+// returns false. The Match passed to fn is transient: fn must clone
+// Binding/Rows if it retains them. Atom order in Rows follows the
+// conjunction, regardless of the join order chosen internally.
+func ForEach(st *storage.Store, conj Conjunction, initial Binding, fn func(Match) bool) {
+	if len(conj) == 0 {
+		b := initial
+		if b == nil {
+			b = Binding{}
+		}
+		fn(Match{Binding: b})
+		return
+	}
+	for _, a := range conj {
+		if st.Rel(a.Rel) == nil {
+			return // some relation is empty: no homomorphism exists
+		}
+	}
+	b := Binding{}
+	for k, v := range initial {
+		b[k] = v
+	}
+	rows := make([]RowRef, len(conj))
+	done := make([]bool, len(conj))
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == len(conj) {
+			return fn(Match{Binding: b, Rows: rows})
+		}
+		// Greedy join order: the unprocessed atom with the most bound terms.
+		bestAtom, bestScore := -1, -1
+		for i, a := range conj {
+			if done[i] {
+				continue
+			}
+			if s := boundCount(a, b); s > bestScore {
+				bestScore, bestAtom = s, i
+			}
+		}
+		a := conj[bestAtom]
+		done[bestAtom] = true
+		defer func() { done[bestAtom] = false }()
+		rel := st.Rel(a.Rel)
+		for _, row := range candidateRows(rel, a, b) {
+			var added []string
+			if unify(a, rel.Tuple(row), b, &added) {
+				rows[bestAtom] = RowRef{Rel: a.Rel, Row: row}
+				if !rec(depth + 1) {
+					for _, name := range added {
+						delete(b, name)
+					}
+					return false
+				}
+			}
+			for _, name := range added {
+				delete(b, name)
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// FindAll materializes every homomorphism. Bindings and row witnesses are
+// cloned and safe to retain.
+func FindAll(st *storage.Store, conj Conjunction, initial Binding) []Match {
+	var out []Match
+	ForEach(st, conj, initial, func(m Match) bool {
+		out = append(out, Match{
+			Binding: m.Binding.Clone(),
+			Rows:    append([]RowRef(nil), m.Rows...),
+		})
+		return true
+	})
+	return out
+}
+
+// FindOne returns some homomorphism, or ok=false when none exists.
+func FindOne(st *storage.Store, conj Conjunction, initial Binding) (Match, bool) {
+	var got Match
+	found := false
+	ForEach(st, conj, initial, func(m Match) bool {
+		got = Match{Binding: m.Binding.Clone(), Rows: append([]RowRef(nil), m.Rows...)}
+		found = true
+		return false
+	})
+	return got, found
+}
+
+// Exists reports whether at least one homomorphism exists.
+func Exists(st *storage.Store, conj Conjunction, initial Binding) bool {
+	_, ok := FindOne(st, conj, initial)
+	return ok
+}
+
+// SortMatches orders matches deterministically by their bindings, for
+// stable output in tools and tests.
+func SortMatches(ms []Match, vars []string) {
+	sort.Slice(ms, func(i, j int) bool {
+		for _, v := range vars {
+			a, okA := ms[i].Binding[v]
+			bb, okB := ms[j].Binding[v]
+			if !okA || !okB {
+				continue
+			}
+			if c := value.Compare(a, bb); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,126 @@
+// Package paperex provides the worked examples of the paper as ready-made
+// fixtures: the employment schema mapping of Examples 1/6, the concrete
+// source instance of Figure 4, and the three-relation normalization input
+// of Figure 7 / Example 14. Tests, examples, and the experiment harness
+// all reproduce the paper's figures from these.
+package paperex
+
+import (
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Inf is shorthand for the unbounded end point.
+const Inf = interval.Infinity
+
+// Iv is shorthand for interval.MustNew.
+func Iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
+
+// C is shorthand for a constant value.
+func C(s string) value.Value { return value.NewConst(s) }
+
+// EmploymentMapping returns the schema mapping of Example 1 / Example 6:
+//
+//	σ1: E(n, c) → ∃s Emp(n, c, s)
+//	σ2: E(n, c) ∧ S(n, s) → Emp(n, c, s)
+//	egd: Emp(n, c, s) ∧ Emp(n, c, s') → s = s'
+func EmploymentMapping() *dependency.Mapping {
+	src := schema.MustNew(
+		schema.MustRelation("E", "name", "company"),
+		schema.MustRelation("S", "name", "salary"),
+	)
+	tgt := schema.MustNew(
+		schema.MustRelation("Emp", "name", "company", "salary"),
+	)
+	return &dependency.Mapping{
+		Source: src,
+		Target: tgt,
+		TGDs: []dependency.TGD{
+			{
+				Name: "sigma1",
+				Body: logic.Conjunction{logic.NewAtom("E", logic.Var("n"), logic.Var("c"))},
+				Head: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))},
+			},
+			{
+				Name: "sigma2",
+				Body: logic.Conjunction{
+					logic.NewAtom("E", logic.Var("n"), logic.Var("c")),
+					logic.NewAtom("S", logic.Var("n"), logic.Var("s")),
+				},
+				Head: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))},
+			},
+		},
+		EGDs: []dependency.EGD{
+			{
+				Name: "salary-key",
+				Body: logic.Conjunction{
+					logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s")),
+					logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s'")),
+				},
+				X1: "s", X2: "s'",
+			},
+		},
+	}
+}
+
+// Figure4 returns the concrete source instance Ic of Figure 4 over the
+// employment source schema.
+func Figure4() *instance.Concrete {
+	m := EmploymentMapping()
+	c := instance.NewConcrete(m.Source)
+	c.MustInsert(fact.NewC("E", Iv(2012, 2014), C("Ada"), C("IBM")))
+	c.MustInsert(fact.NewC("E", Iv(2014, Inf), C("Ada"), C("Google")))
+	c.MustInsert(fact.NewC("E", Iv(2013, 2018), C("Bob"), C("IBM")))
+	c.MustInsert(fact.NewC("S", Iv(2013, Inf), C("Ada"), C("18k")))
+	c.MustInsert(fact.NewC("S", Iv(2015, Inf), C("Bob"), C("13k")))
+	return c
+}
+
+// Figure7 returns the five-fact instance of Figure 7 (Example 14) over
+// the schema R(A), P(A), S(A).
+func Figure7() *instance.Concrete {
+	sch := schema.MustNew(
+		schema.MustRelation("R", "A"),
+		schema.MustRelation("P", "A"),
+		schema.MustRelation("S", "A"),
+	)
+	c := instance.NewConcrete(sch)
+	c.MustInsert(fact.NewC("R", Iv(5, 11), C("a")))   // f1
+	c.MustInsert(fact.NewC("P", Iv(8, 15), C("a")))   // f2
+	c.MustInsert(fact.NewC("S", Iv(7, 10), C("a")))   // f3
+	c.MustInsert(fact.NewC("P", Iv(20, 25), C("b")))  // f4
+	c.MustInsert(fact.NewC("S", Iv(18, Inf), C("b"))) // f5
+	return c
+}
+
+// Example14Conjunctions returns the Φ+ of Example 14 in concrete form
+// (shared temporal variable per conjunction):
+//
+//	φ1: R+(x, t) ∧ P+(y, t)
+//	φ2: P+(x, t) ∧ S+(y, t)
+func Example14Conjunctions() []logic.Conjunction {
+	tv := logic.Var(dependency.TemporalVar)
+	return []logic.Conjunction{
+		{
+			logic.Atom{Rel: "R", Terms: []logic.Term{logic.Var("x"), tv}},
+			logic.Atom{Rel: "P", Terms: []logic.Term{logic.Var("y"), tv}},
+		},
+		{
+			logic.Atom{Rel: "P", Terms: []logic.Term{logic.Var("x"), tv}},
+			logic.Atom{Rel: "S", Terms: []logic.Term{logic.Var("y"), tv}},
+		},
+	}
+}
+
+// Sigma2Body returns the lhs of σ2+ in concrete form:
+// E+(n, c, t) ∧ S+(n, s, t) — the conjunction Figures 5 normalizes
+// against.
+func Sigma2Body() logic.Conjunction {
+	m := EmploymentMapping()
+	return m.TGDs[1].ConcreteBody()
+}

@@ -1,0 +1,40 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestFixturesAreWellFormed(t *testing.T) {
+	m := EmploymentMapping()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TGDs) != 2 || len(m.EGDs) != 1 {
+		t.Fatalf("mapping shape: %d tgds, %d egds", len(m.TGDs), len(m.EGDs))
+	}
+	ic := Figure4()
+	if ic.Len() != 5 || !ic.IsComplete() || !ic.IsCoalesced() {
+		t.Fatalf("Figure 4 fixture: %d facts", ic.Len())
+	}
+	f7 := Figure7()
+	if f7.Len() != 5 {
+		t.Fatalf("Figure 7 fixture: %d facts", f7.Len())
+	}
+	phis := Example14Conjunctions()
+	if len(phis) != 2 || len(phis[0]) != 2 {
+		t.Fatalf("Example 14 conjunctions: %v", phis)
+	}
+	body := Sigma2Body()
+	if len(body) != 2 || len(body[0].Terms) != 3 {
+		t.Fatalf("σ2 body: %v", body)
+	}
+	// Fixture constructors return fresh instances: mutating one must not
+	// leak into the next call.
+	a := Figure4()
+	a.MustInsert(fact.NewC("E", Iv(1, 2), C("zoe"), C("ACME")))
+	if Figure4().Len() != 5 {
+		t.Fatal("Figure4 fixture shares state between calls")
+	}
+}

@@ -1,0 +1,116 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// FormatMapping renders a mapping (and optional queries) back into the
+// TDX language, such that ParseMapping(FormatMapping(m)) reproduces it.
+// Dependencies keep their declaration order; schema relations keep their
+// declaration order.
+func FormatMapping(m *dependency.Mapping, queries []query.UCQ) string {
+	var b strings.Builder
+	writeSchema := func(kw string, sch *schema.Schema) {
+		fmt.Fprintf(&b, "%s schema {\n", kw)
+		for _, name := range sch.Names() {
+			r, _ := sch.Relation(name)
+			fmt.Fprintf(&b, "    %s(%s)\n", r.Name, strings.Join(r.Attrs, ", "))
+		}
+		b.WriteString("}\n")
+	}
+	writeSchema("source", m.Source)
+	writeSchema("target", m.Target)
+	for _, d := range m.TGDs {
+		b.WriteString("tgd")
+		if d.Name != "" {
+			b.WriteString(" " + d.Name)
+		}
+		b.WriteString(": " + formatConjunction(d.Body) + " -> ")
+		if ex := d.Existentials(); len(ex) > 0 {
+			sorted := append([]string(nil), ex...)
+			sort.Strings(sorted)
+			b.WriteString("exists " + strings.Join(sorted, ", ") + " . ")
+		}
+		b.WriteString(formatConjunction(d.Head) + "\n")
+	}
+	for _, d := range m.EGDs {
+		b.WriteString("egd")
+		if d.Name != "" {
+			b.WriteString(" " + d.Name)
+		}
+		fmt.Fprintf(&b, ": %s -> %s = %s\n", formatConjunction(d.Body), d.X1, d.X2)
+	}
+	for _, u := range queries {
+		for _, q := range u.Disjuncts {
+			fmt.Fprintf(&b, "query %s(%s) :- %s\n", q.Name, strings.Join(q.Head, ", "), formatConjunction(q.Body))
+		}
+	}
+	return b.String()
+}
+
+// formatConjunction renders atoms in parseable form: variables bare,
+// constants quoted (quoting is always safe and round-trips exactly).
+func formatConjunction(c logic.Conjunction) string {
+	atoms := make([]string, len(c))
+	for i, a := range c {
+		terms := make([]string, len(a.Terms))
+		for j, t := range a.Terms {
+			if t.IsVar {
+				terms[j] = t.Name
+			} else {
+				terms[j] = fmt.Sprintf("%q", t.Val.Str)
+			}
+		}
+		atoms[i] = a.Rel + "(" + strings.Join(terms, ", ") + ")"
+	}
+	return strings.Join(atoms, ", ")
+}
+
+// FormatFacts renders a concrete instance as a TDX fact file, such that
+// ParseFacts(FormatFacts(c), c.Schema()) reproduces it. Constants that
+// could be mistaken for null or interval literals are quoted.
+func FormatFacts(c *instance.Concrete) string {
+	var b strings.Builder
+	for _, f := range c.Facts() {
+		args := make([]string, len(f.Args))
+		for i, a := range f.Args {
+			if a.IsConst() && needsQuoting(a.Str) {
+				args[i] = fmt.Sprintf("%q", a.Str)
+			} else {
+				args[i] = a.String()
+			}
+		}
+		fmt.Fprintf(&b, "%s(%s) @ %s\n", f.Rel, strings.Join(args, ", "), f.T)
+	}
+	return b.String()
+}
+
+// needsQuoting reports whether a constant must be quoted to survive a
+// parse round trip: empty strings, strings containing separators or
+// whitespace, and strings matching the null literal syntax.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, r := range s {
+		if !isWordRune(r) {
+			return true
+		}
+	}
+	// A word like N7 or N7^[1,2) would re-parse as a null.
+	if s[0] == 'N' && len(s) > 1 && s[1] >= '0' && s[1] <= '9' {
+		return true
+	}
+	if s[0] == '[' {
+		return true
+	}
+	return false
+}

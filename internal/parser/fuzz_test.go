@@ -1,0 +1,95 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/value"
+)
+
+// FuzzParseMapping checks the mapping parser never panics and that
+// accepted inputs re-parse after formatting (when they produce plain
+// mappings).
+func FuzzParseMapping(f *testing.F) {
+	f.Add(paperMapping)
+	f.Add("source schema { E(a) }\ntarget schema { F(a) }\ntgd: E(x) -> F(x)")
+	f.Add("tgd: E(x) -> exists y . F(x, y)")
+	f.Add("source schema { E(a) }\ntarget schema { F(a) }\ntgd: E(x) -> past F(x)")
+	f.Add(`query q(x) :- F(x, "lit")`)
+	f.Add("egd k: F(x, y), F(x, z) -> y = z")
+	f.Add("# comment only\n\n")
+	f.Add("source schema { E(a, b, c, d, e) }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseMapping(src)
+		if err != nil || file.Temporal != nil {
+			return
+		}
+		// Accepted plain mappings format and re-parse.
+		text := FormatMapping(file.Mapping, file.Queries)
+		if _, err := ParseMapping(text); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\nformatted:\n%s", err, src, text)
+		}
+	})
+}
+
+// FuzzParseFacts checks the fact parser never panics and accepted
+// instances round-trip through FormatFacts.
+func FuzzParseFacts(f *testing.F) {
+	f.Add(paperFacts)
+	f.Add("R(N7^[1,3), plain, \"quoted\") @ [1, 3)")
+	f.Add("R(a) @ [0, inf)")
+	f.Add("R() @ [1,2)")
+	f.Add("R(a) @ [5,5)")
+	f.Add("R(a@b) @ [1,2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		ic, err := ParseFacts(src, nil)
+		if err != nil {
+			return
+		}
+		back, err := ParseFacts(FormatFacts(ic), nil)
+		if err != nil {
+			t.Fatalf("formatted facts do not reparse: %v\ninput: %q", err, src)
+		}
+		if !back.Equal(ic) {
+			t.Fatalf("round trip changed instance\ninput: %q\ngot:\n%s\nwant:\n%s", src, back, ic)
+		}
+	})
+}
+
+// FuzzValueParse checks the value parser against its printer.
+func FuzzValueParse(f *testing.F) {
+	f.Add("Ada")
+	f.Add("N7")
+	f.Add("N7@3")
+	f.Add("N7^[1,3)")
+	f.Add("[5,inf)")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := value.Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := value.Parse(v.String())
+		if err != nil || back != v {
+			t.Fatalf("value round trip: %q -> %v -> %v (%v)", s, v, back, err)
+		}
+	})
+}
+
+// FuzzIntervalParse checks the interval parser against its printer.
+func FuzzIntervalParse(f *testing.F) {
+	f.Add("[1,5)")
+	f.Add("[0,inf)")
+	f.Add("[,)")
+	f.Add("[5,2)")
+	f.Fuzz(func(t *testing.T, s string) {
+		iv, err := interval.Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := interval.Parse(iv.String())
+		if err != nil || back != iv {
+			t.Fatalf("interval round trip: %q -> %v -> %v (%v)", s, iv, back, err)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+// Package parser implements the TDX mapping language: a small text
+// format for schemas, s-t tgds, egds, queries, and timestamped facts,
+// used by the command-line tools and examples.
+//
+// Mapping files:
+//
+//	# the paper's running example
+//	source schema {
+//	    E(name, company)
+//	    S(name, salary)
+//	}
+//	target schema {
+//	    Emp(name, company, salary)
+//	}
+//	tgd sigma1: E(n, c) -> exists s . Emp(n, c, s)
+//	tgd sigma2: E(n, c), S(n, s) -> Emp(n, c, s)
+//	egd key:    Emp(n, c, s), Emp(n, c, s2) -> s = s2
+//	query q(n, s) :- Emp(n, c, s)
+//
+// In dependencies and queries, a bare identifier is a variable; quoted
+// strings and words starting with a digit are constants (so 18k is a
+// constant, n is a variable).
+//
+// Fact files hold one timestamped fact per line:
+//
+//	E(Ada, IBM)    @ [2012, 2014)
+//	E(Ada, Google) @ [2014, inf)
+//
+// In fact files bare words are constants. A word of the form N7^[s,e) is
+// an interval-annotated null (quote it to force a constant).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokString // quoted constant
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokComma
+	tokColon
+	tokDot
+	tokAt
+	tokArrow // ->
+	tokTurn  // :-
+	tokEq
+	tokNewline
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokAt:
+		return "'@'"
+	case tokArrow:
+		return "'->'"
+	case tokTurn:
+		return "':-'"
+	case tokEq:
+		return "'='"
+	case tokNewline:
+		return "newline"
+	}
+	return "unknown token"
+}
+
+// token is one lexical unit with its position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errorf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isWordRune reports whether r may appear inside a word. Words cover
+// relation names, variables, and bare constants like 18k or s'.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'' || r == '-' || r == '^' || r == '∞'
+}
+
+// lex splits the input into tokens. Newlines are significant (facts and
+// declarations are line-oriented) and emitted as tokens; consecutive
+// newlines collapse. Comments run from '#' or '//' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	emit := func(k tokenKind, text string, c int) {
+		toks = append(toks, token{kind: k, text: text, line: line, col: c})
+	}
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		startCol := col
+		switch {
+		case r == '\n':
+			if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+				emit(tokNewline, "\\n", startCol)
+			}
+			line++
+			col = 1
+			i++
+			continue
+		case r == ' ' || r == '\t' || r == '\r':
+			i++
+			col++
+			continue
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+			continue
+		case r == '/' && i+1 < len(rs) && rs[i+1] == '/':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+			continue
+		case r == '(':
+			emit(tokLParen, "(", startCol)
+		case r == ')':
+			emit(tokRParen, ")", startCol)
+		case r == '{':
+			emit(tokLBrace, "{", startCol)
+		case r == '}':
+			emit(tokRBrace, "}", startCol)
+		case r == '[':
+			// Lex the whole interval literal [s, e) as one bracketed word,
+			// so that the paper's notation passes through verbatim.
+			j := i + 1
+			for j < len(rs) && rs[j] != ')' && rs[j] != '\n' {
+				j++
+			}
+			if j >= len(rs) || rs[j] != ')' {
+				return nil, errorf(line, startCol, "unterminated interval literal")
+			}
+			text := strings.Map(dropSpace, string(rs[i:j+1]))
+			emit(tokLBracket, text, startCol)
+			col += j + 1 - i
+			i = j + 1
+			continue
+		case r == ',':
+			emit(tokComma, ",", startCol)
+		case r == '.':
+			emit(tokDot, ".", startCol)
+		case r == '@':
+			emit(tokAt, "@", startCol)
+		case r == '=':
+			emit(tokEq, "=", startCol)
+		case r == ':':
+			if i+1 < len(rs) && rs[i+1] == '-' {
+				emit(tokTurn, ":-", startCol)
+				i += 2
+				col += 2
+				continue
+			}
+			emit(tokColon, ":", startCol)
+		case r == '-':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				emit(tokArrow, "->", startCol)
+				i += 2
+				col += 2
+				continue
+			}
+			return nil, errorf(line, startCol, "unexpected '-' (did you mean '->'?)")
+		case r == '"':
+			// Strings are Go-quoted: escape sequences like \" and \x0e are
+			// interpreted, so any constant can round-trip through quoting.
+			j := i + 1
+			for j < len(rs) && rs[j] != '"' && rs[j] != '\n' {
+				if rs[j] == '\\' && j+1 < len(rs) {
+					j++ // skip the escaped rune
+				}
+				j++
+			}
+			if j >= len(rs) || rs[j] != '"' {
+				return nil, errorf(line, startCol, "unterminated string")
+			}
+			text, err := strconv.Unquote(string(rs[i : j+1]))
+			if err != nil {
+				return nil, errorf(line, startCol, "bad string literal: %v", err)
+			}
+			emit(tokString, text, startCol)
+			col += j + 1 - i
+			i = j + 1
+			continue
+		case r == '→':
+			emit(tokArrow, "->", startCol)
+		case isWordRune(r):
+			j := i
+			for j < len(rs) && isWordRune(rs[j]) {
+				j++
+			}
+			word := string(rs[i:j])
+			// A word ending in '^' begins an annotated-null literal
+			// N7^[s,e): splice the following interval token in.
+			if strings.HasSuffix(word, "^") && j < len(rs) && rs[j] == '[' {
+				k := j + 1
+				for k < len(rs) && rs[k] != ')' && rs[k] != '\n' {
+					k++
+				}
+				if k >= len(rs) || rs[k] != ')' {
+					return nil, errorf(line, startCol, "unterminated annotated null")
+				}
+				word += strings.Map(dropSpace, string(rs[j:k+1]))
+				j = k + 1
+			}
+			emit(tokWord, word, startCol)
+			col += j - i
+			i = j
+			continue
+		default:
+			return nil, errorf(line, startCol, "unexpected character %q", string(r))
+		}
+		i++
+		col++
+	}
+	emit(tokEOF, "", col)
+	return toks, nil
+}
+
+func dropSpace(r rune) rune {
+	if r == ' ' || r == '\t' {
+		return -1
+	}
+	return r
+}

@@ -1,0 +1,558 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+	"repro/internal/value"
+)
+
+// File is the result of parsing a mapping file: the data exchange setting
+// plus any queries declared alongside it (disjuncts with the same name
+// are grouped into unions). When any tgd head uses a modal marker (past,
+// future, always past, always future — the §7 extension), Temporal holds
+// the full setting with those dependencies and the plain tgds lifted to
+// AtT; Mapping then carries only the non-modal dependencies.
+type File struct {
+	Mapping  *dependency.Mapping
+	Temporal *temporal.Mapping
+	Queries  []query.UCQ
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errorf(t.line, t.col, "expected %v, found %v %q", k, t.kind, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// ParseMapping parses a complete mapping file.
+func ParseMapping(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &File{Mapping: &dependency.Mapping{}}
+	var temporalTGDs []temporal.TGD
+	queryGroups := make(map[string][]query.CQ)
+	var queryOrder []string
+
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokWord {
+			return nil, errorf(t.line, t.col, "expected a declaration, found %v %q", t.kind, t.text)
+		}
+		switch t.text {
+		case "source", "target":
+			sch, err := p.parseSchemaBlock()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "source" {
+				file.Mapping.Source = sch
+			} else {
+				file.Mapping.Target = sch
+			}
+		case "tgd":
+			d, refs, err := p.parseTGD()
+			if err != nil {
+				return nil, err
+			}
+			if refs == nil {
+				file.Mapping.TGDs = append(file.Mapping.TGDs, d)
+			} else {
+				head := make([]temporal.HeadAtom, len(d.Head))
+				for i, a := range d.Head {
+					head[i] = temporal.HeadAtom{Ref: refs[i], Atom: a}
+				}
+				temporalTGDs = append(temporalTGDs, temporal.TGD{Name: d.Name, Body: d.Body, Head: head})
+			}
+		case "egd":
+			d, err := p.parseEGD()
+			if err != nil {
+				return nil, err
+			}
+			file.Mapping.EGDs = append(file.Mapping.EGDs, d)
+		case "query":
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if _, seen := queryGroups[q.Name]; !seen {
+				queryOrder = append(queryOrder, q.Name)
+			}
+			queryGroups[q.Name] = append(queryGroups[q.Name], q)
+		default:
+			return nil, errorf(t.line, t.col, "unknown declaration %q (want source, target, tgd, egd, or query)", t.text)
+		}
+	}
+
+	for _, name := range queryOrder {
+		u, err := query.NewUCQ(name, queryGroups[name]...)
+		if err != nil {
+			return nil, err
+		}
+		if err := u.Validate(file.Mapping.Target); err != nil {
+			return nil, err
+		}
+		file.Queries = append(file.Queries, u)
+	}
+	if err := file.Mapping.Validate(); err != nil {
+		return nil, err
+	}
+	if len(temporalTGDs) > 0 {
+		tm := &temporal.Mapping{
+			Source: file.Mapping.Source,
+			Target: file.Mapping.Target,
+			EGDs:   file.Mapping.EGDs,
+		}
+		// Plain tgds participate as AtT dependencies of the temporal
+		// setting, so one chase covers the whole mapping.
+		for _, d := range file.Mapping.TGDs {
+			head := make([]temporal.HeadAtom, len(d.Head))
+			for i, a := range d.Head {
+				head[i] = temporal.HeadAtom{Ref: temporal.AtT, Atom: a}
+			}
+			tm.TGDs = append(tm.TGDs, temporal.TGD{Name: d.Name, Body: d.Body, Head: head})
+		}
+		tm.TGDs = append(tm.TGDs, temporalTGDs...)
+		if err := tm.Validate(); err != nil {
+			return nil, err
+		}
+		file.Temporal = tm
+	}
+	return file, nil
+}
+
+// parseSchemaBlock parses: ("source"|"target") "schema" "{" decl* "}".
+func (p *parser) parseSchemaBlock() (*schema.Schema, error) {
+	p.next() // source | target
+	if t := p.cur(); t.kind == tokWord && t.text == "schema" {
+		p.next()
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	sch, _ := schema.New()
+	for {
+		p.skipNewlines()
+		if p.cur().kind == tokRBrace {
+			p.next()
+			return sch, nil
+		}
+		name, err := p.expect(tokWord)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		var attrs []string
+		for {
+			a, err := p.expect(tokWord)
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a.text)
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		rel, err := schema.NewRelation(name.text, attrs...)
+		if err != nil {
+			return nil, errorf(name.line, name.col, "%v", err)
+		}
+		if err := sch.Add(rel); err != nil {
+			return nil, errorf(name.line, name.col, "%v", err)
+		}
+	}
+}
+
+// parseTerm parses one term inside a dependency or query atom: quoted
+// strings and digit-initial words are constants, other words variables.
+func (p *parser) parseTerm() (logic.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return logic.Const(t.text), nil
+	case tokWord:
+		p.next()
+		if t.text[0] >= '0' && t.text[0] <= '9' {
+			return logic.Const(t.text), nil
+		}
+		return logic.Var(t.text), nil
+	default:
+		return logic.Term{}, errorf(t.line, t.col, "expected a term, found %v %q", t.kind, t.text)
+	}
+}
+
+// parseAtom parses R(t1, ..., tn).
+func (p *parser) parseAtom() (logic.Atom, error) {
+	name, err := p.expect(tokWord)
+	if err != nil {
+		return logic.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return logic.Atom{}, err
+	}
+	var terms []logic.Term
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return logic.Atom{}, err
+		}
+		terms = append(terms, term)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return logic.Atom{}, err
+	}
+	return logic.Atom{Rel: name.text, Terms: terms}, nil
+}
+
+// parseAtomList parses A1, A2, ..., Ak.
+func (p *parser) parseAtomList() (logic.Conjunction, error) {
+	var conj logic.Conjunction
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, a)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		return conj, nil
+	}
+}
+
+// parseOptionalLabel parses [name] ":" after the tgd/egd keyword.
+func (p *parser) parseOptionalLabel() (string, error) {
+	name := ""
+	if t := p.cur(); t.kind == tokWord {
+		name = t.text
+		p.next()
+	}
+	_, err := p.expect(tokColon)
+	return name, err
+}
+
+// parseTGD parses: "tgd" [name] ":" body "->" ["exists" vars "."] head,
+// where each head atom may carry a modal marker ("past", "future",
+// "always past", "always future" — the §7 extension). refs is nil for a
+// plain tgd and otherwise holds one Ref per head atom.
+func (p *parser) parseTGD() (dependency.TGD, []temporal.Ref, error) {
+	p.next() // tgd
+	name, err := p.parseOptionalLabel()
+	if err != nil {
+		return dependency.TGD{}, nil, err
+	}
+	body, err := p.parseAtomList()
+	if err != nil {
+		return dependency.TGD{}, nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return dependency.TGD{}, nil, err
+	}
+	var declared []string
+	if t := p.cur(); t.kind == tokWord && t.text == "exists" {
+		p.next()
+		// The existential variable list is purely documentary — the
+		// existentials are exactly the head variables missing from the
+		// body — but we parse and check it for honesty.
+		for {
+			v, err := p.expect(tokWord)
+			if err != nil {
+				return dependency.TGD{}, nil, err
+			}
+			declared = append(declared, v.text)
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return dependency.TGD{}, nil, err
+		}
+	}
+	head, refs, err := p.parseHeadAtomList()
+	if err != nil {
+		return dependency.TGD{}, nil, err
+	}
+	d := dependency.TGD{Name: name, Body: body, Head: head}
+	if declared != nil {
+		actual := d.Existentials()
+		sort.Strings(declared)
+		sorted := append([]string(nil), actual...)
+		sort.Strings(sorted)
+		mismatch := len(declared) != len(sorted)
+		if !mismatch {
+			for i := range declared {
+				if declared[i] != sorted[i] {
+					mismatch = true
+					break
+				}
+			}
+		}
+		if mismatch {
+			return dependency.TGD{}, nil, fmt.Errorf("tgd %s: declares %v existential(s), body/head imply %v", name, declared, actual)
+		}
+	}
+	return d, refs, nil
+}
+
+// parseHeadAtomList parses head atoms, each optionally prefixed by a
+// modal marker. A marker word is recognized only when another word (the
+// relation name) follows it, so relations named "past" stay usable.
+func (p *parser) parseHeadAtomList() (logic.Conjunction, []temporal.Ref, error) {
+	var conj logic.Conjunction
+	var refs []temporal.Ref
+	modal := false
+	for {
+		ref := temporal.AtT
+		if t := p.cur(); t.kind == tokWord && p.toks[p.pos+1].kind == tokWord {
+			switch t.text {
+			case "past":
+				ref = temporal.SometimePast
+				p.next()
+			case "future":
+				ref = temporal.SometimeFut
+				p.next()
+			case "always":
+				p.next()
+				dir, err := p.expect(tokWord)
+				if err != nil {
+					return nil, nil, err
+				}
+				switch dir.text {
+				case "past":
+					ref = temporal.AlwaysPast
+				case "future":
+					ref = temporal.AlwaysFut
+				default:
+					return nil, nil, errorf(dir.line, dir.col, "expected 'past' or 'future' after 'always', found %q", dir.text)
+				}
+			}
+		}
+		if ref != temporal.AtT {
+			modal = true
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, nil, err
+		}
+		conj = append(conj, a)
+		refs = append(refs, ref)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !modal {
+		return conj, nil, nil
+	}
+	return conj, refs, nil
+}
+
+// parseEGD parses: "egd" [name] ":" body "->" x "=" y.
+func (p *parser) parseEGD() (dependency.EGD, error) {
+	p.next() // egd
+	name, err := p.parseOptionalLabel()
+	if err != nil {
+		return dependency.EGD{}, err
+	}
+	body, err := p.parseAtomList()
+	if err != nil {
+		return dependency.EGD{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return dependency.EGD{}, err
+	}
+	x1, err := p.expect(tokWord)
+	if err != nil {
+		return dependency.EGD{}, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return dependency.EGD{}, err
+	}
+	x2, err := p.expect(tokWord)
+	if err != nil {
+		return dependency.EGD{}, err
+	}
+	return dependency.EGD{Name: name, Body: body, X1: x1.text, X2: x2.text}, nil
+}
+
+// parseQuery parses: "query" name "(" vars ")" ":-" body.
+func (p *parser) parseQuery() (query.CQ, error) {
+	p.next() // query
+	name, err := p.expect(tokWord)
+	if err != nil {
+		return query.CQ{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return query.CQ{}, err
+	}
+	var head []string
+	for {
+		v, err := p.expect(tokWord)
+		if err != nil {
+			return query.CQ{}, err
+		}
+		head = append(head, v.text)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return query.CQ{}, err
+	}
+	if _, err := p.expect(tokTurn); err != nil {
+		return query.CQ{}, err
+	}
+	body, err := p.parseAtomList()
+	if err != nil {
+		return query.CQ{}, err
+	}
+	return query.CQ{Name: name.text, Head: head, Body: body}, nil
+}
+
+// ParseFacts parses a fact file — one "R(v1, ..., vn) @ [s, e)" per line —
+// into a concrete instance over the given schema (nil for schemaless).
+func ParseFacts(src string, sch *schema.Schema) (*instance.Concrete, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	out := instance.NewConcrete(sch)
+	for {
+		p.skipNewlines()
+		if p.cur().kind == tokEOF {
+			return out, nil
+		}
+		f, err := p.parseFact()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := out.Insert(f); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseFact parses R(v1, ..., vn) @ [s, e).
+func (p *parser) parseFact() (fact.CFact, error) {
+	name, err := p.expect(tokWord)
+	if err != nil {
+		return fact.CFact{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return fact.CFact{}, err
+	}
+	var args []value.Value
+	for {
+		t := p.cur()
+		switch t.kind {
+		case tokString:
+			args = append(args, value.NewConst(t.text))
+			p.next()
+		case tokWord:
+			v, err := value.Parse(t.text)
+			if err != nil {
+				return fact.CFact{}, errorf(t.line, t.col, "bad value %q: %v", t.text, err)
+			}
+			args = append(args, v)
+			p.next()
+		default:
+			return fact.CFact{}, errorf(t.line, t.col, "expected a value, found %v %q", t.kind, t.text)
+		}
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return fact.CFact{}, err
+	}
+	if _, err := p.expect(tokAt); err != nil {
+		return fact.CFact{}, err
+	}
+	ivTok, err := p.expect(tokLBracket)
+	if err != nil {
+		return fact.CFact{}, err
+	}
+	iv, err := interval.Parse(ivTok.text)
+	if err != nil {
+		return fact.CFact{}, errorf(ivTok.line, ivTok.col, "%v", err)
+	}
+	return fact.NewC(name.text, iv, args...), nil
+}
+
+// ParseQueryLine parses a single "query ..." declaration, for the CLI's
+// -q flag.
+func ParseQueryLine(src string) (query.CQ, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return query.CQ{}, err
+	}
+	p := &parser{toks: toks}
+	p.skipNewlines()
+	if t := p.cur(); t.kind == tokWord && t.text == "query" {
+		q, err := p.parseQuery()
+		if err != nil {
+			return query.CQ{}, err
+		}
+		p.skipNewlines()
+		if _, err := p.expect(tokEOF); err != nil {
+			return query.CQ{}, err
+		}
+		return q, nil
+	}
+	return query.CQ{}, fmt.Errorf("parser: query must start with the keyword 'query'")
+}

@@ -1,0 +1,102 @@
+// Package render pretty-prints instances and experiment tables in the
+// style of the paper's figures: one aligned table per relation with the
+// data attributes followed by the Time column.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// Instance renders a concrete instance as per-relation tables. When the
+// instance has a schema, attribute names head the columns; otherwise the
+// columns are A1..An. Facts appear in deterministic order.
+func Instance(c *instance.Concrete) string {
+	var b strings.Builder
+	for i, rel := range c.Relations() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		facts := c.FactsOf(rel)
+		arity := len(facts[0].Args)
+		headers := make([]string, 0, arity+1)
+		if c.Schema() != nil {
+			if r, ok := c.Schema().Relation(rel); ok && r.Arity() == arity {
+				headers = append(headers, r.Attrs...)
+			}
+		}
+		if len(headers) == 0 {
+			for j := 1; j <= arity; j++ {
+				headers = append(headers, fmt.Sprintf("A%d", j))
+			}
+		}
+		headers = append(headers, schema.TemporalAttr)
+		rows := make([][]string, len(facts))
+		for j, f := range facts {
+			row := make([]string, 0, arity+1)
+			for _, a := range f.Args {
+				row = append(row, a.String())
+			}
+			row = append(row, f.T.String())
+			rows[j] = row
+		}
+		b.WriteString(rel + "+\n")
+		b.WriteString(Table(headers, rows))
+	}
+	return b.String()
+}
+
+// Table renders an aligned text table with a header rule.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Abstract renders the segments of an abstract instance, one snapshot per
+// line — the style of the paper's Figure 1 and Figure 3.
+func Abstract(a *instance.Abstract) string {
+	var b strings.Builder
+	for i, seg := range a.Segments() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		snap := a.Snapshot(seg.Iv.Start)
+		fmt.Fprintf(&b, "%-14v %s", seg.Iv, snap.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/paperex"
+	"repro/internal/value"
+)
+
+func TestInstanceWithSchema(t *testing.T) {
+	out := Instance(paperex.Figure4())
+	// Relation header and attribute names from the schema.
+	for _, want := range []string{"E+", "S+", "name", "company", "salary", "T",
+		"Ada", "[2012,2014)", "[2014,inf)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: repeated rendering is identical.
+	if Instance(paperex.Figure4()) != out {
+		t.Fatal("rendering not deterministic")
+	}
+}
+
+func TestInstanceWithoutSchema(t *testing.T) {
+	c := instance.NewConcrete(nil)
+	c.MustInsert(fact.NewC("R", interval.MustNew(1, 2), paperex.C("x"), paperex.C("y")))
+	out := Instance(c)
+	if !strings.Contains(out, "A1") || !strings.Contains(out, "A2") {
+		t.Fatalf("schemaless columns missing:\n%s", out)
+	}
+}
+
+func TestInstanceWithNulls(t *testing.T) {
+	var g value.NullGen
+	c := instance.NewConcrete(nil)
+	iv := interval.MustNew(3, 7)
+	c.MustInsert(fact.NewC("R", iv, paperex.C("a"), g.FreshAnn(iv)))
+	out := Instance(c)
+	if !strings.Contains(out, "N1^[3,7)") {
+		t.Fatalf("annotated null not rendered:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"verylongcell", "x"},
+		{"y", "z"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column two starts at the same offset in every row.
+	off := strings.Index(lines[0], "long-header")
+	if strings.Index(lines[2], "x") != off {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing header rule:\n%s", out)
+	}
+}
+
+func TestAbstractRendering(t *testing.T) {
+	out := Abstract(paperex.Figure4().Abstract())
+	for _, want := range []string{"[0,2012)", "[2014,2015)", "E(Ada, Google)", "S(Bob, 13k)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 6 {
+		t.Fatalf("segments = %d, want 6:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,209 @@
+// Package schema describes database schemas for temporal data exchange:
+// relation signatures R(A1, ..., An) and whole schemas, plus the concrete
+// extension R+ that augments every relation with the temporal attribute T
+// (paper §2).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TemporalAttr is the name of the temporal attribute added to every
+// relation of a concrete schema.
+const TemporalAttr = "T"
+
+// Relation is a relation signature: a name and an ordered list of data
+// attributes. The temporal attribute of the concrete view is implicit —
+// it is tracked at the instance level, not listed in Attrs.
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// NewRelation builds a validated relation signature.
+func NewRelation(name string, attrs ...string) (Relation, error) {
+	if name == "" {
+		return Relation{}, fmt.Errorf("schema: empty relation name")
+	}
+	if len(attrs) == 0 {
+		return Relation{}, fmt.Errorf("schema: relation %s has no attributes", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return Relation{}, fmt.Errorf("schema: relation %s has an empty attribute name", name)
+		}
+		if a == TemporalAttr {
+			return Relation{}, fmt.Errorf("schema: relation %s: attribute %q is reserved for the temporal attribute", name, TemporalAttr)
+		}
+		if seen[a] {
+			return Relation{}, fmt.Errorf("schema: relation %s has duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	return Relation{Name: name, Attrs: append([]string(nil), attrs...)}, nil
+}
+
+// MustRelation is NewRelation but panics on error; for statically known
+// signatures in tests and examples.
+func MustRelation(name string, attrs ...string) Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of data attributes.
+func (r Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the signature as R(a, b, c).
+func (r Relation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs, ", ") + ")"
+}
+
+// ConcreteString renders the concrete extension R+(a, b, c, T).
+func (r Relation) ConcreteString() string {
+	return r.Name + "+(" + strings.Join(append(append([]string(nil), r.Attrs...), TemporalAttr), ", ") + ")"
+}
+
+// Schema is an ordered collection of relation signatures with unique
+// names.
+type Schema struct {
+	rels  map[string]Relation
+	order []string
+}
+
+// New builds a validated schema from relation signatures.
+func New(rels ...Relation) (*Schema, error) {
+	s := &Schema{rels: make(map[string]Relation, len(rels))}
+	for _, r := range rels {
+		if err := s.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(rels ...Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add inserts a relation signature; duplicate names are rejected.
+func (s *Schema) Add(r Relation) error {
+	if s.rels == nil {
+		s.rels = make(map[string]Relation)
+	}
+	if _, dup := s.rels[r.Name]; dup {
+		return fmt.Errorf("schema: duplicate relation %s", r.Name)
+	}
+	if r.Name == "" || len(r.Attrs) == 0 {
+		return fmt.Errorf("schema: invalid relation %q", r.Name)
+	}
+	s.rels[r.Name] = r
+	s.order = append(s.order, r.Name)
+	return nil
+}
+
+// Relation looks up a signature by name.
+func (s *Schema) Relation(name string) (Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Has reports whether the schema contains the named relation.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.rels[name]
+	return ok
+}
+
+// Arity returns the arity of the named relation, or -1 when absent.
+func (s *Schema) Arity(name string) int {
+	r, ok := s.rels[name]
+	if !ok {
+		return -1
+	}
+	return r.Arity()
+}
+
+// Names returns the relation names in declaration order. The caller must
+// not mutate the returned slice.
+func (s *Schema) Names() []string { return s.order }
+
+// Len returns the number of relations.
+func (s *Schema) Len() int { return len(s.order) }
+
+// Disjoint reports whether two schemas share no relation name. Data
+// exchange requires the source and target schemas to be disjoint
+// (paper §2).
+func (s *Schema) Disjoint(other *Schema) bool {
+	for name := range s.rels {
+		if other.Has(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a schema containing the relations of both inputs; it
+// fails on a name clash.
+func (s *Schema) Union(other *Schema) (*Schema, error) {
+	out := &Schema{rels: make(map[string]Relation, len(s.rels)+len(other.rels))}
+	for _, n := range s.order {
+		if err := out.Add(s.rels[n]); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range other.order {
+		if err := out.Add(other.rels[n]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{rels: make(map[string]Relation, len(s.rels)), order: append([]string(nil), s.order...)}
+	for k, v := range s.rels {
+		out.rels[k] = v
+	}
+	return out
+}
+
+// String renders the schema one relation per line, in declaration order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, n := range s.order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(s.rels[n].String())
+	}
+	return b.String()
+}
+
+// SortedNames returns the relation names in lexicographic order, for
+// deterministic output independent of declaration order.
+func (s *Schema) SortedNames() []string {
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelation(t *testing.T) {
+	tests := []struct {
+		name    string
+		rel     string
+		attrs   []string
+		wantErr bool
+	}{
+		{"ok", "E", []string{"name", "company"}, false},
+		{"single-attr", "S", []string{"x"}, false},
+		{"empty-name", "", []string{"x"}, true},
+		{"no-attrs", "E", nil, true},
+		{"dup-attr", "E", []string{"a", "a"}, true},
+		{"empty-attr", "E", []string{"a", ""}, true},
+		{"reserved-T", "E", []string{"a", "T"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := NewRelation(tt.rel, tt.attrs...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewRelation err=%v wantErr=%v", err, tt.wantErr)
+			}
+			if err == nil && r.Arity() != len(tt.attrs) {
+				t.Fatalf("arity %d want %d", r.Arity(), len(tt.attrs))
+			}
+		})
+	}
+}
+
+func TestRelationStringAndIndex(t *testing.T) {
+	r := MustRelation("Emp", "name", "company", "salary")
+	if got := r.String(); got != "Emp(name, company, salary)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.ConcreteString(); got != "Emp+(name, company, salary, T)" {
+		t.Fatalf("ConcreteString = %q", got)
+	}
+	if r.AttrIndex("salary") != 2 || r.AttrIndex("nope") != -1 {
+		t.Fatal("AttrIndex broken")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := MustNew(
+		MustRelation("E", "name", "company"),
+		MustRelation("S", "name", "salary"),
+	)
+	if s.Len() != 2 || !s.Has("E") || s.Has("Emp") {
+		t.Fatal("Has/Len broken")
+	}
+	if s.Arity("E") != 2 || s.Arity("nope") != -1 {
+		t.Fatal("Arity broken")
+	}
+	if r, ok := s.Relation("S"); !ok || r.Name != "S" {
+		t.Fatal("Relation lookup broken")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "E" || got[1] != "S" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	if _, err := New(MustRelation("E", "a"), MustRelation("E", "b")); err == nil {
+		t.Fatal("duplicate relation must be rejected")
+	}
+}
+
+func TestSchemaDisjointUnion(t *testing.T) {
+	src := MustNew(MustRelation("E", "n", "c"), MustRelation("S", "n", "s"))
+	tgt := MustNew(MustRelation("Emp", "n", "c", "s"))
+	if !src.Disjoint(tgt) {
+		t.Fatal("disjoint schemas reported overlapping")
+	}
+	both, err := src.Union(tgt)
+	if err != nil || both.Len() != 3 {
+		t.Fatalf("Union: %v len=%d", err, both.Len())
+	}
+	clash := MustNew(MustRelation("E", "x"))
+	if src.Disjoint(clash) {
+		t.Fatal("overlap not detected")
+	}
+	if _, err := src.Union(clash); err == nil {
+		t.Fatal("union with clash must fail")
+	}
+}
+
+func TestSchemaCloneIndependence(t *testing.T) {
+	s := MustNew(MustRelation("E", "a"))
+	c := s.Clone()
+	if err := c.Add(MustRelation("F", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("F") {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustNew(MustRelation("S", "n"), MustRelation("E", "n", "c"))
+	got := s.String()
+	if !strings.Contains(got, "S(n)") || !strings.Contains(got, "E(n, c)") {
+		t.Fatalf("String = %q", got)
+	}
+	names := s.SortedNames()
+	if names[0] != "E" || names[1] != "S" {
+		t.Fatalf("SortedNames = %v", names)
+	}
+}

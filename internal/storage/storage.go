@@ -1,0 +1,217 @@
+// Package storage implements the in-memory relational storage engine the
+// rest of the system is built on: per-relation tuple heaps with O(1)
+// duplicate elimination and lazily built secondary hash indexes
+// (position, value) → rows, which drive index-nested-loop candidate
+// selection in the homomorphism engine.
+//
+// The store is deliberately representation-agnostic: a tuple is a slice
+// of values, and both views use it — the concrete view stores a fact
+// R+(a, [s,e)) as the tuple ⟨a..., [s,e)⟩ whose last component is an
+// interval value, while abstract snapshots store plain ⟨a...⟩ tuples.
+// Tuples are treated as immutable once inserted.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Rel is a single relation: an append-only heap of deduplicated tuples
+// with optional per-position hash indexes.
+type Rel struct {
+	name   string
+	tuples [][]value.Value
+	keys   map[string]int
+	idx    map[int]map[value.Value][]int
+}
+
+func newRel(name string) *Rel {
+	return &Rel{name: name, keys: make(map[string]int)}
+}
+
+// Name returns the relation name.
+func (r *Rel) Name() string { return r.name }
+
+// Len returns the number of (distinct) tuples.
+func (r *Rel) Len() int { return len(r.tuples) }
+
+// Tuple returns tuple i. The caller must not mutate it.
+func (r *Rel) Tuple(i int) []value.Value { return r.tuples[i] }
+
+// tupleKey builds the canonical dedup key of a tuple.
+func tupleKey(tup []value.Value) string {
+	var b strings.Builder
+	for i, v := range tup {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// insert adds the tuple unless an identical one is present. It reports
+// whether the tuple was added, maintaining any built indexes.
+func (r *Rel) insert(tup []value.Value) bool {
+	k := tupleKey(tup)
+	if _, dup := r.keys[k]; dup {
+		return false
+	}
+	row := len(r.tuples)
+	r.tuples = append(r.tuples, tup)
+	r.keys[k] = row
+	for pos, byVal := range r.idx {
+		if pos < len(tup) {
+			byVal[tup[pos]] = append(byVal[tup[pos]], row)
+		}
+	}
+	return true
+}
+
+// Contains reports whether an identical tuple is stored.
+func (r *Rel) Contains(tup []value.Value) bool {
+	_, ok := r.keys[tupleKey(tup)]
+	return ok
+}
+
+// EnsureIndex builds the hash index on position pos if not yet present.
+func (r *Rel) EnsureIndex(pos int) {
+	if r.idx == nil {
+		r.idx = make(map[int]map[value.Value][]int)
+	}
+	if _, ok := r.idx[pos]; ok {
+		return
+	}
+	byVal := make(map[value.Value][]int)
+	for row, tup := range r.tuples {
+		if pos < len(tup) {
+			byVal[tup[pos]] = append(byVal[tup[pos]], row)
+		}
+	}
+	r.idx[pos] = byVal
+}
+
+// Candidates returns the rows whose component pos equals v, building the
+// index on first use. The returned slice is shared; do not mutate.
+func (r *Rel) Candidates(pos int, v value.Value) []int {
+	r.EnsureIndex(pos)
+	return r.idx[pos][v]
+}
+
+// HasIndex reports whether an index exists on pos (for tests and
+// diagnostics).
+func (r *Rel) HasIndex(pos int) bool {
+	_, ok := r.idx[pos]
+	return ok
+}
+
+// Store is a set of relations. The zero value is empty and ready to use.
+type Store struct {
+	rels map[string]*Rel
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: make(map[string]*Rel)} }
+
+// Insert adds a tuple to the named relation, creating the relation on
+// first use, and reports whether the tuple was new.
+func (s *Store) Insert(rel string, tup []value.Value) bool {
+	if s.rels == nil {
+		s.rels = make(map[string]*Rel)
+	}
+	r, ok := s.rels[rel]
+	if !ok {
+		r = newRel(rel)
+		s.rels[rel] = r
+	}
+	return r.insert(tup)
+}
+
+// Contains reports whether the identical tuple is present.
+func (s *Store) Contains(rel string, tup []value.Value) bool {
+	r, ok := s.rels[rel]
+	return ok && r.Contains(tup)
+}
+
+// Rel returns the named relation or nil when absent.
+func (s *Store) Rel(name string) *Rel {
+	if s.rels == nil {
+		return nil
+	}
+	return s.rels[name]
+}
+
+// Relations returns the relation names in lexicographic order.
+func (s *Store) Relations() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total tuple count across relations.
+func (s *Store) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+// Each calls fn for every tuple of every relation (relations in
+// lexicographic order, tuples in insertion order). fn must not mutate the
+// tuple. Iteration stops early if fn returns false.
+func (s *Store) Each(fn func(rel string, tup []value.Value) bool) {
+	for _, name := range s.Relations() {
+		for _, tup := range s.rels[name].tuples {
+			if !fn(name, tup) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the relation structure. Tuples themselves
+// are shared (they are immutable); indexes are not copied.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for name, r := range s.rels {
+		nr := newRel(name)
+		nr.tuples = append([][]value.Value(nil), r.tuples...)
+		nr.keys = make(map[string]int, len(r.keys))
+		for k, v := range r.keys {
+			nr.keys[k] = v
+		}
+		out.rels[name] = nr
+	}
+	return out
+}
+
+// Rewrite builds a new store by applying fn to every tuple. fn returns
+// the replacement tuple (it may return its argument unchanged). Identical
+// results are deduplicated. Used by egd chase steps, which replace nulls
+// "everywhere".
+func (s *Store) Rewrite(fn func(rel string, tup []value.Value) []value.Value) *Store {
+	out := NewStore()
+	s.Each(func(rel string, tup []value.Value) bool {
+		out.Insert(rel, fn(rel, tup))
+		return true
+	})
+	return out
+}
+
+// String renders the store for debugging: one tuple per line, sorted.
+func (s *Store) String() string {
+	var lines []string
+	s.Each(func(rel string, tup []value.Value) bool {
+		lines = append(lines, fmt.Sprintf("%s(%s)", rel, tupleKey(tup)))
+		return true
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/value"
+)
+
+func tup(vals ...string) []value.Value {
+	out := make([]value.Value, len(vals))
+	for i, v := range vals {
+		out[i] = value.NewConst(v)
+	}
+	return out
+}
+
+func TestInsertDedup(t *testing.T) {
+	s := NewStore()
+	if !s.Insert("E", tup("Ada", "IBM")) {
+		t.Fatal("first insert must add")
+	}
+	if s.Insert("E", tup("Ada", "IBM")) {
+		t.Fatal("duplicate insert must not add")
+	}
+	if !s.Insert("E", tup("Ada", "Google")) {
+		t.Fatal("distinct tuple must add")
+	}
+	if s.Rel("E").Len() != 2 || s.Size() != 2 {
+		t.Fatalf("Len=%d Size=%d", s.Rel("E").Len(), s.Size())
+	}
+	if !s.Contains("E", tup("Ada", "IBM")) || s.Contains("E", tup("Bob", "IBM")) {
+		t.Fatal("Contains broken")
+	}
+	if s.Contains("F", tup("x")) {
+		t.Fatal("Contains on absent relation")
+	}
+}
+
+func TestZeroValueStore(t *testing.T) {
+	var s Store
+	if !s.Insert("R", tup("a")) {
+		t.Fatal("zero-value store must accept inserts")
+	}
+	if s.Rel("R") == nil {
+		t.Fatal("relation missing")
+	}
+}
+
+func TestIntervalValuedTuples(t *testing.T) {
+	// The concrete view stores the temporal attribute as an interval value
+	// in the last position; distinct intervals give distinct tuples.
+	s := NewStore()
+	ivA := value.NewInterval(interval.MustNew(2012, 2014))
+	ivB := value.NewInterval(interval.MustNew(2014, interval.Infinity))
+	s.Insert("E", []value.Value{value.NewConst("Ada"), value.NewConst("IBM"), ivA})
+	s.Insert("E", []value.Value{value.NewConst("Ada"), value.NewConst("IBM"), ivB})
+	if s.Rel("E").Len() != 2 {
+		t.Fatal("interval must participate in identity")
+	}
+	rows := s.Rel("E").Candidates(2, ivA)
+	if len(rows) != 1 {
+		t.Fatalf("Candidates on interval position = %v", rows)
+	}
+}
+
+func TestCandidatesAndIndexes(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Insert("R", tup(fmt.Sprintf("k%d", i%10), fmt.Sprintf("v%d", i)))
+	}
+	r := s.Rel("R")
+	if r.HasIndex(0) {
+		t.Fatal("index must be lazy")
+	}
+	rows := r.Candidates(0, value.NewConst("k3"))
+	if !r.HasIndex(0) {
+		t.Fatal("index must exist after first use")
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Candidates = %d rows, want 10", len(rows))
+	}
+	for _, row := range rows {
+		if r.Tuple(row)[0] != value.NewConst("k3") {
+			t.Fatalf("wrong row %d: %v", row, r.Tuple(row))
+		}
+	}
+	// Incremental maintenance after the index is built.
+	s.Insert("R", tup("k3", "fresh"))
+	if got := len(r.Candidates(0, value.NewConst("k3"))); got != 11 {
+		t.Fatalf("index not maintained on insert: %d", got)
+	}
+	if got := r.Candidates(0, value.NewConst("nope")); len(got) != 0 {
+		t.Fatalf("absent key returned rows: %v", got)
+	}
+}
+
+func TestEachOrderAndEarlyStop(t *testing.T) {
+	s := NewStore()
+	s.Insert("B", tup("1"))
+	s.Insert("A", tup("2"))
+	s.Insert("A", tup("3"))
+	var seen []string
+	s.Each(func(rel string, tup []value.Value) bool {
+		seen = append(seen, rel+":"+tup[0].Str)
+		return true
+	})
+	want := []string{"A:2", "A:3", "B:1"}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Each order = %v", seen)
+		}
+	}
+	count := 0
+	s.Each(func(string, []value.Value) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStore()
+	s.Insert("R", tup("a"))
+	c := s.Clone()
+	c.Insert("R", tup("b"))
+	c.Insert("S", tup("x"))
+	if s.Rel("R").Len() != 1 || s.Rel("S") != nil {
+		t.Fatal("Clone shares state")
+	}
+	if !c.Contains("R", tup("a")) {
+		t.Fatal("Clone lost data")
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	s := NewStore()
+	n := value.NewNull(1)
+	m := value.NewNull(2)
+	s.Insert("R", []value.Value{n, value.NewConst("x")})
+	s.Insert("R", []value.Value{m, value.NewConst("x")})
+	// Identify null 2 with null 1: the tuples collapse.
+	out := s.Rewrite(func(_ string, tup []value.Value) []value.Value {
+		nt := make([]value.Value, len(tup))
+		for i, v := range tup {
+			if v == m {
+				nt[i] = n
+			} else {
+				nt[i] = v
+			}
+		}
+		return nt
+	})
+	if out.Rel("R").Len() != 1 {
+		t.Fatalf("Rewrite did not dedup: %v", out.String())
+	}
+	if s.Rel("R").Len() != 2 {
+		t.Fatal("Rewrite mutated the source store")
+	}
+}
+
+func TestRelationsSorted(t *testing.T) {
+	s := NewStore()
+	s.Insert("Z", tup("1"))
+	s.Insert("A", tup("1"))
+	s.Insert("M", tup("1"))
+	got := s.Relations()
+	if len(got) != 3 || got[0] != "A" || got[1] != "M" || got[2] != "Z" {
+		t.Fatalf("Relations = %v", got)
+	}
+}
+
+func TestQuickDedupSemantics(t *testing.T) {
+	// Inserting random tuples with duplicates: store size equals the
+	// number of distinct tuples, and every inserted tuple is found.
+	r := rand.New(rand.NewSource(13))
+	s := NewStore()
+	ref := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		tp := tup(fmt.Sprintf("a%d", r.Intn(20)), fmt.Sprintf("b%d", r.Intn(20)))
+		k := "R|" + tp[0].Str + "|" + tp[1].Str
+		added := s.Insert("R", tp)
+		if added == ref[k] {
+			t.Fatalf("dedup mismatch for %v (added=%v, seen=%v)", tp, added, ref[k])
+		}
+		ref[k] = true
+		if !s.Contains("R", tp) {
+			t.Fatalf("inserted tuple not found: %v", tp)
+		}
+	}
+	if s.Rel("R").Len() != len(ref) {
+		t.Fatalf("size %d != distinct %d", s.Rel("R").Len(), len(ref))
+	}
+}

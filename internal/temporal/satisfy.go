@@ -1,0 +1,181 @@
+package temporal
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+)
+
+// Satisfies reports whether target ⊨ the temporal mapping for the given
+// source, checking every sampled snapshot of the common refinement. The
+// semantics, per Ref class of each tgd head (matching Chase's witness
+// choice): at every time point ℓ where the body holds,
+//
+//	AtT:          the class conjunction holds at ℓ;
+//	SometimePast: ∃ℓ' < ℓ where the class conjunction holds;
+//	SometimeFut:  ∃ℓ' > ℓ likewise;
+//	AlwaysPast:   the class conjunction holds at every ℓ' < ℓ;
+//	AlwaysFut:    at every ℓ' > ℓ;
+//
+// with existential data variables shared within a class. Because source
+// instances are complete and patterns carry no null literals, homomorphism
+// existence into a target snapshot is uniform across a segment, so
+// checking one representative per segment is exact.
+func Satisfies(src, tgt *instance.Concrete, m *Mapping) (bool, string) {
+	srcA, tgtA := src.Abstract(), tgt.Abstract()
+	segs := commonSegments(srcA, tgtA)
+	for _, d := range m.TGDs {
+		classes := d.refClasses()
+		for segIdx, seg := range segs {
+			snap := srcA.Snapshot(seg.Iv.Start)
+			violated := ""
+			logic.ForEach(snap.Store(), d.Body, nil, func(h logic.Match) bool {
+				for ref, conj := range classes {
+					if !classSatisfied(tgtA, segs, segIdx, seg, ref, conj, h.Binding) {
+						violated = fmt.Sprintf("tgd %s: %v%v unsatisfied for body match %v in segment %v",
+							d.Name, ref, conj, h.Binding, seg.Iv)
+						return false
+					}
+				}
+				return true
+			})
+			if violated != "" {
+				return false, violated
+			}
+		}
+	}
+	// Plain egds are checked per sampled snapshot.
+	for _, d := range m.EGDs {
+		for _, seg := range segs {
+			snap := tgtA.Snapshot(seg.Iv.Start)
+			violated := ""
+			logic.ForEach(snap.Store(), d.Body, nil, func(h logic.Match) bool {
+				if h.Binding[d.X1] != h.Binding[d.X2] {
+					violated = fmt.Sprintf("egd %s violated in segment %v", d.Name, seg.Iv)
+					return false
+				}
+				return true
+			})
+			if violated != "" {
+				return false, violated
+			}
+		}
+	}
+	return true, ""
+}
+
+// refClasses groups the head atoms by temporal reference.
+func (d TGD) refClasses() map[Ref]logic.Conjunction {
+	out := make(map[Ref]logic.Conjunction)
+	for _, h := range d.Head {
+		out[h.Ref] = append(out[h.Ref], h.Atom)
+	}
+	return out
+}
+
+// commonSegments returns the segments of the common refinement of the
+// given abstract instances.
+func commonSegments(insts ...*instance.Abstract) []instance.Segment {
+	pts := instance.SamplePoints(insts...)
+	segs := make([]instance.Segment, len(pts))
+	for i, s := range pts {
+		end := interval.Infinity
+		if i+1 < len(pts) {
+			end = pts[i+1]
+		}
+		segs[i] = instance.Segment{Iv: interval.Interval{Start: s, End: end}}
+	}
+	return segs
+}
+
+// holdsAtSegment reports whether the class conjunction (under the body
+// binding) has a homomorphism into the target snapshot of the given
+// segment. Uniform across the segment's points.
+func holdsAtSegment(tgtA *instance.Abstract, seg instance.Segment, conj logic.Conjunction, b logic.Binding) bool {
+	return logic.Exists(tgtA.Snapshot(seg.Iv.Start).Store(), conj, b)
+}
+
+// classSatisfied decides one Ref class for a body match holding
+// throughout segment segIdx. Because the body holds at *every* point ℓ of
+// the segment, the modal conditions must hold for every such ℓ; the
+// checks below quantify accordingly.
+func classSatisfied(tgtA *instance.Abstract, segs []instance.Segment, segIdx int, seg instance.Segment, ref Ref, conj logic.Conjunction, b logic.Binding) bool {
+	switch ref {
+	case AtT:
+		return holdsAtSegment(tgtA, seg, conj, b)
+
+	case SometimePast:
+		// Hardest at the segment's first point ℓ = seg.Start: a witness
+		// ℓ' < seg.Start must exist in some earlier segment. (If it exists
+		// for the first point it exists for all later ones.)
+		if seg.Iv.Start == 0 {
+			return false // no past of time 0
+		}
+		for j := 0; j < segIdx; j++ {
+			if holdsAtSegment(tgtA, segs[j], conj, b) {
+				return true
+			}
+		}
+		return false
+
+	case SometimeFut:
+		// Hardest at the segment's last point. For a bounded segment a
+		// witness after the segment suffices for every ℓ; for the final
+		// unbounded segment every point needs a strictly later witness, so
+		// the conjunction must hold cofinally — i.e. in the unbounded
+		// segment itself.
+		if seg.Iv.Unbounded() {
+			return holdsAtSegment(tgtA, seg, conj, b)
+		}
+		for j := segIdx; j < len(segs); j++ {
+			if j == segIdx {
+				// Within the same segment, points after ℓ exist for every
+				// ℓ except the last; the last point needs a later segment
+				// or an in-segment witness at a strictly later point —
+				// uniformity makes "the segment holds and has ≥ 2 points"
+				// insufficient for its own last point, so only later
+				// segments count here.
+				continue
+			}
+			if holdsAtSegment(tgtA, segs[j], conj, b) {
+				return true
+			}
+		}
+		return false
+
+	case AlwaysPast:
+		// Must hold at every point before every ℓ in the segment; the
+		// strongest requirement comes from the last ℓ: every earlier
+		// segment entirely, plus every point of this segment except its
+		// last. A multi-point segment therefore requires itself as well.
+		for j := 0; j < segIdx; j++ {
+			if !holdsAtSegment(tgtA, segs[j], conj, b) {
+				return false
+			}
+		}
+		if n, bounded := seg.Iv.Len(); !bounded || n > 1 {
+			if !holdsAtSegment(tgtA, seg, conj, b) {
+				return false
+			}
+		}
+		return true
+
+	case AlwaysFut:
+		// Dual: every later segment entirely, plus this segment itself
+		// when it has more than one point.
+		for j := segIdx + 1; j < len(segs); j++ {
+			if !holdsAtSegment(tgtA, segs[j], conj, b) {
+				return false
+			}
+		}
+		if n, bounded := seg.Iv.Len(); !bounded || n > 1 {
+			if !holdsAtSegment(tgtA, seg, conj, b) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+// Package value defines the value domain of temporal data exchange:
+// constants, labeled nulls (abstract view), interval-annotated nulls
+// (concrete view, paper §4.1), and time intervals as first-class values
+// so that the temporal attribute of a concrete relation can be handled
+// uniformly by the homomorphism engine.
+//
+// An interval-annotated null N^[s,e) stands for the sequence of distinct
+// labeled nulls ⟨N_s, ..., N_{e-1}⟩, one per snapshot the concrete fact
+// spans. Projection on a time point ℓ (Π_ℓ) selects the ℓ-th member.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/interval"
+)
+
+// Kind discriminates the value variants.
+type Kind uint8
+
+const (
+	// Invalid is the zero Kind; the zero Value is not a legal database value.
+	Invalid Kind = iota
+	// Const is an uninterpreted constant (the paper's Const domain).
+	Const
+	// Null is a labeled null of the abstract view. A projected null
+	// carries the time point it was instantiated at, so that the nulls
+	// Π_ℓ(N^[s,e)) for different ℓ are distinct values.
+	Null
+	// AnnNull is an interval-annotated null N^[s,e) of the concrete view.
+	AnnNull
+	// IntervalVal is a time interval appearing as the value of the
+	// temporal attribute T of a concrete fact. After normalization,
+	// intervals behave exactly as constants (paper §4.2), which is why
+	// they live in the same value domain.
+	IntervalVal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Const:
+		return "const"
+	case Null:
+		return "null"
+	case AnnNull:
+		return "annotated-null"
+	case IntervalVal:
+		return "interval"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a single database value. Values are small, immutable, and
+// comparable with ==, so they can key maps directly. Exactly the fields
+// relevant to Kind are set:
+//
+//	Const:       Str
+//	Null:        ID (null family), TP (time point when projected; NoTP otherwise)
+//	AnnNull:     ID (null family), Iv (the temporal context annotation)
+//	IntervalVal: Iv
+type Value struct {
+	K   Kind
+	Str string
+	ID  uint64
+	TP  interval.Time
+	Iv  interval.Interval
+}
+
+// NoTP marks a labeled null that is not a projection of an annotated null
+// (a plain per-snapshot null).
+const NoTP = interval.Infinity
+
+// NewConst returns the constant value c.
+func NewConst(c string) Value { return Value{K: Const, Str: c} }
+
+// NewNull returns the plain labeled null with the given family id.
+func NewNull(id uint64) Value { return Value{K: Null, ID: id, TP: NoTP} }
+
+// NewProjectedNull returns the labeled null N_tp: member tp of null
+// family id. Distinct time points give distinct values, which is exactly
+// the paper's requirement that the chase produce fresh nulls per snapshot.
+func NewProjectedNull(id uint64, tp interval.Time) Value {
+	return Value{K: Null, ID: id, TP: tp}
+}
+
+// NewAnnNull returns the interval-annotated null N^iv for family id.
+func NewAnnNull(id uint64, iv interval.Interval) Value {
+	return Value{K: AnnNull, ID: id, Iv: iv}
+}
+
+// NewInterval wraps a time interval as a value.
+func NewInterval(iv interval.Interval) Value { return Value{K: IntervalVal, Iv: iv} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.K }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return v.K == Const }
+
+// IsNullLike reports whether v is any form of unknown value (labeled or
+// interval-annotated null).
+func (v Value) IsNullLike() bool { return v.K == Null || v.K == AnnNull }
+
+// IsInterval reports whether v wraps a time interval.
+func (v Value) IsInterval() bool { return v.K == IntervalVal }
+
+// Interval returns the wrapped interval of an IntervalVal or the
+// annotation of an AnnNull; ok=false otherwise.
+func (v Value) Interval() (interval.Interval, bool) {
+	switch v.K {
+	case IntervalVal, AnnNull:
+		return v.Iv, true
+	}
+	return interval.Interval{}, false
+}
+
+// Project maps an interval-annotated null to the labeled null Π_tp(N^[s,e))
+// = N_tp (paper §4.1). Constants and intervals project to themselves.
+// Projecting a plain labeled null returns it unchanged. It panics when tp
+// lies outside an annotated null's temporal context, which would indicate
+// a violated invariant (annotation must equal the enclosing fact's
+// interval).
+func (v Value) Project(tp interval.Time) Value {
+	if v.K != AnnNull {
+		return v
+	}
+	if !v.Iv.Contains(tp) {
+		panic(fmt.Sprintf("value: Π_%v(%v): time point outside annotation", tp, v))
+	}
+	return NewProjectedNull(v.ID, tp)
+}
+
+// WithAnnotation returns a copy of an annotated null re-annotated with iv.
+// The paper requires that when a concrete fact is fragmented, the
+// annotation of each null inside follows the fragment's interval (§4.2,
+// after Example 12). Non-annotated values are returned unchanged.
+func (v Value) WithAnnotation(iv interval.Interval) Value {
+	if v.K != AnnNull {
+		return v
+	}
+	return Value{K: AnnNull, ID: v.ID, Iv: iv}
+}
+
+// String renders the value in the paper's notation: constants verbatim,
+// labeled nulls as N7 (or N7@2013 when projected), annotated nulls as
+// N7^[2012,2014), intervals in bracket form.
+func (v Value) String() string {
+	switch v.K {
+	case Const:
+		return v.Str
+	case Null:
+		if v.TP == NoTP {
+			return "N" + strconv.FormatUint(v.ID, 10)
+		}
+		return "N" + strconv.FormatUint(v.ID, 10) + "@" + v.TP.String()
+	case AnnNull:
+		return "N" + strconv.FormatUint(v.ID, 10) + "^" + v.Iv.String()
+	case IntervalVal:
+		return v.Iv.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// Parse parses a value in String's notation. It accepts constants
+// (anything not matching the null/interval syntax), N<id>, N<id>@<tp>,
+// N<id>^[s,e), and [s,e).
+func Parse(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Value{}, fmt.Errorf("value: empty")
+	}
+	if s[0] == '[' {
+		iv, err := interval.Parse(s)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewInterval(iv), nil
+	}
+	if s[0] == 'N' && len(s) > 1 && s[1] >= '0' && s[1] <= '9' {
+		rest := s[1:]
+		if i := strings.IndexByte(rest, '^'); i >= 0 {
+			id, err := strconv.ParseUint(rest[:i], 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("value: bad null id in %q: %w", s, err)
+			}
+			iv, err := interval.Parse(rest[i+1:])
+			if err != nil {
+				return Value{}, err
+			}
+			return NewAnnNull(id, iv), nil
+		}
+		if i := strings.IndexByte(rest, '@'); i >= 0 {
+			id, err := strconv.ParseUint(rest[:i], 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("value: bad null id in %q: %w", s, err)
+			}
+			tp, err := interval.ParseTime(rest[i+1:])
+			if err != nil {
+				return Value{}, err
+			}
+			return NewProjectedNull(id, tp), nil
+		}
+		if id, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			return NewNull(id), nil
+		}
+	}
+	return NewConst(s), nil
+}
+
+// Compare gives a total order over values, for deterministic output:
+// constants < nulls < annotated nulls < intervals, each ordered
+// internally. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if a.K != b.K {
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case Const:
+		return strings.Compare(a.Str, b.Str)
+	case Null:
+		if a.ID != b.ID {
+			return cmpU64(a.ID, b.ID)
+		}
+		return cmpU64(uint64(a.TP), uint64(b.TP))
+	case AnnNull:
+		if a.ID != b.ID {
+			return cmpU64(a.ID, b.ID)
+		}
+		return a.Iv.Compare(b.Iv)
+	case IntervalVal:
+		return a.Iv.Compare(b.Iv)
+	}
+	return 0
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// NullGen allocates fresh null family ids. It is safe for concurrent use.
+// The zero value starts at family 1.
+type NullGen struct {
+	last atomic.Uint64
+}
+
+// Fresh returns a new, never-before-returned family id.
+func (g *NullGen) Fresh() uint64 { return g.last.Add(1) }
+
+// FreshAnn returns a fresh interval-annotated null with temporal context iv.
+func (g *NullGen) FreshAnn(iv interval.Interval) Value {
+	return NewAnnNull(g.Fresh(), iv)
+}
+
+// FreshNull returns a fresh plain labeled null.
+func (g *NullGen) FreshNull() Value { return NewNull(g.Fresh()) }

@@ -1,0 +1,222 @@
+package value
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
+
+func TestConstructorsAndKinds(t *testing.T) {
+	c := NewConst("Ada")
+	n := NewNull(7)
+	p := NewProjectedNull(7, 2013)
+	a := NewAnnNull(7, iv(2012, 2014))
+	t0 := NewInterval(iv(1, 2))
+
+	if !c.IsConst() || c.IsNullLike() || c.IsInterval() {
+		t.Error("const kind predicates")
+	}
+	if !n.IsNullLike() || n.IsConst() {
+		t.Error("null kind predicates")
+	}
+	if !a.IsNullLike() || a.IsInterval() {
+		t.Error("annotated null kind predicates")
+	}
+	if !t0.IsInterval() {
+		t.Error("interval kind predicates")
+	}
+	if n == p {
+		t.Error("plain and projected null with same family must differ")
+	}
+	if got, ok := a.Interval(); !ok || got != iv(2012, 2014) {
+		t.Error("annotated null Interval()")
+	}
+	if _, ok := c.Interval(); ok {
+		t.Error("const has no interval")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	a := NewAnnNull(3, iv(8, interval.Infinity))
+	p1 := a.Project(8)
+	p2 := a.Project(9)
+	if p1 == p2 {
+		t.Fatal("projections at different time points must be distinct nulls")
+	}
+	if p1 != NewProjectedNull(3, 8) {
+		t.Fatalf("Project(8) = %v", p1)
+	}
+	// Constants and intervals are fixed points of projection.
+	c := NewConst("IBM")
+	if c.Project(5) != c {
+		t.Fatal("const projection must be identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("projecting outside the annotation must panic")
+		}
+	}()
+	a.Project(7)
+}
+
+func TestWithAnnotation(t *testing.T) {
+	a := NewAnnNull(4, iv(5, 11))
+	b := a.WithAnnotation(iv(5, 7))
+	if b.ID != 4 || b.Iv != iv(5, 7) {
+		t.Fatalf("WithAnnotation = %v", b)
+	}
+	c := NewConst("x")
+	if c.WithAnnotation(iv(1, 2)) != c {
+		t.Fatal("WithAnnotation on const must be identity")
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	vals := []Value{
+		NewConst("Ada"),
+		NewConst("18k"),
+		NewConst("IBM-Research"),
+		NewNull(12),
+		NewProjectedNull(12, 2013),
+		NewAnnNull(9, iv(2012, 2014)),
+		NewAnnNull(9, iv(2014, interval.Infinity)),
+		NewInterval(iv(0, 1)),
+		NewInterval(iv(5, interval.Infinity)),
+	}
+	for _, v := range vals {
+		got, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestParseConstFallback(t *testing.T) {
+	// Strings that merely resemble nulls but fail the syntax are constants.
+	for _, s := range []string{"Nancy", "N", "Nx", "N7x", "IBM"} {
+		v, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !v.IsConst() || v.Str != s {
+			t.Fatalf("Parse(%q) = %v, want const", s, v)
+		}
+	}
+	if _, err := Parse(""); err == nil {
+		t.Fatal("empty value must not parse")
+	}
+	if _, err := Parse("[5,2)"); err == nil {
+		t.Fatal("inverted interval value must not parse")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		NewInterval(iv(1, 2)),
+		NewConst("b"),
+		NewAnnNull(2, iv(1, 3)),
+		NewConst("a"),
+		NewNull(5),
+		NewProjectedNull(5, 3),
+		NewNull(2),
+		NewAnnNull(2, iv(0, 3)),
+	}
+	sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	// Constants first, then nulls by (id, tp), then annotated nulls, then intervals.
+	want := []string{"a", "b", "N2", "N5@3", "N5", "N2^[0,3)", "N2^[1,3)", "[1,2)"}
+	for i, v := range vals {
+		if v.String() != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v (all: %v)", i, v, want[i], vals)
+		}
+	}
+	for i := range vals {
+		if Compare(vals[i], vals[i]) != 0 {
+			t.Fatalf("Compare(%v, itself) != 0", vals[i])
+		}
+		for j := i + 1; j < len(vals); j++ {
+			if Compare(vals[i], vals[j]) != -Compare(vals[j], vals[i]) {
+				t.Fatalf("Compare not antisymmetric: %v vs %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestNullGenFreshness(t *testing.T) {
+	var g NullGen
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Fresh()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	a := g.FreshAnn(iv(1, 5))
+	if a.K != AnnNull || a.Iv != iv(1, 5) || seen[a.ID] {
+		t.Fatalf("FreshAnn = %v", a)
+	}
+	n := g.FreshNull()
+	if n.K != Null || n.ID == a.ID {
+		t.Fatalf("FreshNull = %v", n)
+	}
+}
+
+func TestNullGenConcurrent(t *testing.T) {
+	var g NullGen
+	const workers, per = 8, 500
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]uint64, per)
+			for i := 0; i < per; i++ {
+				ids[w][i] = g.Fresh()
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate id %d across goroutines", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestValuesAsMapKeys(t *testing.T) {
+	// Values must be comparable and hash-stable so they can key maps.
+	m := map[Value]int{}
+	r := rand.New(rand.NewSource(9))
+	var g NullGen
+	for i := 0; i < 200; i++ {
+		var v Value
+		switch r.Intn(4) {
+		case 0:
+			v = NewConst(string(rune('a' + r.Intn(26))))
+		case 1:
+			v = g.FreshNull()
+		case 2:
+			v = g.FreshAnn(iv(interval.Time(r.Intn(5)), interval.Time(10+r.Intn(5))))
+		default:
+			v = NewInterval(iv(interval.Time(r.Intn(5)), interval.Time(10+r.Intn(5))))
+		}
+		m[v]++
+		m[v]++
+		if m[v] != 2 && !v.IsConst() && v.K != IntervalVal {
+			t.Fatalf("fresh value %v seen %d times", v, m[v])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package verify implements the semantic checks of the paper: snapshot
+// and abstract-instance homomorphisms (Definition 3, including the
+// cross-snapshot null-consistency condition motivated by Example 2),
+// solution checking for a data exchange setting, and homomorphic
+// equivalence — the relation ⟦Jc⟧ ∼ Ja of Corollary 20 that ties the
+// concrete chase to the abstract chase (Figure 10).
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// nullVar names the search variable standing for a null in a
+// homomorphism query. Distinct null values get distinct variables; the
+// same null value always gets the same variable, which is what enforces
+// condition 2 of the abstract homomorphism definition when atoms from
+// several snapshots share it.
+func nullVar(v value.Value) string { return "ν:" + v.String() }
+
+// factAtom turns a fact into a search atom: constants become literals
+// (homomorphisms are the identity on constants), nulls become variables.
+func factAtom(rel string, args []value.Value) logic.Atom {
+	terms := make([]logic.Term, len(args))
+	for i, v := range args {
+		if v.IsNullLike() {
+			terms[i] = logic.Var(nullVar(v))
+		} else {
+			terms[i] = logic.Lit(v)
+		}
+	}
+	return logic.Atom{Rel: rel, Terms: terms}
+}
+
+// SnapshotHom reports whether a homomorphism a → b exists between two
+// snapshots: a mapping of a's nulls to constants or nulls of b, identity
+// on constants, sending every fact of a onto a fact of b.
+func SnapshotHom(a, b *instance.Snapshot) bool {
+	conj := make(logic.Conjunction, 0, a.Len())
+	for _, f := range a.Facts() {
+		conj = append(conj, factAtom(f.Rel, f.Args))
+	}
+	return logic.Exists(b.Store(), conj, nil)
+}
+
+// samplePointsPerSegment returns, for the common refinement of the given
+// instances, up to two time points per segment: the segment start and,
+// when the segment spans more than one point, the next point. Two points
+// distinguish per-snapshot null families from nulls shared across
+// snapshots, which one representative cannot (Figure 2: J1 vs J2).
+func samplePointsPerSegment(insts ...*instance.Abstract) []interval.Time {
+	base := instance.SamplePoints(insts...)
+	var pts []interval.Time
+	for i, tp := range base {
+		pts = append(pts, tp)
+		var segEnd interval.Time = interval.Infinity
+		if i+1 < len(base) {
+			segEnd = base[i+1]
+		}
+		if tp+1 < segEnd {
+			pts = append(pts, tp+1)
+		}
+	}
+	return pts
+}
+
+// AbstractHom reports whether a homomorphism h : a → b exists per
+// Definition 3: a per-snapshot homomorphism h_ℓ : db_ℓ → db'_ℓ for every
+// ℓ, with all snapshots agreeing on where each null goes (condition 2).
+//
+// The search encodes all sampled snapshots into a single conjunction over
+// time-tagged relations; a null appearing in several snapshots becomes
+// one shared variable, so agreement is enforced by unification. Sampling
+// two points per aligned segment is exact: within a segment, snapshots
+// are isomorphic via family re-projection, so any per-snapshot
+// homomorphism at the sampled points extends to the whole segment, while
+// a shared null mapped to a per-snapshot family member is caught by the
+// second point.
+func AbstractHom(a, b *instance.Abstract) bool {
+	pts := samplePointsPerSegment(a, b)
+	st := storage.NewStore()
+	var conj logic.Conjunction
+	for idx, tp := range pts {
+		tag := fmt.Sprintf("@%d:", idx)
+		for _, f := range b.Snapshot(tp).Facts() {
+			st.Insert(tag+f.Rel, f.Args)
+		}
+		for _, f := range a.Snapshot(tp).Facts() {
+			atom := factAtom(tag+f.Rel, f.Args)
+			conj = append(conj, atom)
+		}
+	}
+	return logic.Exists(st, conj, nil)
+}
+
+// HomEquivalent reports whether a ∼ b: homomorphisms exist in both
+// directions (the universal-solution equivalence of Corollary 20).
+func HomEquivalent(a, b *instance.Abstract) bool {
+	return AbstractHom(a, b) && AbstractHom(b, a)
+}
+
+// IsSolution reports whether target is a solution for source w.r.t. the
+// mapping: every snapshot of (source, target) satisfies Σst ∪ Σeg
+// (paper §3). An explanation of the first violation is returned for
+// diagnostics.
+func IsSolution(source, target *instance.Abstract, m *dependency.Mapping) (bool, string) {
+	pts := samplePointsPerSegment(source, target)
+	for _, tp := range pts {
+		src := source.Snapshot(tp)
+		tgt := target.Snapshot(tp)
+		for _, d := range m.TGDs {
+			violated := ""
+			logic.ForEach(src.Store(), d.Body, nil, func(h logic.Match) bool {
+				if !logic.Exists(tgt.Store(), d.Head, h.Binding) {
+					violated = fmt.Sprintf("tgd %s unsatisfied at time %v under %v", d.Name, tp, h.Binding)
+					return false
+				}
+				return true
+			})
+			if violated != "" {
+				return false, violated
+			}
+		}
+		for _, d := range m.EGDs {
+			violated := ""
+			logic.ForEach(tgt.Store(), d.Body, nil, func(h logic.Match) bool {
+				if h.Binding[d.X1] != h.Binding[d.X2] {
+					violated = fmt.Sprintf("egd %s unsatisfied at time %v: %v ≠ %v", d.Name, tp, h.Binding[d.X1], h.Binding[d.X2])
+					return false
+				}
+				return true
+			})
+			if violated != "" {
+				return false, violated
+			}
+		}
+	}
+	return true, ""
+}
+
+// IsUniversalFor reports whether candidate is a solution for source that
+// maps homomorphically into every instance of others (each assumed to be
+// a solution). It cannot, of course, quantify over all solutions — tests
+// supply representative ones.
+func IsUniversalFor(source, candidate *instance.Abstract, m *dependency.Mapping, others ...*instance.Abstract) (bool, string) {
+	ok, why := IsSolution(source, candidate, m)
+	if !ok {
+		return false, "not a solution: " + why
+	}
+	for i, o := range others {
+		if !AbstractHom(candidate, o) {
+			return false, fmt.Sprintf("no homomorphism into solution #%d", i)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,287 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/normalize"
+	"repro/internal/paperex"
+	"repro/internal/value"
+)
+
+func snap(fs ...fact.Fact) *instance.Snapshot {
+	s := instance.NewSnapshot()
+	for _, f := range fs {
+		s.Insert(f)
+	}
+	return s
+}
+
+func TestSnapshotHomBasics(t *testing.T) {
+	c := paperex.C
+	n := value.NewNull(1)
+	withNull := snap(fact.New("Emp", c("Ada"), c("IBM"), n))
+	withConst := snap(fact.New("Emp", c("Ada"), c("IBM"), c("18k")))
+	if !SnapshotHom(withNull, withConst) {
+		t.Fatal("null should map to constant")
+	}
+	if SnapshotHom(withConst, withNull) {
+		t.Fatal("constant must not map to null (identity on constants)")
+	}
+	if !SnapshotHom(withNull, withNull) || !SnapshotHom(withConst, withConst) {
+		t.Fatal("identity homomorphism missing")
+	}
+	// Same null twice must map consistently.
+	two := snap(
+		fact.New("R", n, c("x")),
+		fact.New("S", n, c("y")),
+	)
+	tgtOK := snap(
+		fact.New("R", c("a"), c("x")),
+		fact.New("S", c("a"), c("y")),
+	)
+	tgtBad := snap(
+		fact.New("R", c("a"), c("x")),
+		fact.New("S", c("b"), c("y")),
+	)
+	if !SnapshotHom(two, tgtOK) {
+		t.Fatal("consistent mapping should exist")
+	}
+	if SnapshotHom(two, tgtBad) {
+		t.Fatal("null mapped to two different constants")
+	}
+	// Empty snapshot maps anywhere.
+	if !SnapshotHom(snap(), withConst) {
+		t.Fatal("empty snapshot must map")
+	}
+}
+
+// figure2 builds the paper's Figure 2 instances: J1 shares one null N
+// across db0 and db1; J2 has per-snapshot nulls M1, M2.
+func figure2(t *testing.T) (j1, j2 *instance.Abstract) {
+	t.Helper()
+	c := paperex.C
+	n := value.NewNull(100)
+	var err error
+	j1, err = instance.NewAbstract([]instance.Segment{
+		{Iv: paperex.Iv(0, 2), Facts: []fact.CFact{
+			{Rel: "Emp", Args: []value.Value{c("Ada"), c("IBM"), n}, T: paperex.Iv(0, 2)},
+		}},
+		{Iv: interval.Interval{Start: 2, End: interval.Infinity}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := instance.NewConcrete(nil)
+	jc.MustInsert(fact.NewC("Emp", paperex.Iv(0, 2), c("Ada"), c("IBM"), value.NewAnnNull(200, paperex.Iv(0, 2))))
+	j2 = jc.Abstract()
+	return j1, j2
+}
+
+func TestExample2HomomorphismAsymmetry(t *testing.T) {
+	// The paper's Example 2: there is a homomorphism J2 → J1 but none
+	// J1 → J2, because J1's shared null would have to map to M1 in db0 and
+	// M2 in db1, violating condition 2.
+	j1, j2 := figure2(t)
+	if !AbstractHom(j2, j1) {
+		t.Fatal("homomorphism J2 → J1 must exist")
+	}
+	if AbstractHom(j1, j2) {
+		t.Fatal("homomorphism J1 → J2 must not exist (condition 2)")
+	}
+	if HomEquivalent(j1, j2) {
+		t.Fatal("J1 and J2 are not homomorphically equivalent")
+	}
+	if !HomEquivalent(j1, j1) || !HomEquivalent(j2, j2) {
+		t.Fatal("equivalence must be reflexive")
+	}
+}
+
+func TestIsSolutionOnPaperExample(t *testing.T) {
+	ic := paperex.Figure4()
+	m := paperex.EmploymentMapping()
+	jc, _, err := chase.Concrete(ic, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, why := IsSolution(ic.Abstract(), jc.Abstract(), m)
+	if !ok {
+		t.Fatalf("chase result is not a solution: %s", why)
+	}
+	// The empty target is not a solution (tgds unsatisfied).
+	empty := instance.NewConcrete(m.Target)
+	ok, why = IsSolution(ic.Abstract(), empty.Abstract(), m)
+	if ok || why == "" {
+		t.Fatal("empty target accepted as solution")
+	}
+	// A target violating the egd is not a solution.
+	bad := jc.Clone()
+	bad.MustInsert(fact.NewC("Emp", paperex.Iv(2013, 2014), paperex.C("Ada"), paperex.C("IBM"), paperex.C("99k")))
+	ok, _ = IsSolution(ic.Abstract(), bad.Abstract(), m)
+	if ok {
+		t.Fatal("egd-violating target accepted as solution")
+	}
+}
+
+func TestTheorem19UniversalSolution(t *testing.T) {
+	// The c-chase result maps homomorphically into other solutions:
+	// (a) itself, (b) a fattened solution with extra facts, (c) one where
+	// unknown salaries are made concrete.
+	ic := paperex.Figure4()
+	m := paperex.EmploymentMapping()
+	jc, _, err := chase.Concrete(ic, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja := jc.Abstract()
+
+	fat := jc.Clone()
+	fat.MustInsert(fact.NewC("Emp", paperex.Iv(1, 2), paperex.C("Zoe"), paperex.C("ACME"), paperex.C("1k")))
+
+	concreteSalaries := instance.NewConcrete(m.Target)
+	for _, f := range jc.Facts() {
+		args := make([]value.Value, len(f.Args))
+		for i, v := range f.Args {
+			if v.IsNullLike() {
+				args[i] = paperex.C("42k")
+			} else {
+				args[i] = v
+			}
+		}
+		concreteSalaries.MustInsert(fact.CFact{Rel: f.Rel, Args: args, T: f.T})
+	}
+
+	ok, why := IsUniversalFor(ic.Abstract(), ja, m, fat.Abstract(), concreteSalaries.Abstract())
+	if !ok {
+		t.Fatalf("chase result not universal: %s", why)
+	}
+	// The concretized instance is a solution but NOT universal: it has no
+	// homomorphism back into the chase result... unless 42k also appears
+	// there, which it does not.
+	if AbstractHom(concreteSalaries.Abstract(), ja) {
+		t.Fatal("over-specified solution must not map into the universal one")
+	}
+}
+
+func TestFigure10Commutativity(t *testing.T) {
+	// Corollary 20 on the paper's example: ⟦c-chase(Ic)⟧ ∼ chase(⟦Ic⟧).
+	ic := paperex.Figure4()
+	m := paperex.EmploymentMapping()
+	jc, _, err := chase.Concrete(ic, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _, err := chase.Abstract(ic.Abstract(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HomEquivalent(jc.Abstract(), ja) {
+		t.Fatalf("⟦Jc⟧ ≁ chase(⟦Ic⟧):\n%s\nvs\n%s", jc.Abstract(), ja)
+	}
+}
+
+// randomSourceInstance builds small random employment-shaped sources.
+func randomSourceInstance(r *rand.Rand) *instance.Concrete {
+	m := paperex.EmploymentMapping()
+	ic := instance.NewConcrete(m.Source)
+	names := []string{"a", "b"}
+	comps := []string{"X", "Y"}
+	sals := []string{"1k", "2k"}
+	for i := 0; i < 1+r.Intn(5); i++ {
+		s := interval.Time(r.Intn(8))
+		e := s + 1 + interval.Time(r.Intn(6))
+		ic.MustInsert(fact.NewC("E", paperex.Iv(s, e), paperex.C(names[r.Intn(2)]), paperex.C(comps[r.Intn(2)])))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		s := interval.Time(r.Intn(8))
+		e := s + 1 + interval.Time(r.Intn(6))
+		ic.MustInsert(fact.NewC("S", paperex.Iv(s, e), paperex.C(names[r.Intn(2)]), paperex.C(sals[r.Intn(2)])))
+	}
+	return ic
+}
+
+func TestCommutativityProperty(t *testing.T) {
+	// Randomized Figure 10: for random sources, either both chases fail,
+	// or both succeed with homomorphically equivalent results, the
+	// concrete result is a solution, and it is universal w.r.t. the
+	// abstract chase result.
+	r := rand.New(rand.NewSource(43))
+	m := paperex.EmploymentMapping()
+	failures, successes := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		ic := randomSourceInstance(r)
+		jc, _, errC := chase.Concrete(ic, m, nil)
+		ja, _, errA := chase.Abstract(ic.Abstract(), m, nil)
+		if (errC == nil) != (errA == nil) {
+			t.Fatalf("failure mismatch on:\n%s\nconcrete err=%v abstract err=%v", ic, errC, errA)
+		}
+		if errC != nil {
+			failures++
+			continue
+		}
+		successes++
+		if ok, why := IsSolution(ic.Abstract(), jc.Abstract(), m); !ok {
+			t.Fatalf("c-chase result not a solution on:\n%s\n%s", ic, why)
+		}
+		if !HomEquivalent(jc.Abstract(), ja) {
+			t.Fatalf("⟦Jc⟧ ≁ chase(⟦Ic⟧) on:\n%s\nJc:\n%s\nJa:\n%s", ic, jc, ja)
+		}
+	}
+	if failures == 0 || successes == 0 {
+		t.Fatalf("want both outcomes exercised: %d failures, %d successes", failures, successes)
+	}
+}
+
+func TestCommutativityPropertyNaiveStrategy(t *testing.T) {
+	// The same property must hold under the naïve normalization strategy.
+	r := rand.New(rand.NewSource(47))
+	m := paperex.EmploymentMapping()
+	opts := &chase.Options{Norm: normalize.StrategyNaive}
+	for trial := 0; trial < 60; trial++ {
+		ic := randomSourceInstance(r)
+		jc, _, errC := chase.Concrete(ic, m, opts)
+		ja, _, errA := chase.Abstract(ic.Abstract(), m, nil)
+		if (errC == nil) != (errA == nil) {
+			t.Fatalf("failure mismatch on:\n%s", ic)
+		}
+		if errC != nil {
+			continue
+		}
+		if !HomEquivalent(jc.Abstract(), ja) {
+			t.Fatalf("naive strategy: ⟦Jc⟧ ≁ chase(⟦Ic⟧) on:\n%s", ic)
+		}
+	}
+}
+
+func TestProposition4FailureMeansNoSolution(t *testing.T) {
+	// When the chase fails, no solution exists: verify that plausible
+	// candidate targets all violate the setting.
+	m := paperex.EmploymentMapping()
+	iv, c := paperex.Iv, paperex.C
+	ic := instance.NewConcrete(m.Source)
+	ic.MustInsert(fact.NewC("E", iv(0, 4), c("a"), c("X")))
+	ic.MustInsert(fact.NewC("S", iv(0, 4), c("a"), c("1k")))
+	ic.MustInsert(fact.NewC("S", iv(2, 4), c("a"), c("2k")))
+	if _, _, err := chase.Concrete(ic, m, nil); err == nil {
+		t.Fatal("chase should fail")
+	}
+	// Any target containing both required Emp facts violates the egd; a
+	// target missing one violates σ2. Spot-check a few candidates.
+	candidates := []*instance.Concrete{}
+	full := instance.NewConcrete(m.Target)
+	full.MustInsert(fact.NewC("Emp", iv(2, 4), c("a"), c("X"), c("1k")))
+	full.MustInsert(fact.NewC("Emp", iv(2, 4), c("a"), c("X"), c("2k")))
+	candidates = append(candidates, full)
+	onlyOne := instance.NewConcrete(m.Target)
+	onlyOne.MustInsert(fact.NewC("Emp", iv(0, 4), c("a"), c("X"), c("1k")))
+	candidates = append(candidates, onlyOne, instance.NewConcrete(m.Target))
+	for i, cand := range candidates {
+		if ok, _ := IsSolution(ic.Abstract(), cand.Abstract(), m); ok {
+			t.Fatalf("candidate %d wrongly accepted as solution", i)
+		}
+	}
+}

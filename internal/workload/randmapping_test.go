@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomMappingAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for i := 0; i < 500; i++ {
+		m := RandomMapping(r) // panics internally when invalid
+		if len(m.TGDs) == 0 {
+			t.Fatal("mapping without tgds")
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		// Safety: every tgd head variable is a body variable or a declared
+		// existential of that tgd.
+		for _, d := range m.TGDs {
+			body := map[string]bool{}
+			for _, v := range d.Body.Vars() {
+				body[v] = true
+			}
+			ex := map[string]bool{}
+			for _, v := range d.Existentials() {
+				ex[v] = true
+			}
+			for _, v := range d.Head.Vars() {
+				if !body[v] && !ex[v] {
+					t.Fatalf("unsafe head variable %s in %v", v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomInstanceForMatchesSchema(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for i := 0; i < 200; i++ {
+		m := RandomMapping(r)
+		ic := RandomInstanceFor(r, m, 5)
+		if ic.Len() == 0 {
+			t.Fatal("empty instance")
+		}
+		for _, f := range ic.Facts() {
+			rel, ok := m.Source.Relation(f.Rel)
+			if !ok {
+				t.Fatalf("fact over unknown relation %s", f.Rel)
+			}
+			if len(f.Args) != rel.Arity() {
+				t.Fatalf("arity mismatch for %v", f)
+			}
+			if f.HasNulls() {
+				t.Fatalf("source instance must be complete: %v", f)
+			}
+		}
+	}
+}

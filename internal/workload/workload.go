@@ -1,0 +1,398 @@
+// Package workload generates deterministic synthetic temporal instances
+// for the experiment harness and benchmarks: employment histories (the
+// paper's running domain, scaled up), hospital records and taxi-ride logs
+// (the integration scenarios the paper's introduction motivates), and the
+// adversarial overlap patterns that drive normalization to its Theorem 13
+// worst case. All generators are pure functions of their configuration,
+// so every experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/paperex"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// EmploymentConfig parameterizes the employment-history generator.
+type EmploymentConfig struct {
+	Seed           int64
+	Persons        int
+	JobsPerPerson  int     // consecutive employment periods per person
+	SalaryCoverage float64 // fraction of persons with salary facts [0,1]
+	Span           interval.Time
+	Conflicts      int // persons given two overlapping salaries (chase failure injectors)
+}
+
+// DefaultEmployment returns a medium-sized configuration.
+func DefaultEmployment() EmploymentConfig {
+	return EmploymentConfig{Seed: 1, Persons: 100, JobsPerPerson: 4, SalaryCoverage: 0.7, Span: 100}
+}
+
+// Employment generates a source instance over the paper's employment
+// schema (E(name, company), S(name, salary)). Employment periods per
+// person are consecutive with occasional gaps; salary facts cover a
+// random sub-period, producing the interval misalignments that make
+// normalization non-trivial.
+func Employment(cfg EmploymentConfig) *instance.Concrete {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := paperex.EmploymentMapping()
+	ic := instance.NewConcrete(m.Source)
+	if cfg.Span < 10 {
+		cfg.Span = 10
+	}
+	for p := 0; p < cfg.Persons; p++ {
+		name := fmt.Sprintf("p%d", p)
+		t := interval.Time(r.Intn(int(cfg.Span / 4)))
+		for j := 0; j < cfg.JobsPerPerson; j++ {
+			dur := 1 + interval.Time(r.Intn(int(cfg.Span/4)))
+			end := t + dur
+			company := fmt.Sprintf("c%d", r.Intn(cfg.Persons/2+1))
+			if j == cfg.JobsPerPerson-1 && r.Intn(3) == 0 {
+				ic.MustInsert(fact.NewC("E", interval.Interval{Start: t, End: interval.Infinity},
+					paperex.C(name), paperex.C(company)))
+				break
+			}
+			ic.MustInsert(fact.NewC("E", interval.MustNew(t, end), paperex.C(name), paperex.C(company)))
+			t = end + interval.Time(r.Intn(3)) // occasional gap
+		}
+		if r.Float64() < cfg.SalaryCoverage {
+			s := interval.Time(r.Intn(int(cfg.Span / 2)))
+			e := s + 1 + interval.Time(r.Intn(int(cfg.Span/2)))
+			sal := fmt.Sprintf("%dk", 10+r.Intn(90))
+			ic.MustInsert(fact.NewC("S", interval.MustNew(s, e), paperex.C(name), paperex.C(sal)))
+		}
+	}
+	for k := 0; k < cfg.Conflicts && k < cfg.Persons; k++ {
+		name := fmt.Sprintf("p%d", k)
+		// Two different salaries over overlapping periods, guaranteed to
+		// overlap an employment period starting at 0.
+		ic.MustInsert(fact.NewC("E", interval.MustNew(0, 10), paperex.C(name), paperex.C("clashCo")))
+		ic.MustInsert(fact.NewC("S", interval.MustNew(0, 6), paperex.C(name), paperex.C("1k")))
+		ic.MustInsert(fact.NewC("S", interval.MustNew(4, 10), paperex.C(name), paperex.C("2k")))
+	}
+	return ic
+}
+
+// MedicalMapping returns the hospital-records setting: admissions,
+// diagnoses, and prescriptions are integrated into charts and treatment
+// records; a chart determines one primary diagnosis per ward stay.
+func MedicalMapping() *dependency.Mapping {
+	src := schema.MustNew(
+		schema.MustRelation("Admission", "patient", "ward"),
+		schema.MustRelation("Diagnosis", "patient", "disease"),
+		schema.MustRelation("Prescription", "patient", "drug"),
+	)
+	tgt := schema.MustNew(
+		schema.MustRelation("Chart", "patient", "ward", "disease"),
+		schema.MustRelation("Treatment", "patient", "drug", "disease"),
+	)
+	v := logic.Var
+	return &dependency.Mapping{
+		Source: src,
+		Target: tgt,
+		TGDs: []dependency.TGD{
+			{
+				Name: "admit-chart",
+				Body: logic.Conjunction{logic.NewAtom("Admission", v("p"), v("w"))},
+				Head: logic.Conjunction{logic.NewAtom("Chart", v("p"), v("w"), v("d"))},
+			},
+			{
+				Name: "admit-diag-chart",
+				Body: logic.Conjunction{
+					logic.NewAtom("Admission", v("p"), v("w")),
+					logic.NewAtom("Diagnosis", v("p"), v("d")),
+				},
+				Head: logic.Conjunction{logic.NewAtom("Chart", v("p"), v("w"), v("d"))},
+			},
+			{
+				Name: "prescribe-treat",
+				Body: logic.Conjunction{
+					logic.NewAtom("Prescription", v("p"), v("dr")),
+					logic.NewAtom("Diagnosis", v("p"), v("d")),
+				},
+				Head: logic.Conjunction{logic.NewAtom("Treatment", v("p"), v("dr"), v("d"))},
+			},
+		},
+		EGDs: []dependency.EGD{
+			{
+				Name: "one-primary-diagnosis",
+				Body: logic.Conjunction{
+					logic.NewAtom("Chart", v("p"), v("w"), v("d")),
+					logic.NewAtom("Chart", v("p"), v("w"), v("d2")),
+				},
+				X1: "d", X2: "d2",
+			},
+		},
+	}
+}
+
+// MedicalConfig parameterizes the hospital-record generator.
+type MedicalConfig struct {
+	Seed     int64
+	Patients int
+	Span     interval.Time
+}
+
+// Medical generates admissions (per-stay intervals), diagnoses (sparser,
+// longer validity), and prescriptions, with the interval misalignments
+// typical of clinical data.
+func Medical(cfg MedicalConfig) *instance.Concrete {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := MedicalMapping()
+	ic := instance.NewConcrete(m.Source)
+	if cfg.Span < 20 {
+		cfg.Span = 20
+	}
+	wards := []string{"cardio", "neuro", "ortho", "icu"}
+	diseases := []string{"d-flu", "d-fracture", "d-arrhythmia", "d-migraine"}
+	drugs := []string{"aspirin", "betablocker", "ibuprofen"}
+	for p := 0; p < cfg.Patients; p++ {
+		name := fmt.Sprintf("pat%d", p)
+		stays := 1 + r.Intn(3)
+		t := interval.Time(r.Intn(int(cfg.Span / 2)))
+		for s := 0; s < stays; s++ {
+			dur := 1 + interval.Time(r.Intn(int(cfg.Span/5)))
+			ic.MustInsert(fact.NewC("Admission", interval.MustNew(t, t+dur),
+				paperex.C(name), paperex.C(wards[r.Intn(len(wards))])))
+			t += dur + interval.Time(1+r.Intn(4))
+		}
+		if r.Intn(4) > 0 {
+			s := interval.Time(r.Intn(int(cfg.Span / 2)))
+			e := s + 2 + interval.Time(r.Intn(int(cfg.Span/2)))
+			ic.MustInsert(fact.NewC("Diagnosis", interval.MustNew(s, e),
+				paperex.C(name), paperex.C(diseases[r.Intn(len(diseases))])))
+		}
+		if r.Intn(3) > 0 {
+			s := interval.Time(r.Intn(int(cfg.Span / 2)))
+			e := s + 1 + interval.Time(r.Intn(int(cfg.Span/3)))
+			ic.MustInsert(fact.NewC("Prescription", interval.MustNew(s, e),
+				paperex.C(name), paperex.C(drugs[r.Intn(len(drugs))])))
+		}
+	}
+	return ic
+}
+
+// TaxiMapping returns the ride-log setting: driver shifts and cab ride
+// logs are integrated into per-driver trip records; a cab is in one zone
+// at a time.
+func TaxiMapping() *dependency.Mapping {
+	src := schema.MustNew(
+		schema.MustRelation("Shift", "driver", "cab"),
+		schema.MustRelation("Ride", "cab", "zone"),
+	)
+	tgt := schema.MustNew(
+		schema.MustRelation("Trip", "driver", "cab", "zone"),
+	)
+	v := logic.Var
+	return &dependency.Mapping{
+		Source: src,
+		Target: tgt,
+		TGDs: []dependency.TGD{
+			{
+				Name: "shift-trip",
+				Body: logic.Conjunction{logic.NewAtom("Shift", v("d"), v("c"))},
+				Head: logic.Conjunction{logic.NewAtom("Trip", v("d"), v("c"), v("z"))},
+			},
+			{
+				Name: "shift-ride-trip",
+				Body: logic.Conjunction{
+					logic.NewAtom("Shift", v("d"), v("c")),
+					logic.NewAtom("Ride", v("c"), v("z")),
+				},
+				Head: logic.Conjunction{logic.NewAtom("Trip", v("d"), v("c"), v("z"))},
+			},
+		},
+		EGDs: []dependency.EGD{
+			{
+				Name: "one-zone-at-a-time",
+				Body: logic.Conjunction{
+					logic.NewAtom("Trip", v("d"), v("c"), v("z")),
+					logic.NewAtom("Trip", v("d"), v("c"), v("z2")),
+				},
+				X1: "z", X2: "z2",
+			},
+		},
+	}
+}
+
+// TaxiConfig parameterizes the ride-log generator.
+type TaxiConfig struct {
+	Seed    int64
+	Drivers int
+	Cabs    int
+	Span    interval.Time
+}
+
+// Taxi generates shift and ride logs. Rides are consecutive short
+// intervals per cab so the egd never fails, while shifts are long
+// intervals overlapping many rides.
+func Taxi(cfg TaxiConfig) *instance.Concrete {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := TaxiMapping()
+	ic := instance.NewConcrete(m.Source)
+	if cfg.Cabs == 0 {
+		cfg.Cabs = cfg.Drivers
+	}
+	if cfg.Span < 20 {
+		cfg.Span = 20
+	}
+	for d := 0; d < cfg.Drivers; d++ {
+		driver := fmt.Sprintf("drv%d", d)
+		cab := fmt.Sprintf("cab%d", r.Intn(cfg.Cabs))
+		s := interval.Time(r.Intn(int(cfg.Span / 2)))
+		e := s + 4 + interval.Time(r.Intn(int(cfg.Span/2)))
+		ic.MustInsert(fact.NewC("Shift", interval.MustNew(s, e), paperex.C(driver), paperex.C(cab)))
+	}
+	for c := 0; c < cfg.Cabs; c++ {
+		cab := fmt.Sprintf("cab%d", c)
+		t := interval.Time(r.Intn(4))
+		for t < cfg.Span {
+			dur := 1 + interval.Time(r.Intn(5))
+			zone := fmt.Sprintf("z%d", r.Intn(12))
+			ic.MustInsert(fact.NewC("Ride", interval.MustNew(t, t+dur), paperex.C(cab), paperex.C(zone)))
+			t += dur // consecutive: a cab is in exactly one zone at a time
+		}
+	}
+	return ic
+}
+
+// Staircase builds the Theorem 13 adversarial instance: n facts over one
+// unary relation R with intervals [i, n+i), every pair properly
+// overlapping. Against the self-join conjunction (StaircasePhi) the smart
+// normalizer must fragment every fact at nearly every endpoint, reaching
+// the O(n²) output bound.
+func Staircase(n int) *instance.Concrete {
+	ic := instance.NewConcrete(nil)
+	for i := 0; i < n; i++ {
+		ic.MustInsert(fact.NewC("R", interval.MustNew(interval.Time(i), interval.Time(n+i)),
+			paperex.C(fmt.Sprintf("v%d", i))))
+	}
+	return ic
+}
+
+// StaircasePhi returns the self-join conjunction R(x,t) ∧ R(y,t) in
+// concrete form.
+func StaircasePhi() []logic.Conjunction {
+	tv := logic.Var(dependency.TemporalVar)
+	return []logic.Conjunction{{
+		logic.Atom{Rel: "R", Terms: []logic.Term{logic.Var("x"), tv}},
+		logic.Atom{Rel: "R", Terms: []logic.Term{logic.Var("y"), tv}},
+	}}
+}
+
+// Nested builds n facts with intervals [i, 2n−i): each contains the next,
+// another worst-case overlap pattern.
+func Nested(n int) *instance.Concrete {
+	ic := instance.NewConcrete(nil)
+	for i := 0; i < n; i++ {
+		ic.MustInsert(fact.NewC("R", interval.MustNew(interval.Time(i), interval.Time(2*n-i)),
+			paperex.C(fmt.Sprintf("v%d", i))))
+	}
+	return ic
+}
+
+// DisjointRuns builds n facts split into k pairwise-disjoint clusters —
+// the best case for the smart normalizer (components never merge across
+// clusters).
+func DisjointRuns(n, k int) *instance.Concrete {
+	ic := instance.NewConcrete(nil)
+	if k < 1 {
+		k = 1
+	}
+	per := n / k
+	if per < 1 {
+		per = 1
+	}
+	stride := interval.Time(4 * per)
+	for i := 0; i < n; i++ {
+		cluster := interval.Time(i/per) * stride
+		off := interval.Time(i % per)
+		ic.MustInsert(fact.NewC("R", interval.MustNew(cluster+off, cluster+off+interval.Time(per)+1),
+			paperex.C(fmt.Sprintf("v%d", i))))
+	}
+	return ic
+}
+
+// NullHeavy builds a target-style instance with many annotated nulls
+// subject to the employment egd — the egd-strategy ablation workload.
+// Every group of fanout facts shares (name, company) and one constant
+// salary on equal intervals, so the chase must merge fanout−1 nulls per
+// group into the constant.
+func NullHeavy(groups, fanout int, gen *value.NullGen) *instance.Concrete {
+	ic := instance.NewConcrete(nil)
+	for g := 0; g < groups; g++ {
+		iv := interval.MustNew(interval.Time(10*g), interval.Time(10*g+5))
+		name := fmt.Sprintf("p%d", g)
+		ic.MustInsert(fact.NewC("Emp", iv, paperex.C(name), paperex.C("co"), paperex.C("9k")))
+		for f := 1; f < fanout; f++ {
+			ic.MustInsert(fact.NewC("Emp", iv, paperex.C(name), paperex.C("co"), gen.FreshAnn(iv)))
+		}
+	}
+	return ic
+}
+
+// EgdStressMapping returns a setting whose chase is dominated by egd
+// merges: k source relations E0..Ek-1 each assert employment with an
+// unknown salary recorded in a per-source witness relation Wi (so the
+// extension check cannot subsume one tgd's head by another's), and the
+// salary key forces the k fresh nulls per (name, company) group to
+// collapse into one. Used by the egd-strategy ablation.
+func EgdStressMapping(k int) *dependency.Mapping {
+	src, _ := schema.New()
+	tgt := schema.MustNew(schema.MustRelation("Emp", "name", "company", "salary"))
+	v := logic.Var
+	m := &dependency.Mapping{}
+	for i := 0; i < k; i++ {
+		rel := fmt.Sprintf("E%d", i)
+		wit := fmt.Sprintf("W%d", i)
+		if err := src.Add(schema.MustRelation(rel, "name", "company")); err != nil {
+			panic(err)
+		}
+		if err := tgt.Add(schema.MustRelation(wit, "name", "salary")); err != nil {
+			panic(err)
+		}
+		m.TGDs = append(m.TGDs, dependency.TGD{
+			Name: rel + "-emp",
+			Body: logic.Conjunction{logic.NewAtom(rel, v("n"), v("c"))},
+			Head: logic.Conjunction{
+				logic.NewAtom("Emp", v("n"), v("c"), v("s")),
+				logic.NewAtom(wit, v("n"), v("s")),
+			},
+		})
+	}
+	m.Source = src
+	m.Target = tgt
+	m.EGDs = []dependency.EGD{{
+		Name: "salary-key",
+		Body: logic.Conjunction{
+			logic.NewAtom("Emp", v("n"), v("c"), v("s")),
+			logic.NewAtom("Emp", v("n"), v("c"), v("s2")),
+		},
+		X1: "s", X2: "s2",
+	}}
+	return m
+}
+
+// EgdStress generates a source for EgdStressMapping(k): groups disjoint
+// (name, company, interval) groups, each present in all k source
+// relations, so the chase creates k nulls per group and merges them.
+func EgdStress(groups, k int) *instance.Concrete {
+	m := EgdStressMapping(k)
+	ic := instance.NewConcrete(m.Source)
+	for g := 0; g < groups; g++ {
+		iv := interval.MustNew(interval.Time(10*g), interval.Time(10*g+5))
+		name := fmt.Sprintf("p%d", g)
+		for i := 0; i < k; i++ {
+			ic.MustInsert(fact.NewC(fmt.Sprintf("E%d", i), iv, paperex.C(name), paperex.C("co")))
+		}
+	}
+	return ic
+}
