@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/chase"
@@ -27,7 +28,9 @@ import (
 	"repro/internal/paperex"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/storage"
 	"repro/internal/temporal"
+	"repro/internal/value"
 	"repro/internal/workload"
 )
 
@@ -374,6 +377,76 @@ func BenchmarkJSONRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := jsonio.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tupleCorpus builds a deterministic mixed-kind tuple corpus (constants,
+// annotated nulls, intervals) with roughly half duplicates, exercising the
+// storage dedup path the way chase inserts do.
+func tupleCorpus(n int) [][]value.Value {
+	rng := rand.New(rand.NewSource(11))
+	out := make([][]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		s := interval.Time(rng.Intn(50))
+		iv := interval.MustNew(s, s+1+interval.Time(rng.Intn(20)))
+		tup := []value.Value{
+			value.NewConst(fmt.Sprintf("p%d", rng.Intn(n/4))),
+			value.NewConst(fmt.Sprintf("c%d", rng.Intn(16))),
+			value.NewAnnNull(uint64(rng.Intn(n/8)+1), iv),
+			value.NewInterval(iv),
+		}
+		out = append(out, tup)
+	}
+	return out
+}
+
+// BenchmarkStorageInsert measures the tuple insert/dedup hot path
+// (perf-intern): time and allocations per corpus insertion.
+func BenchmarkStorageInsert(b *testing.B) {
+	corpus := tupleCorpus(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := storage.NewStore()
+		for _, tup := range corpus {
+			st.Insert("R", tup)
+		}
+	}
+}
+
+// BenchmarkHomomorphismSearch measures raw homomorphism enumeration over
+// a normalized instance (perf-intern): the index-nested-loop engine.
+func BenchmarkHomomorphismSearch(b *testing.B) {
+	body := paperex.Sigma2Body()
+	norm := normalize.Smart(employment(200), []logic.Conjunction{body})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		logic.ForEach(norm.Store(), body, nil, func(logic.Match) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no homomorphisms")
+		}
+	}
+}
+
+// BenchmarkEgdMergeLoop measures the egd phase alone (perf-intern): the
+// violating target is prebuilt once, so each iteration is normalize +
+// match + union-find merge + rewrite.
+func BenchmarkEgdMergeLoop(b *testing.B) {
+	m := workload.EgdStressMapping(8)
+	tgdOnly := *m
+	tgdOnly.EGDs = nil
+	tgt, _, err := chase.Concrete(workload.EgdStress(40, 8), &tgdOnly, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := chase.EgdPhase(tgt, m, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

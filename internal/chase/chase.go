@@ -65,6 +65,12 @@ type Options struct {
 	Coalesce bool
 	// Gen supplies null family ids; a private generator is used when nil.
 	Gen *value.NullGen
+	// Interner, when set, is the value interner used for the instances the
+	// chase materializes (the target, normalization outputs, egd rewrites).
+	// When nil the normalized source's interner is shared, which keeps all
+	// rows of one run ID-compatible — the sensible default; set it to share
+	// the value domain across runs.
+	Interner *value.Interner
 	// Trace, when set, receives one Event per chase action (normalization
 	// passes, tgd firings, egd merges, failures). For debugging and the
 	// CLI's -trace flag; adds no cost when nil.
@@ -94,6 +100,19 @@ func (o *Options) egd() EgdStrategy {
 
 func (o *Options) coalesce() bool { return o != nil && o.Coalesce }
 
+// interner returns the interner for chase-built instances: the Options
+// override when set, else def (the source's interner).
+func (o *Options) interner(def *value.Interner) *value.Interner {
+	if o != nil && o.Interner != nil {
+		return o.Interner
+	}
+	return def
+}
+
+// tracing reports whether a trace hook is installed, so hot loops can
+// skip argument evaluation for emit entirely.
+func (o *Options) tracing() bool { return o != nil && o.Trace != nil }
+
 // Stats reports what a chase run did, for the experiment harness.
 type Stats struct {
 	NormalizedSourceFacts int // source facts after normalization
@@ -106,55 +125,105 @@ type Stats struct {
 	NormalizeRuns         int // normalization passes over the target
 }
 
-// valueUF is a union-find over database values with constant absorption:
-// the representative of a class containing a constant is that constant;
-// two distinct constants in one class are a chase failure.
+// valueUF is an integer union-find over interned value IDs with constant
+// absorption: the canonical representative of a class containing a
+// constant is that constant; two distinct constants in one class are a
+// chase failure. The tree structure is merged by rank and find uses
+// iterative path halving (no recursion, so arbitrarily long merge chains
+// cannot overflow the stack); the *canonical* representative of each
+// class is tracked separately per root, because the chase needs a
+// deterministic output — the smallest value of the class by value.Compare
+// (a constant when present) — independent of union order and tree shape.
 type valueUF struct {
-	parent map[value.Value]value.Value
+	in     *value.Interner
+	parent []value.ID
+	rank   []uint8
+	repr   []value.ID // per root: the canonical representative of its class
+	merges int
 }
 
-func newValueUF() *valueUF { return &valueUF{parent: make(map[value.Value]value.Value)} }
+func newValueUF(in *value.Interner) *valueUF { return &valueUF{in: in} }
 
-// find returns the representative of v (v itself if never merged).
-func (u *valueUF) find(v value.Value) value.Value {
-	p, ok := u.parent[v]
-	if !ok {
-		return v
+// ensure grows the arrays to cover id.
+func (u *valueUF) ensure(id value.ID) {
+	if id == value.NoID {
+		// Growing to cover the sentinel would allocate 2^32 entries; a
+		// NoID here means a caller fed an unbound variable into the
+		// union-find, which the egd loops guard against.
+		panic("chase: NoID in union-find")
 	}
-	root := u.find(p)
-	u.parent[v] = root
-	return root
+	for len(u.parent) <= int(id) {
+		next := value.ID(len(u.parent))
+		u.parent = append(u.parent, next)
+		u.rank = append(u.rank, 0)
+		u.repr = append(u.repr, next)
+	}
 }
+
+// find returns the tree root of id's class, compressing the path.
+func (u *valueUF) find(id value.ID) value.ID {
+	u.ensure(id)
+	for u.parent[id] != id {
+		u.parent[id] = u.parent[u.parent[id]] // path halving
+		id = u.parent[id]
+	}
+	return id
+}
+
+// canon returns the canonical representative of id's class (id itself if
+// never merged).
+func (u *valueUF) canon(id value.ID) value.ID {
+	if int(id) >= len(u.parent) {
+		return id
+	}
+	return u.repr[u.find(id)]
+}
+
+// isConst reports whether an ID denotes a constant, without
+// materializing the value.
+func (u *valueUF) isConst(id value.ID) bool { return u.in.KindOf(id) == value.Const }
 
 // union merges the classes of a and b. It fails exactly when that would
 // equate two distinct constants (the failing egd chase step of
 // Definition 16).
-func (u *valueUF) union(a, b value.Value) error {
+func (u *valueUF) union(a, b value.ID) error {
 	ra, rb := u.find(a), u.find(b)
 	if ra == rb {
 		return nil
 	}
+	va, vb := u.repr[ra], u.repr[rb]
+	ca, cb := u.isConst(va), u.isConst(vb)
+	var rep value.ID
 	switch {
-	case ra.IsConst() && rb.IsConst():
-		return fmt.Errorf("cannot equate constants %v and %v", ra, rb)
-	case ra.IsConst():
-		u.parent[rb] = ra
-	case rb.IsConst():
-		u.parent[ra] = rb
+	case ca && cb:
+		return fmt.Errorf("cannot equate constants %v and %v", u.in.Resolve(va), u.in.Resolve(vb))
+	case ca:
+		rep = va
+	case cb:
+		rep = vb
 	default:
 		// Both nulls: deterministic representative (smaller value wins) so
 		// chase output does not depend on iteration order.
-		if value.Compare(ra, rb) < 0 {
-			u.parent[rb] = ra
+		if value.Compare(u.in.Resolve(va), u.in.Resolve(vb)) < 0 {
+			rep = va
 		} else {
-			u.parent[ra] = rb
+			rep = vb
 		}
 	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.repr[ra] = rep
+	u.merges++
 	return nil
 }
 
 // dirty reports whether any merge has been recorded.
-func (u *valueUF) dirty() bool { return len(u.parent) > 0 }
+func (u *valueUF) dirty() bool { return u.merges > 0 }
 
 // EventKind classifies trace events.
 type EventKind int

@@ -44,7 +44,9 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 
 	// Step 2: s-t tgd steps. Bodies read only the source, so a single
 	// deterministic pass over all homomorphisms reaches the tgd fixpoint.
-	tgt := instance.NewConcrete(m.Target)
+	// The target shares the normalized source's interner (unless Options
+	// overrides it), so every instance of this run is ID-compatible.
+	tgt := instance.NewConcreteWith(m.Target, opts.interner(src.Interner()))
 	for _, d := range m.TGDs {
 		body := d.ConcreteBody()
 		head := d.ConcreteHead()
@@ -105,7 +107,14 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 	if len(m.EGDs) == 0 {
 		return tgt, nil
 	}
+	// Malformed egds (an equated variable missing from the body) would
+	// bind to NoID below; reject them up front with a clear error.
 	egdBodies := m.EGDBodies()
+	for i, d := range m.EGDs {
+		if !egdBodies[i].HasVar(d.X1) || !egdBodies[i].HasVar(d.X2) {
+			return nil, fmt.Errorf("chase: egd %s equates %q and %q but its body binds only %v", d.Name, d.X1, d.X2, egdBodies[i].Vars())
+		}
+	}
 	naiveDone := false
 	for {
 		stats.EgdRounds++
@@ -127,27 +136,28 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 			opts.emit(EventNormalize, "", "target normalized for egd round %d: %d facts", stats.EgdRounds, tgt.Len())
 		}
 
-		uf := newValueUF()
+		in := tgt.Interner()
+		uf := newValueUF(in)
 		var stepErr error
 		stop := false
-		for _, d := range m.EGDs {
-			logic.ForEach(tgt.Store(), d.ConcreteBody(), nil, func(h logic.Match) bool {
-				v1, v2 := uf.find(h.Binding[d.X1]), uf.find(h.Binding[d.X2])
+		for i, d := range m.EGDs {
+			x1, x2 := d.X1, d.X2
+			logic.ForEachIDs(tgt.Store(), egdBodies[i], nil, func(h *logic.IDMatch) bool {
+				b1, _ := h.ID(x1)
+				b2, _ := h.ID(x2)
+				v1, v2 := uf.canon(b1), uf.canon(b2)
 				if v1 == v2 {
 					return true
 				}
-				if v1.IsConst() && v2.IsConst() {
-					stepErr = &FailError{Dep: d.Name, V1: v1, V2: v2}
-					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", v1, v2)
-					return false
-				}
 				if err := uf.union(v1, v2); err != nil {
-					stepErr = &FailError{Dep: d.Name, V1: v1, V2: v2}
-					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", v1, v2)
+					stepErr = &FailError{Dep: d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
 					return false
 				}
 				stats.EgdMerges++
-				opts.emit(EventEgdMerge, d.Name, "%v = %v", v1, v2)
+				if opts.tracing() {
+					opts.emit(EventEgdMerge, d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
+				}
 				stop = opts.egd() == EgdStepwise
 				return !stop
 			})
@@ -170,16 +180,23 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 // per annotated-null value — the same family fragmented over two
 // intervals yields two independent unknowns (one per snapshot range), and
 // only the equated fragment is replaced, exactly as the abstract
-// semantics requires.
+// semantics requires. The substitution runs entirely on interned rows:
+// each row's IDs are mapped through the union-find and reinserted into a
+// store sharing the interner, without rendering or re-validating a single
+// value (the substitution preserves the fact invariants: arity is
+// unchanged, and an egd only equates values from facts with identical
+// intervals, so annotations keep matching their fact's interval).
 func rewriteConcrete(c *instance.Concrete, uf *valueUF) *instance.Concrete {
-	out := instance.NewConcrete(c.Schema())
-	for _, f := range c.Facts() {
-		args := make([]value.Value, len(f.Args))
-		for i, v := range f.Args {
-			args[i] = uf.find(v)
+	out := instance.NewConcreteWith(c.Schema(), c.Interner())
+	st := out.Store()
+	c.Store().EachRow(func(rel string, ids []value.ID) bool {
+		nids := make([]value.ID, len(ids))
+		for i, id := range ids {
+			nids[i] = uf.canon(id)
 		}
-		out.MustInsert(fact.CFact{Rel: f.Rel, Args: args, T: f.T})
-	}
+		st.InsertIDs(rel, nids)
+		return true
+	})
 	return out
 }
 

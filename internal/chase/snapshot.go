@@ -20,7 +20,10 @@ import (
 // paper applies it independently to every db_ℓ of the abstract instance.
 func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() value.Value, opts *Options) (*instance.Snapshot, Stats, error) {
 	var stats Stats
-	tgt := instance.NewSnapshot()
+	// Share the source snapshot's interner (or the Options override) so
+	// the tgd phase's Exists probes and the egd phase's rewrites stay
+	// ID-compatible.
+	tgt := instance.NewSnapshotWith(opts.interner(src.Interner()))
 
 	// TGD phase: bodies read only the source, so one pass over all
 	// homomorphisms reaches the fixpoint.
@@ -62,26 +65,30 @@ func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() va
 // snapshotEgds applies the egds of m to the snapshot until satisfied.
 func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrategy) (*instance.Snapshot, Stats, error) {
 	var stats Stats
+	// Malformed egds (an equated variable missing from the body) would
+	// bind to NoID below; reject them up front with a clear error.
+	for _, d := range m.EGDs {
+		if !d.Body.HasVar(d.X1) || !d.Body.HasVar(d.X2) {
+			return nil, stats, fmt.Errorf("chase: egd %s equates %q and %q but its body binds only %v", d.Name, d.X1, d.X2, d.Body.Vars())
+		}
+	}
+	in := tgt.Interner()
 	for {
 		stats.EgdRounds++
-		uf := newValueUF()
-		fail := func(d dependency.EGD, v1, v2 value.Value) error {
-			return &FailError{Dep: d.Name, V1: v1, V2: v2}
-		}
+		uf := newValueUF(in)
 		stop := false
 		var stepErr error
 		for _, d := range m.EGDs {
-			logic.ForEach(tgt.Store(), d.Body, nil, func(h logic.Match) bool {
-				v1, v2 := uf.find(h.Binding[d.X1]), uf.find(h.Binding[d.X2])
+			x1, x2 := d.X1, d.X2
+			logic.ForEachIDs(tgt.Store(), d.Body, nil, func(h *logic.IDMatch) bool {
+				b1, _ := h.ID(x1)
+				b2, _ := h.ID(x2)
+				v1, v2 := uf.canon(b1), uf.canon(b2)
 				if v1 == v2 {
 					return true
 				}
-				if v1.IsConst() && v2.IsConst() {
-					stepErr = fail(d, v1, v2)
-					return false
-				}
 				if err := uf.union(v1, v2); err != nil {
-					stepErr = fail(d, v1, v2)
+					stepErr = &FailError{Dep: d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
 					return false
 				}
 				stats.EgdMerges++
@@ -102,15 +109,18 @@ func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrate
 	}
 }
 
-// rewriteSnapshot applies the union-find substitution to every fact.
+// rewriteSnapshot applies the union-find substitution to every fact,
+// operating on interned rows end to end (see rewriteConcrete).
 func rewriteSnapshot(s *instance.Snapshot, uf *valueUF) *instance.Snapshot {
-	out := instance.NewSnapshot()
-	for _, f := range s.Facts() {
-		args := make([]value.Value, len(f.Args))
-		for i, v := range f.Args {
-			args[i] = uf.find(v)
+	out := instance.NewSnapshotWith(s.Interner())
+	st := out.Store()
+	s.Store().EachRow(func(rel string, ids []value.ID) bool {
+		nids := make([]value.ID, len(ids))
+		for i, id := range ids {
+			nids[i] = uf.canon(id)
 		}
-		out.Insert(fact.New(f.Rel, args...))
-	}
+		st.InsertIDs(rel, nids)
+		return true
+	})
 	return out
 }

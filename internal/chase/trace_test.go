@@ -89,9 +89,10 @@ func TestEnumStrings(t *testing.T) {
 }
 
 func TestValueUFEdgeCases(t *testing.T) {
-	uf := newValueUF()
-	a, b := value.NewConst("a"), value.NewConst("b")
-	n1, n2, n3 := value.NewNull(1), value.NewNull(2), value.NewNull(3)
+	in := value.NewInterner()
+	a, b := in.Intern(value.NewConst("a")), in.Intern(value.NewConst("b"))
+	n1, n2, n3 := in.Intern(value.NewNull(1)), in.Intern(value.NewNull(2)), in.Intern(value.NewNull(3))
+	uf := newValueUF(in)
 	// Merging a value with itself is a no-op.
 	if err := uf.union(n1, n1); err != nil {
 		t.Fatal(err)
@@ -109,26 +110,66 @@ func TestValueUFEdgeCases(t *testing.T) {
 	if err := uf.union(n3, a); err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []value.Value{n1, n2, n3} {
-		if uf.find(n) != a {
-			t.Fatalf("find(%v) = %v, want a", n, uf.find(n))
+	for _, n := range []value.ID{n1, n2, n3} {
+		if uf.canon(n) != a {
+			t.Fatalf("canon(%v) = %v, want a", n, uf.canon(n))
 		}
 	}
 	// Transitive constant clash.
-	if err := uf.union(n1, b); err == nil {
+	if err := uf.union(uf.canon(n1), uf.canon(b)); err == nil {
 		t.Fatal("clash through chain not detected")
 	}
 	// Direct constant clash.
-	uf2 := newValueUF()
+	uf2 := newValueUF(in)
 	if err := uf2.union(a, b); err == nil {
 		t.Fatal("direct clash not detected")
 	}
-	// Deterministic representative for null-null merges.
-	uf3 := newValueUF()
+	// Deterministic representative for null-null merges, regardless of
+	// union order.
+	uf3 := newValueUF(in)
 	if err := uf3.union(n2, n1); err != nil {
 		t.Fatal(err)
 	}
-	if uf3.find(n2) != n1 {
-		t.Fatalf("representative = %v, want the smaller null", uf3.find(n2))
+	if uf3.canon(n2) != n1 {
+		t.Fatalf("representative = %v, want the smaller null", uf3.canon(n2))
+	}
+	// An ID the union-find has never seen is its own representative.
+	fresh := in.Intern(value.NewNull(99))
+	if uf3.canon(fresh) != fresh {
+		t.Fatalf("canon of untouched id = %v, want identity", uf3.canon(fresh))
+	}
+}
+
+// TestValueUFLongChain is the regression test for the recursive find of
+// the old map-based union-find, which overflowed the stack on long merge
+// chains: 100k nulls merged into one chain must resolve iteratively, and
+// to the smallest member.
+func TestValueUFLongChain(t *testing.T) {
+	const n = 100_000
+	in := value.NewInterner()
+	ids := make([]value.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = in.Intern(value.NewNull(uint64(i + 1)))
+	}
+	uf := newValueUF(in)
+	// Chain the nulls worst-case-first so a naive linked structure would
+	// be n deep.
+	for i := n - 1; i > 0; i-- {
+		if err := uf.union(ids[i], ids[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, probe := range []int{0, 1, n / 2, n - 2, n - 1} {
+		if got := uf.canon(ids[probe]); got != ids[0] {
+			t.Fatalf("canon(ids[%d]) = %v, want ids[0]=%v", probe, got, ids[0])
+		}
+	}
+	// Absorbing a constant at the end re-canonicalizes the whole chain.
+	c := in.Intern(value.NewConst("pin"))
+	if err := uf.union(ids[n-1], c); err != nil {
+		t.Fatal(err)
+	}
+	if got := uf.canon(ids[3]); got != c {
+		t.Fatalf("after constant absorption canon = %v, want the constant", got)
 	}
 }

@@ -122,16 +122,44 @@ func (f CFact) Validate() error {
 }
 
 // Key returns a canonical string identifying the fact, including the
-// interval.
+// interval. It renders every value and is kept for display, debugging,
+// and cold-path set membership; hot-path identity is ID-based (the
+// storage layer's interned rows, DataHash for data-identity grouping).
 func (f CFact) Key() string {
 	return f.DataKey() + "@" + f.T.String()
+}
+
+// DataHash returns a hash of the fact's data identity — relation and data
+// arguments, with annotated nulls hashed by family so the annotation is
+// ignored — consistent with SameData: SameData facts hash equal. Callers
+// group by DataHash buckets and confirm with SameData, so no canonical
+// string is ever built.
+func (f CFact) DataHash() uint64 {
+	h := value.NewHash64().String(f.Rel)
+	for _, a := range f.Args {
+		h = h.Word(uint64(a.K))
+		switch a.K {
+		case value.Const:
+			h = h.String(a.Str)
+		case value.AnnNull:
+			// Identity is the family; the annotation follows the fact
+			// interval and is deliberately not hashed.
+			h = h.Word(a.ID)
+		case value.Null:
+			h = h.Word(a.ID).Word(uint64(a.TP))
+		case value.IntervalVal:
+			h = h.Word(uint64(a.Iv.Start)).Word(uint64(a.Iv.End))
+		}
+	}
+	return h.Sum()
 }
 
 // DataKey returns the canonical string of the relation and data
 // arguments only, ignoring both the interval and null annotations. Facts
 // sharing a DataKey are "facts with identical data attribute values" in
 // the paper's coalescing definition — for nulls, identical means the same
-// null family.
+// null family. Like Key, it is a display/cold-path rendering; use
+// DataHash + SameData for grouping.
 func (f CFact) DataKey() string {
 	var b strings.Builder
 	b.WriteString(f.Rel)

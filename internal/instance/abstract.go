@@ -17,8 +17,17 @@ type Snapshot struct {
 	st *storage.Store
 }
 
-// NewSnapshot returns an empty snapshot.
-func NewSnapshot() *Snapshot { return &Snapshot{st: storage.NewStore()} }
+// NewSnapshot returns an empty snapshot with a fresh value interner.
+func NewSnapshot() *Snapshot { return NewSnapshotWith(nil) }
+
+// NewSnapshotWith returns an empty snapshot sharing the given interner
+// (fresh when nil); see NewConcreteWith for when sharing matters.
+func NewSnapshotWith(in *value.Interner) *Snapshot {
+	return &Snapshot{st: storage.NewStoreWith(in)}
+}
+
+// Interner returns the value interner of the underlying store.
+func (s *Snapshot) Interner() *value.Interner { return s.st.Interner() }
 
 // Insert adds a fact, reporting whether it was new.
 func (s *Snapshot) Insert(f fact.Fact) bool { return s.st.Insert(f.Rel, f.Args) }

@@ -29,13 +29,25 @@ type Concrete struct {
 }
 
 // NewConcrete returns an empty concrete instance over the given schema
-// (nil for schemaless).
+// (nil for schemaless), with a fresh value interner.
 func NewConcrete(sch *schema.Schema) *Concrete {
-	return &Concrete{sch: sch, st: storage.NewStore()}
+	return NewConcreteWith(sch, nil)
+}
+
+// NewConcreteWith returns an empty concrete instance sharing the given
+// interner (fresh when nil). Instances derived from one another — a
+// chase's source and target, normalization outputs, egd rewrites — share
+// an interner so their stored rows stay ID-compatible and can be copied
+// or substituted without re-interning.
+func NewConcreteWith(sch *schema.Schema, in *value.Interner) *Concrete {
+	return &Concrete{sch: sch, st: storage.NewStoreWith(in)}
 }
 
 // Schema returns the instance's schema (possibly nil).
 func (c *Concrete) Schema() *schema.Schema { return c.sch }
+
+// Interner returns the value interner of the underlying store.
+func (c *Concrete) Interner() *value.Interner { return c.st.Interner() }
 
 // Store exposes the underlying tuple store for the homomorphism engine.
 // Callers must not mutate it directly.
@@ -171,7 +183,10 @@ func (c *Concrete) Endpoints() []interval.Time {
 
 // Snapshot materializes the abstract snapshot db_tp = ⟦c⟧(tp): every fact
 // whose interval contains tp, with interval-annotated nulls projected to
-// per-snapshot labeled nulls (paper §4.1).
+// per-snapshot labeled nulls (paper §4.1). The snapshot gets a private
+// interner: projected per-timepoint nulls are snapshot-local, and
+// interning them into the instance's long-lived interner would grow it
+// by O(families × timepoints) across repeated snapshotting.
 func (c *Concrete) Snapshot(tp interval.Time) *Snapshot {
 	snap := NewSnapshot()
 	c.st.Each(func(rel string, tup []value.Value) bool {
@@ -210,17 +225,45 @@ func (c *Concrete) Equal(other *Concrete) bool {
 	return equal
 }
 
+// dataGroups groups the instance's facts by data identity — relation and
+// data arguments, with annotated nulls compared by family (fact.SameData)
+// — using fact.DataHash buckets instead of rendered string keys. Groups
+// are returned in insertion order; each carries the intervals of its
+// member facts in insertion order.
+type dataGroup struct {
+	proto fact.CFact
+	ivs   []interval.Interval // one per fact, in insertion order
+}
+
+func (c *Concrete) dataGroups() []*dataGroup {
+	buckets := make(map[uint64][]*dataGroup)
+	var order []*dataGroup
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		f := FromTuple(rel, tup)
+		h := f.DataHash()
+		var g *dataGroup
+		for _, cand := range buckets[h] {
+			if cand.proto.SameData(f) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &dataGroup{proto: f}
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
+		}
+		g.ivs = append(g.ivs, f.T)
+		return true
+	})
+	return order
+}
+
 // IsCoalesced reports whether facts with identical data values have
 // pairwise disjoint, non-adjacent intervals (paper §2).
 func (c *Concrete) IsCoalesced() bool {
-	groups := make(map[string][]interval.Interval)
-	c.st.Each(func(rel string, tup []value.Value) bool {
-		f := FromTuple(rel, tup)
-		k := f.DataKey()
-		groups[k] = append(groups[k], f.T)
-		return true
-	})
-	for _, ivs := range groups {
+	for _, g := range c.dataGroups() {
+		ivs := g.ivs
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Compare(ivs[j]) < 0 })
 		for i := 1; i < len(ivs); i++ {
 			if ivs[i-1].Overlaps(ivs[i]) || ivs[i-1].Adjacent(ivs[i]) {
@@ -237,28 +280,10 @@ func (c *Concrete) IsCoalesced() bool {
 // accordingly. Coalescing is the inverse of fragmentation and preserves
 // ⟦·⟧.
 func (c *Concrete) Coalesce() *Concrete {
-	type group struct {
-		proto fact.CFact
-		set   interval.Set
-	}
-	groups := make(map[string]*group)
-	var order []string
-	c.st.Each(func(rel string, tup []value.Value) bool {
-		f := FromTuple(rel, tup)
-		k := f.DataKey()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{proto: f}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.set.Add(f.T)
-		return true
-	})
-	out := NewConcrete(c.sch)
-	for _, k := range order {
-		g := groups[k]
-		for _, iv := range g.set.Intervals() {
+	out := NewConcreteWith(c.sch, c.Interner())
+	for _, g := range c.dataGroups() {
+		set := interval.NewSet(g.ivs...)
+		for _, iv := range set.Intervals() {
 			out.MustInsert(g.proto.WithInterval(iv))
 		}
 	}

@@ -9,6 +9,15 @@
 // atom's image is a stored tuple; it is the identity on literals. Nulls
 // are treated as plain values (naïve-table semantics): a null matches
 // only itself.
+//
+// Internally the engine never touches value.Value on the search path: a
+// conjunction is compiled against the store into an ID plan — variables
+// become dense slots, literals become interned value.IDs (a literal the
+// store has never interned cannot match anything, so compilation ends the
+// search immediately) — and unification compares the store's interned
+// rows slot-by-slot as uint32s. ForEachIDs exposes that representation
+// directly for hot callers (the chase's egd loop, normalization);
+// ForEach/FindAll materialize value.Value bindings per match.
 package logic
 
 import (
@@ -167,152 +176,298 @@ type RowRef struct {
 // Match is one homomorphism from a conjunction into a store: the variable
 // binding plus, per atom (in conjunction order), the row its image landed
 // on. The Rows witness is what Algorithm 1's set-building step consumes
-// (h : φ* ↦ {f1, ..., fn}).
+// (h : φ* ↦ {f1, ..., fn}). The Binding passed to a ForEach callback is
+// freshly built per match and safe to retain; Rows is transient and must
+// be cloned if retained.
 type Match struct {
 	Binding Binding
 	Rows    []RowRef
 }
 
-// unify extends binding b so atom a's terms match tuple tup. It reports
-// success and records any newly bound variables in added (so the caller
-// can backtrack).
-func unify(a Atom, tup []value.Value, b Binding, added *[]string) bool {
-	if len(a.Terms) != len(tup) {
-		return false
-	}
-	for i, t := range a.Terms {
-		if !t.IsVar {
-			if t.Val != tup[i] {
-				return false
-			}
-			continue
-		}
-		if bound, ok := b[t.Name]; ok {
-			if bound != tup[i] {
-				return false
-			}
-			continue
-		}
-		b[t.Name] = tup[i]
-		*added = append(*added, t.Name)
-	}
-	return true
+// IDMatch is the interned view of one homomorphism, handed to ForEachIDs
+// callbacks: the per-atom row witnesses plus the variable bindings as
+// value.IDs of the searched store's interner. It is transient — callers
+// must copy anything they retain — and only exposes variables that occur
+// in the conjunction.
+type IDMatch struct {
+	Rows  []RowRef
+	names []string
+	bind  []value.ID
 }
 
-// candidateRows returns the rows of rel worth testing against atom a
-// under binding b, using the cheapest available index on a bound
-// position, or all rows when nothing is bound.
-func candidateRows(rel *storage.Rel, a Atom, b Binding) []int {
-	bestRows := -1
-	var best []int
-	for pos, t := range a.Terms {
-		v, ok := b.Apply(t)
-		if !ok {
+// ID returns the bound ID of the named conjunction variable.
+func (m *IDMatch) ID(name string) (value.ID, bool) {
+	for i, n := range m.names {
+		if n == name {
+			return m.bind[i], true
+		}
+	}
+	return value.NoID, false
+}
+
+// Vars returns the conjunction's variable names, indexed like Slots.
+func (m *IDMatch) Vars() []string { return m.names }
+
+// Slots returns the raw slot bindings, indexed like Vars.
+func (m *IDMatch) Slots() []value.ID { return m.bind }
+
+// planTerm is one compiled atom position: a variable slot, or an
+// interned literal.
+type planTerm struct {
+	slot int      // variable slot when >= 0
+	lit  value.ID // literal ID when slot < 0
+}
+
+// planAtom is an atom compiled against a store.
+type planAtom struct {
+	rel   *storage.Rel
+	terms []planTerm
+}
+
+// plan is a conjunction compiled against a store: atoms over variable
+// slots and literal IDs, plus the initial slot bindings.
+type plan struct {
+	atoms  []planAtom
+	names  []string   // slot → variable name
+	init   []value.ID // initial binding per slot; NoID when unbound
+	extras Binding    // initial bindings for variables not in the conjunction
+	empty  bool       // no homomorphism can exist (missing relation or never-interned value)
+}
+
+// compile builds the ID plan for conj over st. Literals and initial
+// bindings are looked up (not interned): a value the store has never
+// interned cannot occur in any stored row, so its atom — and therefore
+// the conjunction — has no homomorphism, and the plan is marked empty.
+func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
+	var p plan
+	in := st.Interner()
+	slotOf := make(map[string]int)
+	p.atoms = make([]planAtom, 0, len(conj))
+	for _, a := range conj {
+		rel := st.Rel(a.Rel)
+		if rel == nil {
+			p.empty = true
+			return p
+		}
+		pa := planAtom{rel: rel, terms: make([]planTerm, len(a.Terms))}
+		for j, t := range a.Terms {
+			if t.IsVar {
+				s, ok := slotOf[t.Name]
+				if !ok {
+					s = len(p.names)
+					slotOf[t.Name] = s
+					p.names = append(p.names, t.Name)
+				}
+				pa.terms[j] = planTerm{slot: s}
+			} else {
+				id, ok := in.Lookup(t.Val)
+				if !ok {
+					p.empty = true
+					return p
+				}
+				pa.terms[j] = planTerm{slot: -1, lit: id}
+			}
+		}
+		p.atoms = append(p.atoms, pa)
+	}
+	p.init = make([]value.ID, len(p.names))
+	for i := range p.init {
+		p.init[i] = value.NoID
+	}
+	for name, v := range initial {
+		s, inConj := slotOf[name]
+		if !inConj {
+			if p.extras == nil {
+				p.extras = Binding{}
+			}
+			p.extras[name] = v
 			continue
 		}
-		rows := rel.Candidates(pos, v)
-		if bestRows == -1 || len(rows) < bestRows {
-			bestRows = len(rows)
+		id, ok := in.Lookup(v)
+		if !ok {
+			p.empty = true
+			return p
+		}
+		p.init[s] = id
+	}
+	return p
+}
+
+// candidates returns the rows of pa.rel worth testing under the current
+// bindings, using the smallest available index on a bound position, or
+// all rows when nothing is bound.
+func candidates(pa planAtom, bind []value.ID) []int {
+	bestLen := -1
+	var best []int
+	for pos, t := range pa.terms {
+		var id value.ID
+		switch {
+		case t.slot < 0:
+			id = t.lit
+		case bind[t.slot] != value.NoID:
+			id = bind[t.slot]
+		default:
+			continue
+		}
+		rows := pa.rel.CandidatesID(pos, id)
+		if bestLen == -1 || len(rows) < bestLen {
+			bestLen = len(rows)
 			best = rows
-			if bestRows == 0 {
+			if bestLen == 0 {
 				return nil
 			}
 		}
 	}
-	if bestRows >= 0 {
+	if bestLen >= 0 {
 		return best
 	}
-	all := make([]int, rel.Len())
+	all := make([]int, pa.rel.Len())
 	for i := range all {
 		all[i] = i
 	}
 	return all
 }
 
-// boundCount counts the atom's terms that are literals or bound variables
-// under b — the join-order heuristic score.
-func boundCount(a Atom, b Binding) int {
-	n := 0
-	for _, t := range a.Terms {
-		if _, ok := b.Apply(t); ok {
-			n++
+// run enumerates the plan's homomorphisms, invoking fn per match and
+// stopping early when fn returns false.
+func run(p plan, fn func(*IDMatch) bool) {
+	n := len(p.atoms)
+	bind := append([]value.ID(nil), p.init...)
+	rows := make([]RowRef, n)
+	done := make([]bool, n)
+	var trail []int // slots bound since the search started, in order
+	im := IDMatch{names: p.names}
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == n {
+			im.Rows = rows
+			im.bind = bind
+			return fn(&im)
 		}
+		// Greedy join order: the unprocessed atom with the most bound terms.
+		bestAtom, bestScore := -1, -1
+		for i := range p.atoms {
+			if done[i] {
+				continue
+			}
+			s := 0
+			for _, t := range p.atoms[i].terms {
+				if t.slot < 0 || bind[t.slot] != value.NoID {
+					s++
+				}
+			}
+			if s > bestScore {
+				bestScore, bestAtom = s, i
+			}
+		}
+		pa := p.atoms[bestAtom]
+		done[bestAtom] = true
+		cont := true
+	rowLoop:
+		for _, row := range candidates(pa, bind) {
+			ids := pa.rel.Row(row)
+			if len(ids) != len(pa.terms) {
+				continue
+			}
+			base := len(trail)
+			ok := true
+			for j, t := range pa.terms {
+				got := ids[j]
+				if t.slot < 0 {
+					if t.lit != got {
+						ok = false
+						break
+					}
+					continue
+				}
+				if b := bind[t.slot]; b != value.NoID {
+					if b != got {
+						ok = false
+						break
+					}
+					continue
+				}
+				bind[t.slot] = got
+				trail = append(trail, t.slot)
+			}
+			if ok {
+				rows[bestAtom] = RowRef{Rel: pa.rel.Name(), Row: row}
+				if !rec(depth + 1) {
+					cont = false
+				}
+			}
+			for _, s := range trail[base:] {
+				bind[s] = value.NoID
+			}
+			trail = trail[:base]
+			if !cont {
+				break rowLoop
+			}
+		}
+		done[bestAtom] = false
+		return cont
 	}
-	return n
+	rec(0)
+}
+
+// ForEachIDs enumerates homomorphisms in interned form: bindings are
+// value.IDs of st's interner and no value.Value is materialized. This is
+// the hot-path entry used by the chase's egd loop and by normalization;
+// use ForEach when you need the bindings as values. The IDMatch passed to
+// fn is transient. Initial bindings for variables outside the conjunction
+// are not visible through the IDMatch (use ForEach for those).
+func ForEachIDs(st *storage.Store, conj Conjunction, initial Binding, fn func(*IDMatch) bool) {
+	if len(conj) == 0 {
+		fn(&IDMatch{})
+		return
+	}
+	p := compile(st, conj, initial)
+	if p.empty {
+		return
+	}
+	run(p, fn)
 }
 
 // ForEach enumerates homomorphisms from the conjunction into the store,
 // starting from the initial binding (which may pre-bind variables; pass
 // nil for none). It invokes fn for each match and stops early when fn
-// returns false. The Match passed to fn is transient: fn must clone
-// Binding/Rows if it retains them. Atom order in Rows follows the
-// conjunction, regardless of the join order chosen internally.
+// returns false. The Binding handed to fn is freshly built per match and
+// safe to retain; Rows is transient and must be cloned if retained. Atom
+// order in Rows follows the conjunction, regardless of the join order
+// chosen internally.
 func ForEach(st *storage.Store, conj Conjunction, initial Binding, fn func(Match) bool) {
 	if len(conj) == 0 {
-		b := initial
-		if b == nil {
-			b = Binding{}
-		}
-		fn(Match{Binding: b})
+		// Clone so the returned Binding honors the safe-to-retain
+		// contract (Clone of a nil Binding is an empty one).
+		fn(Match{Binding: initial.Clone()})
 		return
 	}
-	for _, a := range conj {
-		if st.Rel(a.Rel) == nil {
-			return // some relation is empty: no homomorphism exists
-		}
+	p := compile(st, conj, initial)
+	if p.empty {
+		return
 	}
-	b := Binding{}
-	for k, v := range initial {
-		b[k] = v
-	}
-	rows := make([]RowRef, len(conj))
-	done := make([]bool, len(conj))
-	var rec func(depth int) bool
-	rec = func(depth int) bool {
-		if depth == len(conj) {
-			return fn(Match{Binding: b, Rows: rows})
+	in := st.Interner()
+	var vals []value.Value
+	run(p, func(im *IDMatch) bool {
+		b := make(Binding, len(p.names)+len(p.extras))
+		for k, v := range p.extras {
+			b[k] = v
 		}
-		// Greedy join order: the unprocessed atom with the most bound terms.
-		bestAtom, bestScore := -1, -1
-		for i, a := range conj {
-			if done[i] {
-				continue
-			}
-			if s := boundCount(a, b); s > bestScore {
-				bestScore, bestAtom = s, i
-			}
+		vals = in.ResolveAll(vals[:0], im.bind)
+		for i, name := range p.names {
+			b[name] = vals[i]
 		}
-		a := conj[bestAtom]
-		done[bestAtom] = true
-		defer func() { done[bestAtom] = false }()
-		rel := st.Rel(a.Rel)
-		for _, row := range candidateRows(rel, a, b) {
-			var added []string
-			if unify(a, rel.Tuple(row), b, &added) {
-				rows[bestAtom] = RowRef{Rel: a.Rel, Row: row}
-				if !rec(depth + 1) {
-					for _, name := range added {
-						delete(b, name)
-					}
-					return false
-				}
-			}
-			for _, name := range added {
-				delete(b, name)
-			}
-		}
-		return true
-	}
-	rec(0)
+		return fn(Match{Binding: b, Rows: im.Rows})
+	})
 }
 
 // FindAll materializes every homomorphism. Bindings and row witnesses are
-// cloned and safe to retain.
+// safe to retain.
 func FindAll(st *storage.Store, conj Conjunction, initial Binding) []Match {
 	var out []Match
 	ForEach(st, conj, initial, func(m Match) bool {
 		out = append(out, Match{
-			Binding: m.Binding.Clone(),
+			Binding: m.Binding,
 			Rows:    append([]RowRef(nil), m.Rows...),
 		})
 		return true
@@ -325,7 +480,7 @@ func FindOne(st *storage.Store, conj Conjunction, initial Binding) (Match, bool)
 	var got Match
 	found := false
 	ForEach(st, conj, initial, func(m Match) bool {
-		got = Match{Binding: m.Binding.Clone(), Rows: append([]RowRef(nil), m.Rows...)}
+		got = Match{Binding: m.Binding, Rows: append([]RowRef(nil), m.Rows...)}
 		found = true
 		return false
 	})
@@ -334,8 +489,12 @@ func FindOne(st *storage.Store, conj Conjunction, initial Binding) (Match, bool)
 
 // Exists reports whether at least one homomorphism exists.
 func Exists(st *storage.Store, conj Conjunction, initial Binding) bool {
-	_, ok := FindOne(st, conj, initial)
-	return ok
+	found := false
+	ForEachIDs(st, conj, initial, func(*IDMatch) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // SortMatches orders matches deterministically by their bindings, for

@@ -20,6 +20,7 @@
 package normalize
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/dependency"
@@ -45,24 +46,35 @@ type factRef struct {
 	row int
 }
 
+// hashRefs hashes a sorted ref set, the dedup bucket key of matchSets
+// (no strings are built; collisions are resolved by slices.Equal).
+func hashRefs(refs []factRef) uint64 {
+	h := value.NewHash64()
+	for _, r := range refs {
+		h = h.String(r.rel).Word(uint64(r.row))
+	}
+	return h.Sum()
+}
+
 // matchSets enumerates, per Definition 10 / Algorithm 1 line 3, the sets
 // Δ = {f1, ..., fm} ⊆ Ic that are the image of some homomorphism from a
 // conjunction in N(Φ+) and whose intervals have a non-empty common
-// intersection. Duplicate sets are returned once.
+// intersection. Duplicate sets are returned once. Only the row witnesses
+// of each homomorphism are consumed, so the enumeration runs on the
+// interned fast path (ForEachIDs) and never materializes a binding.
 func matchSets(ic *instance.Concrete, phis []logic.Conjunction) [][]factRef {
-	seen := make(map[string]bool)
+	seen := make(map[uint64][][]factRef)
 	var out [][]factRef
 	st := ic.Store()
 	for _, phi := range Renamed(phis) {
-		logic.ForEach(st, phi, nil, func(m logic.Match) bool {
+		logic.ForEachIDs(st, phi, nil, func(m *logic.IDMatch) bool {
 			// Deduplicate rows within a match: set semantics for Δ.
-			set := make(map[factRef]bool, len(m.Rows))
+			refs := make([]factRef, 0, len(m.Rows))
 			for _, r := range m.Rows {
-				set[factRef{r.Rel, r.Row}] = true
+				refs = append(refs, factRef{r.Rel, r.Row})
 			}
-			refs := make([]factRef, 0, len(set))
-			for r := range set {
-				refs = append(refs, r)
+			if len(refs) == 0 {
+				return true // empty conjunction: nothing to fragment
 			}
 			sort.Slice(refs, func(i, j int) bool {
 				if refs[i].rel != refs[j].rel {
@@ -70,39 +82,31 @@ func matchSets(ic *instance.Concrete, phis []logic.Conjunction) [][]factRef {
 				}
 				return refs[i].row < refs[j].row
 			})
-			ivs := make([]interval.Interval, len(refs))
-			for i, r := range refs {
+			uniq := refs[:1]
+			for _, r := range refs[1:] {
+				if r != uniq[len(uniq)-1] {
+					uniq = append(uniq, r)
+				}
+			}
+			ivs := make([]interval.Interval, len(uniq))
+			for i, r := range uniq {
 				ivs[i] = ic.FactAt(r.rel, r.row).T
 			}
 			if _, ok := interval.CommonIntersection(ivs); !ok {
 				return true // empty intersection: nothing to fragment
 			}
-			key := ""
-			for _, r := range refs {
-				key += r.rel + "#" + itoa(r.row) + ";"
+			h := hashRefs(uniq)
+			for _, prev := range seen[h] {
+				if slices.Equal(prev, uniq) {
+					return true
+				}
 			}
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, refs)
-			}
+			seen[h] = append(seen[h], uniq)
+			out = append(out, uniq)
 			return true
 		})
 	}
 	return out
-}
-
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	pos := len(buf)
-	for i > 0 {
-		pos--
-		buf[pos] = byte('0' + i%10)
-		i /= 10
-	}
-	return string(buf[pos:])
 }
 
 // unionFind is a plain union-find over dense indices.
@@ -175,7 +179,7 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 
 	// Fragment each member fact on its component's cuts (lines 14–17);
 	// facts in no component pass through unchanged.
-	out := instance.NewConcrete(ic.Schema())
+	out := instance.NewConcreteWith(ic.Schema(), ic.Interner())
 	for _, rel := range ic.Relations() {
 		n := ic.Store().Rel(rel).Len()
 		for row := 0; row < n; row++ {
@@ -199,7 +203,7 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 // temporal conjunctions: any two fact intervals are equal or disjoint.
 func Naive(ic *instance.Concrete) *instance.Concrete {
 	cuts := ic.Endpoints()
-	out := instance.NewConcrete(ic.Schema())
+	out := instance.NewConcreteWith(ic.Schema(), ic.Interner())
 	for _, f := range ic.Facts() {
 		for _, fr := range f.Fragment(cuts) {
 			out.MustInsert(fr)
@@ -245,7 +249,7 @@ func HasEmptyIntersectionProperty(ic *instance.Concrete, phis []logic.Conjunctio
 	ok := true
 	st := ic.Store()
 	for _, phi := range Renamed(phis) {
-		logic.ForEach(st, phi, nil, func(m logic.Match) bool {
+		logic.ForEachIDs(st, phi, nil, func(m *logic.IDMatch) bool {
 			ivs := make([]interval.Interval, len(m.Rows))
 			for i, r := range m.Rows {
 				ivs[i] = ic.FactAt(r.Rel, r.Row).T
@@ -285,7 +289,7 @@ func SmartWithStats(ic *instance.Concrete, phis []logic.Conjunction) (*instance.
 	out := Smart(ic, phis)
 	st := Stats{InputFacts: ic.Len(), OutputFacts: out.Len()}
 	sets := matchSets(ic, phis)
-	roots := make(map[string]bool)
+	roots := make(map[int]bool)
 	// Recompute component count the same way Smart does.
 	ids := make(map[factRef]int)
 	var refs []factRef
@@ -304,7 +308,7 @@ func SmartWithStats(ic *instance.Concrete, phis []logic.Conjunction) (*instance.
 		}
 	}
 	for _, id := range ids {
-		roots[itoa(uf.find(id))] = true
+		roots[uf.find(id)] = true
 	}
 	st.Components = len(roots)
 	return out, st
@@ -345,7 +349,7 @@ func SyncFamilies(c *instance.Concrete) *instance.Concrete {
 				}
 			}
 		}
-		out := instance.NewConcrete(cur.Schema())
+		out := instance.NewConcreteWith(cur.Schema(), cur.Interner())
 		changed := false
 		for _, f := range cur.Facts() {
 			var factCuts []interval.Time

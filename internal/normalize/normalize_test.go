@@ -303,3 +303,17 @@ func TestSmartIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func TestSmartEmptyConjunction(t *testing.T) {
+	// Regression: an empty conjunction in Φ+ has one (empty) homomorphism
+	// with an empty fact set Δ; matchSets must skip it, not panic.
+	ic := instance.NewConcrete(nil)
+	ic.MustInsert(fact.NewC("R", paperex.Iv(0, 5), paperex.C("a")))
+	out := Smart(ic, []logic.Conjunction{{}})
+	if !out.Equal(ic) {
+		t.Fatalf("empty conjunction must not fragment anything:\n%s", out)
+	}
+	if !HasEmptyIntersectionProperty(ic, []logic.Conjunction{{}}) {
+		t.Fatal("empty conjunction trivially has the EIP")
+	}
+}

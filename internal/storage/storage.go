@@ -1,8 +1,20 @@
 // Package storage implements the in-memory relational storage engine the
 // rest of the system is built on: per-relation tuple heaps with O(1)
 // duplicate elimination and lazily built secondary hash indexes
-// (position, value) → rows, which drive index-nested-loop candidate
+// (position, value-ID) → rows, which drive index-nested-loop candidate
 // selection in the homomorphism engine.
+//
+// Representation. Every value entering a store is interned into a dense
+// value.ID by the store's value.Interner, and each tuple is kept in two
+// forms: the caller's []value.Value (immutable, returned by Tuple for
+// decoding and display) and the interned []value.ID row (returned by Row;
+// the identity used everywhere else). Duplicate elimination hashes the ID
+// row (value.HashIDs) into buckets and compares ID slices on collision —
+// no strings are built on the insert/lookup path. Secondary indexes are
+// keyed by value.ID, so the homomorphism engine probes them with plain
+// uint32s. Stores sharing one Interner (see NewStoreWith) agree on IDs,
+// which lets the chase rewrite and copy rows between instances without
+// re-rendering values.
 //
 // The store is deliberately representation-agnostic: a tuple is a slice
 // of values, and both views use it — the concrete view stores a fact
@@ -13,6 +25,7 @@ package storage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -23,82 +36,131 @@ import (
 // with optional per-position hash indexes.
 type Rel struct {
 	name   string
-	tuples [][]value.Value
-	keys   map[string]int
-	idx    map[int]map[value.Value][]int
+	in     *value.Interner
+	tuples [][]value.Value  // original values, for decoding and display
+	rows   [][]value.ID     // interned rows: the identity representation
+	dedup  map[uint64]int   // row hash → first row with that hash
+	over   map[uint64][]int // further rows per hash (collisions only; lazily built)
+	idx    map[int]map[value.ID][]int
 }
 
-func newRel(name string) *Rel {
-	return &Rel{name: name, keys: make(map[string]int)}
+func newRel(name string, in *value.Interner) *Rel {
+	return &Rel{name: name, in: in, dedup: make(map[uint64]int)}
 }
 
 // Name returns the relation name.
 func (r *Rel) Name() string { return r.name }
 
 // Len returns the number of (distinct) tuples.
-func (r *Rel) Len() int { return len(r.tuples) }
+func (r *Rel) Len() int { return len(r.rows) }
 
-// Tuple returns tuple i. The caller must not mutate it.
+// Tuple returns tuple i as values. The caller must not mutate it.
 func (r *Rel) Tuple(i int) []value.Value { return r.tuples[i] }
 
-// tupleKey builds the canonical dedup key of a tuple.
-func tupleKey(tup []value.Value) string {
-	var b strings.Builder
-	for i, v := range tup {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(v.String())
+// Row returns the interned form of tuple i. The caller must not mutate it.
+func (r *Rel) Row(i int) []value.ID { return r.rows[i] }
+
+// lookupHash returns the row number of a stored row identical to ids
+// under hash h, or -1.
+func (r *Rel) lookupHash(h uint64, ids []value.ID) int {
+	first, ok := r.dedup[h]
+	if !ok {
+		return -1
 	}
-	return b.String()
+	if slices.Equal(r.rows[first], ids) {
+		return first
+	}
+	for _, row := range r.over[h] {
+		if slices.Equal(r.rows[row], ids) {
+			return row
+		}
+	}
+	return -1
 }
 
-// insert adds the tuple unless an identical one is present. It reports
-// whether the tuple was added, maintaining any built indexes.
-func (r *Rel) insert(tup []value.Value) bool {
-	k := tupleKey(tup)
-	if _, dup := r.keys[k]; dup {
+// lookupRow returns the row number of an identical stored row, or -1.
+func (r *Rel) lookupRow(ids []value.ID) int {
+	return r.lookupHash(value.HashIDs(ids), ids)
+}
+
+// insertIDs adds the interned row unless an identical one is present,
+// resolving tup lazily when the row is new and tup is nil.
+func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
+	h := value.HashIDs(ids)
+	if r.lookupHash(h, ids) >= 0 {
 		return false
 	}
-	row := len(r.tuples)
+	if tup == nil {
+		tup = r.in.ResolveAll(make([]value.Value, 0, len(ids)), ids)
+	}
+	row := len(r.rows)
+	r.rows = append(r.rows, ids)
 	r.tuples = append(r.tuples, tup)
-	r.keys[k] = row
-	for pos, byVal := range r.idx {
-		if pos < len(tup) {
-			byVal[tup[pos]] = append(byVal[tup[pos]], row)
+	if _, taken := r.dedup[h]; !taken {
+		r.dedup[h] = row
+	} else {
+		if r.over == nil {
+			r.over = make(map[uint64][]int)
+		}
+		r.over[h] = append(r.over[h], row)
+	}
+	for pos, byID := range r.idx {
+		if pos < len(ids) {
+			byID[ids[pos]] = append(byID[ids[pos]], row)
 		}
 	}
 	return true
 }
 
+// insert interns and adds the tuple unless an identical one is present.
+// It reports whether the tuple was added, maintaining any built indexes.
+func (r *Rel) insert(tup []value.Value) bool {
+	ids := r.in.InternAll(make([]value.ID, 0, len(tup)), tup)
+	return r.insertIDs(ids, tup)
+}
+
 // Contains reports whether an identical tuple is stored.
 func (r *Rel) Contains(tup []value.Value) bool {
-	_, ok := r.keys[tupleKey(tup)]
-	return ok
+	ids, ok := r.in.LookupAll(make([]value.ID, 0, len(tup)), tup)
+	if !ok {
+		return false // a never-interned value cannot be stored
+	}
+	return r.lookupRow(ids) >= 0
 }
 
 // EnsureIndex builds the hash index on position pos if not yet present.
 func (r *Rel) EnsureIndex(pos int) {
 	if r.idx == nil {
-		r.idx = make(map[int]map[value.Value][]int)
+		r.idx = make(map[int]map[value.ID][]int)
 	}
 	if _, ok := r.idx[pos]; ok {
 		return
 	}
-	byVal := make(map[value.Value][]int)
-	for row, tup := range r.tuples {
-		if pos < len(tup) {
-			byVal[tup[pos]] = append(byVal[tup[pos]], row)
+	byID := make(map[value.ID][]int)
+	for row, ids := range r.rows {
+		if pos < len(ids) {
+			byID[ids[pos]] = append(byID[ids[pos]], row)
 		}
 	}
-	r.idx[pos] = byVal
+	r.idx[pos] = byID
 }
 
-// Candidates returns the rows whose component pos equals v, building the
-// index on first use. The returned slice is shared; do not mutate.
-func (r *Rel) Candidates(pos int, v value.Value) []int {
+// CandidatesID returns the rows whose component pos equals the interned
+// value id, building the index on first use. The returned slice is
+// shared; do not mutate.
+func (r *Rel) CandidatesID(pos int, id value.ID) []int {
 	r.EnsureIndex(pos)
-	return r.idx[pos][v]
+	return r.idx[pos][id]
+}
+
+// Candidates is CandidatesID for a raw value: rows whose component pos
+// equals v.
+func (r *Rel) Candidates(pos int, v value.Value) []int {
+	id, ok := r.in.Lookup(v)
+	if !ok {
+		return nil
+	}
+	return r.CandidatesID(pos, id)
 }
 
 // HasIndex reports whether an index exists on pos (for tests and
@@ -108,26 +170,65 @@ func (r *Rel) HasIndex(pos int) bool {
 	return ok
 }
 
-// Store is a set of relations. The zero value is empty and ready to use.
+// Interner returns the interner whose IDs this relation's rows use.
+func (r *Rel) Interner() *value.Interner { return r.in }
+
+// Store is a set of relations sharing one value interner. NewStore gives
+// every store a private interner; NewStoreWith lets related stores (a
+// chase's source and target, an instance and its rewrites) share one so
+// their rows are ID-compatible.
 type Store struct {
+	in   *value.Interner
 	rels map[string]*Rel
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store { return &Store{rels: make(map[string]*Rel)} }
+// NewStore returns an empty store with a fresh interner.
+func NewStore() *Store { return NewStoreWith(nil) }
+
+// NewStoreWith returns an empty store using the given interner (a fresh
+// one when nil).
+func NewStoreWith(in *value.Interner) *Store {
+	if in == nil {
+		in = value.NewInterner()
+	}
+	return &Store{in: in, rels: make(map[string]*Rel)}
+}
+
+// Interner returns the store's interner.
+func (s *Store) Interner() *value.Interner { return s.interner() }
+
+func (s *Store) interner() *value.Interner {
+	if s.in == nil { // zero-value Store
+		s.in = value.NewInterner()
+	}
+	return s.in
+}
+
+func (s *Store) rel(name string) *Rel {
+	if s.rels == nil {
+		s.rels = make(map[string]*Rel)
+	}
+	r, ok := s.rels[name]
+	if !ok {
+		r = newRel(name, s.interner())
+		s.rels[name] = r
+	}
+	return r
+}
 
 // Insert adds a tuple to the named relation, creating the relation on
 // first use, and reports whether the tuple was new.
 func (s *Store) Insert(rel string, tup []value.Value) bool {
-	if s.rels == nil {
-		s.rels = make(map[string]*Rel)
-	}
-	r, ok := s.rels[rel]
-	if !ok {
-		r = newRel(rel)
-		s.rels[rel] = r
-	}
-	return r.insert(tup)
+	return s.rel(rel).insert(tup)
+}
+
+// InsertIDs adds an already-interned row to the named relation. The ids
+// must come from this store's interner; the row is retained, so the
+// caller must not mutate it afterwards. This is the rewrite fast path:
+// egd substitution maps rows ID-by-ID and reinserts them without
+// rendering a single value.
+func (s *Store) InsertIDs(rel string, ids []value.ID) bool {
+	return s.rel(rel).insertIDs(ids, nil)
 }
 
 // Contains reports whether the identical tuple is present.
@@ -158,7 +259,7 @@ func (s *Store) Relations() []string {
 func (s *Store) Size() int {
 	n := 0
 	for _, r := range s.rels {
-		n += len(r.tuples)
+		n += r.Len()
 	}
 	return n
 }
@@ -176,16 +277,35 @@ func (s *Store) Each(fn func(rel string, tup []value.Value) bool) {
 	}
 }
 
-// Clone returns a deep copy of the relation structure. Tuples themselves
-// are shared (they are immutable); indexes are not copied.
+// EachRow is Each over interned rows. fn must not mutate the row.
+func (s *Store) EachRow(fn func(rel string, ids []value.ID) bool) {
+	for _, name := range s.Relations() {
+		for _, ids := range s.rels[name].rows {
+			if !fn(name, ids) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the relation structure sharing the
+// interner. Tuples and rows themselves are shared (they are immutable);
+// indexes are not copied.
 func (s *Store) Clone() *Store {
-	out := NewStore()
+	out := NewStoreWith(s.interner())
 	for name, r := range s.rels {
-		nr := newRel(name)
+		nr := newRel(name, out.in)
 		nr.tuples = append([][]value.Value(nil), r.tuples...)
-		nr.keys = make(map[string]int, len(r.keys))
-		for k, v := range r.keys {
-			nr.keys[k] = v
+		nr.rows = append([][]value.ID(nil), r.rows...)
+		nr.dedup = make(map[uint64]int, len(r.dedup))
+		for k, v := range r.dedup {
+			nr.dedup[k] = v
+		}
+		if len(r.over) > 0 {
+			nr.over = make(map[uint64][]int, len(r.over))
+			for k, v := range r.over {
+				nr.over[k] = append([]int(nil), v...)
+			}
 		}
 		out.rels[name] = nr
 	}
@@ -197,7 +317,7 @@ func (s *Store) Clone() *Store {
 // results are deduplicated. Used by egd chase steps, which replace nulls
 // "everywhere".
 func (s *Store) Rewrite(fn func(rel string, tup []value.Value) []value.Value) *Store {
-	out := NewStore()
+	out := NewStoreWith(s.interner())
 	s.Each(func(rel string, tup []value.Value) bool {
 		out.Insert(rel, fn(rel, tup))
 		return true
@@ -205,11 +325,24 @@ func (s *Store) Rewrite(fn func(rel string, tup []value.Value) []value.Value) *S
 	return out
 }
 
+// tupleString renders a tuple for display; identity never goes through
+// this path.
+func tupleString(tup []value.Value) string {
+	var b strings.Builder
+	for i, v := range tup {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
 // String renders the store for debugging: one tuple per line, sorted.
 func (s *Store) String() string {
 	var lines []string
 	s.Each(func(rel string, tup []value.Value) bool {
-		lines = append(lines, fmt.Sprintf("%s(%s)", rel, tupleKey(tup)))
+		lines = append(lines, fmt.Sprintf("%s(%s)", rel, tupleString(tup)))
 		return true
 	})
 	sort.Strings(lines)

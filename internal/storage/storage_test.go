@@ -171,6 +171,135 @@ func TestRelationsSorted(t *testing.T) {
 	}
 }
 
+// randTuple draws a mixed-kind tuple: constants, plain and projected
+// nulls, annotated nulls, and interval values — everything the chase
+// stores.
+func randTuple(r *rand.Rand) []value.Value {
+	s := interval.Time(r.Intn(30))
+	iv := interval.MustNew(s, s+1+interval.Time(r.Intn(10)))
+	pick := func() value.Value {
+		switch r.Intn(5) {
+		case 0:
+			return value.NewConst(fmt.Sprintf("c%d", r.Intn(12)))
+		case 1:
+			return value.NewNull(uint64(r.Intn(12) + 1))
+		case 2:
+			return value.NewProjectedNull(uint64(r.Intn(12)+1), s)
+		case 3:
+			return value.NewAnnNull(uint64(r.Intn(12)+1), iv)
+		default:
+			return value.NewInterval(iv)
+		}
+	}
+	tp := make([]value.Value, 1+r.Intn(4))
+	for i := range tp {
+		tp[i] = pick()
+	}
+	return tp
+}
+
+// stringKey replicates the pre-interning dedup key (every value rendered
+// through String, joined with '|'), the reference the ID-hash dedup must
+// agree with. Value.String is injective across kinds (constants verbatim,
+// N7, N7@2013, N7^[s,e), [s,e)), so string identity is value identity.
+func stringKey(rel string, tp []value.Value) string {
+	k := rel
+	for _, v := range tp {
+		k += "|" + v.String()
+	}
+	return k
+}
+
+// TestDedupMatchesStringKeyReference checks, on a randomized mixed-kind
+// corpus, that the interned ID-row dedup accepts and rejects exactly the
+// same inserts as the old string-key implementation.
+func TestDedupMatchesStringKeyReference(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	s := NewStore()
+	ref := make(map[string]bool)
+	rels := []string{"R", "S"}
+	distinct := 0
+	for i := 0; i < 20_000; i++ {
+		rel := rels[r.Intn(2)]
+		tp := randTuple(r)
+		k := stringKey(rel, tp)
+		added := s.Insert(rel, tp)
+		if added == ref[k] {
+			t.Fatalf("iteration %d: insert(%s)=%v but reference seen=%v", i, k, added, ref[k])
+		}
+		if added {
+			distinct++
+		}
+		ref[k] = true
+		if !s.Contains(rel, tp) {
+			t.Fatalf("inserted tuple not found: %s", k)
+		}
+	}
+	if s.Size() != distinct || s.Size() != len(ref) {
+		t.Fatalf("size %d, added %d, reference %d", s.Size(), distinct, len(ref))
+	}
+}
+
+func TestRowsAndInsertIDs(t *testing.T) {
+	in := value.NewInterner()
+	s := NewStore()
+	s2 := NewStoreWith(in)
+	if s.Interner() == s2.Interner() || s2.Interner() != in {
+		t.Fatal("interner wiring broken")
+	}
+	s2.Insert("R", tup("a", "b"))
+	r := s2.Rel("R")
+	ids := r.Row(0)
+	if len(ids) != 2 || in.Resolve(ids[0]) != value.NewConst("a") {
+		t.Fatalf("Row = %v", ids)
+	}
+	// InsertIDs into a store sharing the interner: identical row dedups,
+	// permuted row is new, and its tuple resolves correctly.
+	s3 := NewStoreWith(in)
+	if !s3.InsertIDs("R", append([]value.ID(nil), ids...)) {
+		t.Fatal("first InsertIDs must add")
+	}
+	if s3.InsertIDs("R", append([]value.ID(nil), ids...)) {
+		t.Fatal("duplicate InsertIDs must not add")
+	}
+	if !s3.InsertIDs("R", []value.ID{ids[1], ids[0]}) {
+		t.Fatal("permuted row must be distinct")
+	}
+	if got := s3.Rel("R").Tuple(1); got[0] != value.NewConst("b") || got[1] != value.NewConst("a") {
+		t.Fatalf("resolved tuple = %v", got)
+	}
+	if !s3.Contains("R", tup("a", "b")) || !s3.Contains("R", tup("b", "a")) {
+		t.Fatal("Contains after InsertIDs broken")
+	}
+}
+
+func TestEachRowMatchesEach(t *testing.T) {
+	s := NewStore()
+	s.Insert("B", tup("1", "2"))
+	s.Insert("A", tup("3"))
+	in := s.Interner()
+	var fromRows [][]value.Value
+	s.EachRow(func(rel string, ids []value.ID) bool {
+		fromRows = append(fromRows, in.ResolveAll(nil, ids))
+		return true
+	})
+	var fromTuples [][]value.Value
+	s.Each(func(rel string, tp []value.Value) bool {
+		fromTuples = append(fromTuples, tp)
+		return true
+	})
+	if len(fromRows) != len(fromTuples) {
+		t.Fatalf("EachRow %d rows, Each %d", len(fromRows), len(fromTuples))
+	}
+	for i := range fromRows {
+		for j := range fromRows[i] {
+			if fromRows[i][j] != fromTuples[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, fromRows[i], fromTuples[i])
+			}
+		}
+	}
+}
+
 func TestQuickDedupSemantics(t *testing.T) {
 	// Inserting random tuples with duplicates: store size equals the
 	// number of distinct tuples, and every inserted tuple is found.

@@ -267,7 +267,9 @@ func Chase(ic *instance.Concrete, m *Mapping, opts *chase.Options) (*instance.Co
 	stats.NormalizeRuns++
 	stats.NormalizedSourceFacts = src.Len()
 
-	tgt := instance.NewConcrete(m.Target)
+	// Share the normalized source's interner so the whole run is
+	// ID-compatible (see chase.Concrete).
+	tgt := instance.NewConcreteWith(m.Target, src.Interner())
 	for i, d := range m.TGDs {
 		ms := logic.FindAll(src.Store(), bodies[i], nil)
 		stats.TGDHoms += len(ms)

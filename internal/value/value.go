@@ -7,6 +7,15 @@
 // An interval-annotated null N^[s,e) stands for the sequence of distinct
 // labeled nulls ⟨N_s, ..., N_{e-1}⟩, one per snapshot the concrete fact
 // spans. Projection on a time point ℓ (Π_ℓ) selects the ℓ-th member.
+//
+// Besides the Value representation itself, the package provides the
+// interned representation the engine's hot paths run on: an Interner maps
+// each distinct Value to a dense uint32 ID, and the storage, logic, and
+// chase layers compare, hash, and union those IDs instead of rendering
+// values to strings. Value remains the API currency — IDs appear where
+// identity work dominates (tuple dedup, index probes, homomorphism
+// unification, egd union-find) and are resolved back to Values at the
+// edges. See intern.go.
 package value
 
 import (
