@@ -364,6 +364,32 @@ func BenchmarkAbstractChaseParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelInternerSharding stresses the shared-nothing interner
+// shards of AbstractParallel: a segment-heavy abstract instance whose
+// segments draw from one constant pool, so each worker's private
+// interner amortizes constant interning across its segments instead of
+// rebuilding a per-segment interner (and never touches another worker's
+// lock). Compare allocs/op across worker counts; on multi-core hosts
+// wall time scales with workers as well.
+func BenchmarkParallelInternerSharding(b *testing.B) {
+	m := paperex.EmploymentMapping()
+	ic := workload.Employment(workload.EmploymentConfig{
+		Seed: 5, Persons: 40, JobsPerPerson: 3, SalaryCoverage: 0.8, Span: 400,
+	})
+	ia := ic.Abstract()
+	b.Logf("segments=%d", len(ia.Segments()))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.AbstractParallel(ia, m, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkJSONRoundTrip(b *testing.B) {
 	jc, _, err := chase.Concrete(employment(100), paperex.EmploymentMapping(), nil)
 	if err != nil {

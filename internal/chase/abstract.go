@@ -48,6 +48,7 @@ func Abstract(ia *instance.Abstract, m *dependency.Mapping, opts *Options) (*ins
 		total.NullsCreated += stats.NullsCreated
 		total.EgdRounds += stats.EgdRounds
 		total.EgdMerges += stats.EgdMerges
+		total.RowsRewritten += stats.RowsRewritten
 		if err != nil {
 			return nil, total, fmt.Errorf("in segment %v: %w", seg.Iv, err)
 		}

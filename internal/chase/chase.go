@@ -69,7 +69,8 @@ type Options struct {
 	// chase materializes (the target, normalization outputs, egd rewrites).
 	// When nil the normalized source's interner is shared, which keeps all
 	// rows of one run ID-compatible — the sensible default; set it to share
-	// the value domain across runs.
+	// the value domain across runs. AbstractParallel ignores the override:
+	// its workers always intern into private shards (see AbstractParallel).
 	Interner *value.Interner
 	// Trace, when set, receives one Event per chase action (normalization
 	// passes, tgd firings, egd merges, failures). For debugging and the
@@ -109,6 +110,18 @@ func (o *Options) interner(def *value.Interner) *value.Interner {
 	return def
 }
 
+// withInterner returns a copy of the options with the interner replaced
+// — the parallel chase hands each worker its own shard this way. The
+// receiver may be nil.
+func (o *Options) withInterner(in *value.Interner) *Options {
+	var c Options
+	if o != nil {
+		c = *o
+	}
+	c.Interner = in
+	return &c
+}
+
 // tracing reports whether a trace hook is installed, so hot loops can
 // skip argument evaluation for emit entirely.
 func (o *Options) tracing() bool { return o != nil && o.Trace != nil }
@@ -123,60 +136,75 @@ type Stats struct {
 	EgdRounds             int // egd rounds (normalize + merge + rewrite)
 	EgdMerges             int // value identifications applied
 	NormalizeRuns         int // normalization passes over the target
+	RowsRewritten         int // rows touched by incremental egd rewrites
 }
 
 // valueUF is an integer union-find over interned value IDs with constant
 // absorption: the canonical representative of a class containing a
 // constant is that constant; two distinct constants in one class are a
-// chase failure. The tree structure is merged by rank and find uses
-// iterative path halving (no recursion, so arbitrarily long merge chains
-// cannot overflow the stack); the *canonical* representative of each
-// class is tracked separately per root, because the chase needs a
-// deterministic output — the smallest value of the class by value.Compare
-// (a constant when present) — independent of union order and tree shape.
+// chase failure. Storage is sparse: IDs are mapped to dense slots on
+// first touch, so memory is proportional to the values actually merged,
+// not to the ID space — essential when the interner is long-lived (the
+// parallel chase's worker shards accumulate IDs across segments). The
+// tree structure is merged by rank and find uses iterative path halving
+// (no recursion, so arbitrarily long merge chains cannot overflow the
+// stack); the *canonical* representative of each class is tracked
+// separately per root, because the chase needs a deterministic output —
+// the smallest value of the class by value.Compare (a constant when
+// present) — independent of union order and tree shape.
 type valueUF struct {
-	in     *value.Interner
-	parent []value.ID
-	rank   []uint8
-	repr   []value.ID // per root: the canonical representative of its class
-	merges int
+	in      *value.Interner
+	slot    map[value.ID]int32 // ID → dense slot; absent = never touched
+	parent  []int32
+	rank    []uint8
+	repr    []value.ID // per root slot: the canonical representative
+	changed []value.ID // IDs that stopped being canonical, in merge order
+	merges  int
 }
 
 func newValueUF(in *value.Interner) *valueUF { return &valueUF{in: in} }
 
-// ensure grows the arrays to cover id.
-func (u *valueUF) ensure(id value.ID) {
+// ensure returns id's dense slot, allocating one on first touch.
+func (u *valueUF) ensure(id value.ID) int32 {
 	if id == value.NoID {
-		// Growing to cover the sentinel would allocate 2^32 entries; a
-		// NoID here means a caller fed an unbound variable into the
+		// A NoID here means a caller fed an unbound variable into the
 		// union-find, which the egd loops guard against.
 		panic("chase: NoID in union-find")
 	}
-	for len(u.parent) <= int(id) {
-		next := value.ID(len(u.parent))
-		u.parent = append(u.parent, next)
-		u.rank = append(u.rank, 0)
-		u.repr = append(u.repr, next)
+	if u.slot == nil {
+		u.slot = make(map[value.ID]int32)
 	}
+	s, ok := u.slot[id]
+	if !ok {
+		s = int32(len(u.parent))
+		u.slot[id] = s
+		u.parent = append(u.parent, s)
+		u.rank = append(u.rank, 0)
+		u.repr = append(u.repr, id)
+	}
+	return s
 }
 
-// find returns the tree root of id's class, compressing the path.
-func (u *valueUF) find(id value.ID) value.ID {
-	u.ensure(id)
-	for u.parent[id] != id {
-		u.parent[id] = u.parent[u.parent[id]] // path halving
-		id = u.parent[id]
+// findSlot returns the root slot of s's class, compressing the path.
+func (u *valueUF) findSlot(s int32) int32 {
+	for u.parent[s] != s {
+		u.parent[s] = u.parent[u.parent[s]] // path halving
+		s = u.parent[s]
 	}
-	return id
+	return s
 }
+
+// find returns the root slot of id's class.
+func (u *valueUF) find(id value.ID) int32 { return u.findSlot(u.ensure(id)) }
 
 // canon returns the canonical representative of id's class (id itself if
 // never merged).
 func (u *valueUF) canon(id value.ID) value.ID {
-	if int(id) >= len(u.parent) {
+	s, ok := u.slot[id]
+	if !ok {
 		return id
 	}
-	return u.repr[u.find(id)]
+	return u.repr[u.findSlot(s)]
 }
 
 // isConst reports whether an ID denotes a constant, without
@@ -218,9 +246,22 @@ func (u *valueUF) union(a, b value.ID) error {
 		u.rank[ra]++
 	}
 	u.repr[ra] = rep
+	// Exactly one previously-canonical value loses canonicity per union
+	// (a non-canonical ID never becomes canonical again), so changed
+	// accumulates the full substitution domain without duplicates.
+	if rep == va {
+		u.changed = append(u.changed, vb)
+	} else {
+		u.changed = append(u.changed, va)
+	}
 	u.merges++
 	return nil
 }
+
+// substituted returns the IDs whose canonical representative differs
+// from themselves — the domain of the substitution this union-find
+// encodes. The slice is owned by the union-find; do not mutate.
+func (u *valueUF) substituted() []value.ID { return u.changed }
 
 // dirty reports whether any merge has been recorded.
 func (u *valueUF) dirty() bool { return u.merges > 0 }

@@ -89,8 +89,9 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 		}
 	}
 
-	// Steps 3–4: egd phase with renormalization.
-	tgt, err := concreteEgds(tgt, m, opts, &stats)
+	// Steps 3–4: egd phase with renormalization. tgt was built here, so
+	// the egd loop owns it and may rewrite it in place.
+	tgt, err := concreteEgds(tgt, m, opts, &stats, true)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -102,8 +103,11 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 }
 
 // concreteEgds normalizes the target and applies egd c-chase steps until
-// every egd is satisfied.
-func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, stats *Stats) (*instance.Concrete, error) {
+// every egd is satisfied. owned reports whether tgt belongs to this
+// chase run: owned instances are rewritten in place, a caller-supplied
+// one is cloned before the first rewrite so the caller's instance is
+// never mutated.
+func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, stats *Stats, owned bool) (*instance.Concrete, error) {
 	if len(m.EGDs) == 0 {
 		return tgt, nil
 	}
@@ -127,11 +131,16 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 		if opts.norm() == normalize.StrategyNaive {
 			if !naiveDone {
 				tgt = normalize.Naive(tgt)
+				owned = true // Naive always builds a fresh instance
 				stats.NormalizeRuns++
 				naiveDone = true
 			}
 		} else {
-			tgt = normalize.ForEgdPhase(tgt, egdBodies, normalize.StrategySmart)
+			norm := normalize.ForEgdPhase(tgt, egdBodies, normalize.StrategySmart)
+			if norm != tgt {
+				owned = true // normalization built a fresh instance
+			}
+			tgt = norm
 			stats.NormalizeRuns++
 			opts.emit(EventNormalize, "", "target normalized for egd round %d: %d facts", stats.EgdRounds, tgt.Len())
 		}
@@ -171,41 +180,38 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 		if !uf.dirty() {
 			return tgt, nil
 		}
-		tgt = rewriteConcrete(tgt, uf)
+		if !owned {
+			tgt = tgt.Clone()
+			owned = true
+		}
+		stats.RowsRewritten += rewriteConcrete(tgt, uf)
 	}
 }
 
-// rewriteConcrete applies the union-find substitution to every fact of a
-// concrete instance, deduplicating collapsed facts. Identifications are
-// per annotated-null value — the same family fragmented over two
-// intervals yields two independent unknowns (one per snapshot range), and
-// only the equated fragment is replaced, exactly as the abstract
-// semantics requires. The substitution runs entirely on interned rows:
-// each row's IDs are mapped through the union-find and reinserted into a
-// store sharing the interner, without rendering or re-validating a single
-// value (the substitution preserves the fact invariants: arity is
-// unchanged, and an egd only equates values from facts with identical
-// intervals, so annotations keep matching their fact's interval).
-func rewriteConcrete(c *instance.Concrete, uf *valueUF) *instance.Concrete {
-	out := instance.NewConcreteWith(c.Schema(), c.Interner())
-	st := out.Store()
-	c.Store().EachRow(func(rel string, ids []value.ID) bool {
-		nids := make([]value.ID, len(ids))
-		for i, id := range ids {
-			nids[i] = uf.canon(id)
-		}
-		st.InsertIDs(rel, nids)
-		return true
-	})
-	return out
+// rewriteConcrete applies the union-find substitution to a concrete
+// instance in place, returning the number of rows touched.
+// Identifications are per annotated-null value — the same family
+// fragmented over two intervals yields two independent unknowns (one per
+// snapshot range), and only the equated fragment is replaced, exactly as
+// the abstract semantics requires. The substitution is incremental and
+// runs entirely on interned rows: the store's reverse ID index yields
+// exactly the rows containing a merged ID, those rows' IDs are mapped
+// through the union-find in place, and collapsed duplicates are
+// invalidated — untouched rows are never hashed, copied, or re-resolved
+// (the substitution preserves the fact invariants: arity is unchanged,
+// and an egd only equates values from facts with identical intervals, so
+// annotations keep matching their fact's interval).
+func rewriteConcrete(c *instance.Concrete, uf *valueUF) int {
+	return c.Store().SubstituteIDs(uf.substituted(), uf.canon)
 }
 
 // EgdPhase exposes the egd stage of the c-chase for callers that build
 // the target instance themselves (e.g. the temporal-mapping extension):
 // it normalizes tgt w.r.t. the mapping's egd bodies, synchronizes null
-// families, and applies egd steps to a fixpoint.
+// families, and applies egd steps to a fixpoint. tgt itself is never
+// mutated; rewrites happen on normalization outputs or a private clone.
 func EgdPhase(tgt *instance.Concrete, m *dependency.Mapping, opts *Options) (*instance.Concrete, Stats, error) {
 	var stats Stats
-	out, err := concreteEgds(tgt, m, opts, &stats)
+	out, err := concreteEgds(tgt, m, opts, &stats, false)
 	return out, stats, err
 }

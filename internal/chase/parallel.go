@@ -17,6 +17,15 @@ import (
 // workers ≤ 0 selects GOMAXPROCS. The result is deterministic and equal
 // to the sequential Abstract up to null family ids (the shared generator
 // is atomic, so ids depend on scheduling; snapshots are isomorphic).
+//
+// Interning is shared-nothing: each worker owns a private value.Interner
+// used for every snapshot it chases, so workers never contend on one
+// interner lock, and a worker amortizes the interning of the constants
+// shared by its segments instead of rebuilding a fresh interner per
+// segment. Segment results cross the merge boundary as value-level facts
+// (never raw IDs), so no ID reconciliation is needed. An Options.Interner
+// override is honored only for the sequential path — worker-private
+// interners are what make the parallel path scale.
 func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Options, workers int) (*instance.Abstract, Stats, error) {
 	segsIn := ia.Segments()
 	if workers <= 0 {
@@ -37,8 +46,12 @@ func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Option
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The worker's interner shard: private, lock-uncontended, and
+			// threaded through Options so every instance the segment
+			// chases build (targets, rewrites) shares it.
+			wopts := opts.withInterner(value.NewInterner())
 			for idx := range jobs {
-				results[idx] = chaseSegment(segsIn[idx], m, gen, opts)
+				results[idx] = chaseSegment(segsIn[idx], m, gen, wopts)
 			}
 		}()
 	}
@@ -57,6 +70,7 @@ func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Option
 		total.NullsCreated += r.stats.NullsCreated
 		total.EgdRounds += r.stats.EgdRounds
 		total.EgdMerges += r.stats.EgdMerges
+		total.RowsRewritten += r.stats.RowsRewritten
 		if r.err != nil {
 			return nil, total, r.err
 		}
@@ -77,9 +91,11 @@ type segResult struct {
 }
 
 // chaseSegment chases one segment's representative snapshot, returning
-// the target segment.
+// the target segment. The source snapshot adopts the Options interner
+// when one is set (the parallel path's worker shard), so repeated
+// segments reuse already-interned constants.
 func chaseSegment(seg instance.Segment, m *dependency.Mapping, gen *value.NullGen, opts *Options) (res segResult) {
-	src := instance.NewSnapshot()
+	src := instance.NewSnapshotWith(opts.interner(nil))
 	for _, f := range seg.Facts {
 		for _, v := range f.Args {
 			if !v.IsConst() {

@@ -59,6 +59,7 @@ func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() va
 	// EGD phase.
 	out, egdStats, err := snapshotEgds(tgt, m, opts.egd())
 	stats.EgdRounds, stats.EgdMerges = egdStats.EgdRounds, egdStats.EgdMerges
+	stats.RowsRewritten = egdStats.RowsRewritten
 	return out, stats, err
 }
 
@@ -105,22 +106,15 @@ func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrate
 		if !uf.dirty() {
 			return tgt, stats, nil
 		}
-		tgt = rewriteSnapshot(tgt, uf)
+		stats.RowsRewritten += rewriteSnapshot(tgt, uf)
 	}
 }
 
-// rewriteSnapshot applies the union-find substitution to every fact,
-// operating on interned rows end to end (see rewriteConcrete).
-func rewriteSnapshot(s *instance.Snapshot, uf *valueUF) *instance.Snapshot {
-	out := instance.NewSnapshotWith(s.Interner())
-	st := out.Store()
-	s.Store().EachRow(func(rel string, ids []value.ID) bool {
-		nids := make([]value.ID, len(ids))
-		for i, id := range ids {
-			nids[i] = uf.canon(id)
-		}
-		st.InsertIDs(rel, nids)
-		return true
-	})
-	return out
+// rewriteSnapshot applies the union-find substitution to the snapshot in
+// place, touching only the rows that contain a merged ID (see
+// rewriteConcrete) and returning how many it rewrote. The snapshot egd
+// loop owns its target (Snapshot builds it), so no defensive copy is
+// needed.
+func rewriteSnapshot(s *instance.Snapshot, uf *valueUF) int {
+	return s.Store().SubstituteIDs(uf.substituted(), uf.canon)
 }

@@ -119,6 +119,17 @@ func (c *Concrete) Len() int { return c.st.Size() }
 // Relations returns the names of non-empty relations, sorted.
 func (c *Concrete) Relations() []string { return c.st.Relations() }
 
+// EachFact calls fn for every fact in store order (relations
+// lexicographic, live rows ascending) — deterministic but unsorted,
+// without materializing or sorting the fact set. Iteration stops early
+// when fn returns false. Prefer this over Facts on hot paths that only
+// need determinism.
+func (c *Concrete) EachFact(fn func(f fact.CFact) bool) {
+	c.st.Each(func(rel string, tup []value.Value) bool {
+		return fn(FromTuple(rel, tup))
+	})
+}
+
 // Facts returns every fact in deterministic order.
 func (c *Concrete) Facts() []fact.CFact {
 	out := make([]fact.CFact, 0, c.Len())
@@ -136,10 +147,11 @@ func (c *Concrete) FactsOf(rel string) []fact.CFact {
 	if r == nil {
 		return nil
 	}
-	out := make([]fact.CFact, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		out[i] = FromTuple(rel, r.Tuple(i))
-	}
+	out := make([]fact.CFact, 0, r.Len())
+	r.EachLive(func(row int) bool {
+		out = append(out, FromTuple(rel, r.Tuple(row)))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return fact.CompareC(out[i], out[j]) < 0 })
 	return out
 }

@@ -14,8 +14,11 @@
 // conjunction is compiled against the store into an ID plan — variables
 // become dense slots, literals become interned value.IDs (a literal the
 // store has never interned cannot match anything, so compilation ends the
-// search immediately) — and unification compares the store's interned
-// rows slot-by-slot as uint32s. ForEachIDs exposes that representation
+// search immediately), and each atom binds to the columnar block of its
+// arity. Candidate rows come from sorted posting lists (intersected when
+// two or more positions are determined), and unification reads the
+// block's columns directly — cols[pos][off] — comparing uint32s with no
+// per-row materialization. ForEachIDs exposes that representation
 // directly for hot callers (the chase's egd loop, normalization);
 // ForEach/FindAll materialize value.Value bindings per match.
 package logic
@@ -218,10 +221,23 @@ type planTerm struct {
 	lit  value.ID // literal ID when slot < 0
 }
 
-// planAtom is an atom compiled against a store.
+// planAtom is an atom compiled against a store: the relation, the
+// columnar block holding rows of the atom's arity, and the block's
+// columns snapshotted for direct indexing — unification reads
+// cols[pos][off] without materializing a row. order lists the term
+// positions with literals first, so a candidate row is rejected before
+// any variable column is touched. dense records that block offsets and
+// global rows coincide (no dead rows, single arity class), eliding the
+// per-row translation; buf is the atom's posting-intersection scratch
+// (safe per atom: the search uses each atom at one depth at a time).
 type planAtom struct {
 	rel   *storage.Rel
+	block storage.Block
+	cols  [][]value.ID
 	terms []planTerm
+	order []int
+	dense bool
+	buf   []int
 }
 
 // plan is a conjunction compiled against a store: atoms over variable
@@ -249,7 +265,13 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 			p.empty = true
 			return p
 		}
-		pa := planAtom{rel: rel, terms: make([]planTerm, len(a.Terms))}
+		block, ok := rel.BlockFor(len(a.Terms))
+		if !ok {
+			// No stored row has the atom's arity, so nothing can match.
+			p.empty = true
+			return p
+		}
+		pa := planAtom{rel: rel, block: block, cols: block.Cols(), terms: make([]planTerm, len(a.Terms)), dense: block.Dense()}
 		for j, t := range a.Terms {
 			if t.IsVar {
 				s, ok := slotOf[t.Name]
@@ -266,6 +288,17 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 					return p
 				}
 				pa.terms[j] = planTerm{slot: -1, lit: id}
+			}
+		}
+		pa.order = make([]int, 0, len(pa.terms))
+		for j, t := range pa.terms {
+			if t.slot < 0 {
+				pa.order = append(pa.order, j)
+			}
+		}
+		for j, t := range pa.terms {
+			if t.slot >= 0 {
+				pa.order = append(pa.order, j)
 			}
 		}
 		p.atoms = append(p.atoms, pa)
@@ -293,12 +326,15 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 	return p
 }
 
-// candidates returns the rows of pa.rel worth testing under the current
-// bindings, using the smallest available index on a bound position, or
-// all rows when nothing is bound.
-func candidates(pa planAtom, bind []value.ID) []int {
-	bestLen := -1
-	var best []int
+// candidates returns the candidate rows of pa worth testing under the
+// current bindings: when two or more positions are determined (bound
+// variable or literal), the intersection of the two smallest posting
+// lists — computed into buf, which is reused across calls at the same
+// search depth — otherwise the single available list. scan is true when
+// no position is determined and the caller must scan the whole block.
+func candidates(pa *planAtom, bind []value.ID, buf []int) (cands []int, scan bool, out []int) {
+	var best, second []int
+	bestLen, secondLen := -1, -1
 	for pos, t := range pa.terms {
 		var id value.ID
 		switch {
@@ -309,23 +345,29 @@ func candidates(pa planAtom, bind []value.ID) []int {
 		default:
 			continue
 		}
-		rows := pa.rel.CandidatesID(pos, id)
-		if bestLen == -1 || len(rows) < bestLen {
-			bestLen = len(rows)
-			best = rows
-			if bestLen == 0 {
-				return nil
-			}
+		list := pa.rel.CandidatesID(pos, id)
+		n := len(list)
+		if n == 0 {
+			return nil, false, buf
+		}
+		switch {
+		case bestLen < 0 || n < bestLen:
+			second, secondLen = best, bestLen
+			best, bestLen = list, n
+		case secondLen < 0 || n < secondLen:
+			second, secondLen = list, n
 		}
 	}
-	if bestLen >= 0 {
-		return best
+	if bestLen < 0 {
+		return nil, true, buf
 	}
-	all := make([]int, pa.rel.Len())
-	for i := range all {
-		all[i] = i
+	// Intersecting pays once the smallest list is non-trivial; below that
+	// the per-row column check is cheaper than the merge.
+	if secondLen < 0 || bestLen <= 8 {
+		return best, false, buf
 	}
-	return all
+	buf = storage.IntersectPostings(buf, best, second)
+	return buf, false, buf
 }
 
 // run enumerates the plan's homomorphisms, invoking fn per match and
@@ -360,19 +402,41 @@ func run(p plan, fn func(*IDMatch) bool) {
 				bestScore, bestAtom = s, i
 			}
 		}
-		pa := p.atoms[bestAtom]
+		pa := &p.atoms[bestAtom]
 		done[bestAtom] = true
 		cont := true
+		cands, scan, buf := candidates(pa, bind, pa.buf)
+		pa.buf = buf
+		limit := len(cands)
+		if scan {
+			limit = pa.block.Len()
+		}
 	rowLoop:
-		for _, row := range candidates(pa, bind) {
-			ids := pa.rel.Row(row)
-			if len(ids) != len(pa.terms) {
-				continue
+		for k := 0; k < limit; k++ {
+			var row, off int
+			switch {
+			case scan && pa.dense:
+				row, off = k, k
+			case scan:
+				off = k
+				if !pa.block.LiveAt(off) {
+					continue
+				}
+				row = pa.block.RowAt(off)
+			case pa.dense:
+				row = cands[k]
+				off = row
+			default:
+				row = cands[k]
+				if off = pa.block.Offset(row); off < 0 {
+					continue // a row of another arity class sharing the index
+				}
 			}
 			base := len(trail)
 			ok := true
-			for j, t := range pa.terms {
-				got := ids[j]
+			for _, j := range pa.order {
+				t := pa.terms[j]
+				got := pa.cols[j][off]
 				if t.slot < 0 {
 					if t.lit != got {
 						ok = false

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/dependency"
+	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/interval"
 	"repro/internal/logic"
@@ -178,21 +179,23 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 	}
 
 	// Fragment each member fact on its component's cuts (lines 14–17);
-	// facts in no component pass through unchanged.
+	// facts in no component pass through unchanged. Iteration goes
+	// through the store's live-row API: row numbers are physical (they
+	// key the match witnesses in ids), and dead rows are skipped.
 	out := instance.NewConcreteWith(ic.Schema(), ic.Interner())
 	for _, rel := range ic.Relations() {
-		n := ic.Store().Rel(rel).Len()
-		for row := 0; row < n; row++ {
+		ic.Store().Rel(rel).EachLive(func(row int) bool {
 			f := ic.FactAt(rel, row)
 			id, inSet := ids[factRef{rel, row}]
 			if !inSet {
 				out.MustInsert(f)
-				continue
+				return true
 			}
 			for _, fr := range f.Fragment(cuts[uf.find(id)]) {
 				out.MustInsert(fr)
 			}
-		}
+			return true
+		})
 	}
 	return out
 }
@@ -204,11 +207,12 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 func Naive(ic *instance.Concrete) *instance.Concrete {
 	cuts := ic.Endpoints()
 	out := instance.NewConcreteWith(ic.Schema(), ic.Interner())
-	for _, f := range ic.Facts() {
+	ic.EachFact(func(f fact.CFact) bool {
 		for _, fr := range f.Fragment(cuts) {
 			out.MustInsert(fr)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -341,17 +345,20 @@ func SyncFamilies(c *instance.Concrete) *instance.Concrete {
 	for pass := 0; ; pass++ {
 		// Collect, per family, the endpoints of all occurrence annotations
 		// (equal to the enclosing fact intervals by the fact invariant).
+		// Iteration is store order (EachFact): deterministic without the
+		// sorted materialization Facts would pay twice per pass.
 		cuts := make(map[uint64][]interval.Time)
-		for _, f := range cur.Facts() {
+		cur.EachFact(func(f fact.CFact) bool {
 			for _, v := range f.Args {
 				if v.Kind() == value.AnnNull {
 					cuts[v.ID] = append(cuts[v.ID], f.T.Start, f.T.End)
 				}
 			}
-		}
+			return true
+		})
 		out := instance.NewConcreteWith(cur.Schema(), cur.Interner())
 		changed := false
-		for _, f := range cur.Facts() {
+		cur.EachFact(func(f fact.CFact) bool {
 			var factCuts []interval.Time
 			for _, v := range f.Args {
 				if v.Kind() == value.AnnNull {
@@ -365,7 +372,8 @@ func SyncFamilies(c *instance.Concrete) *instance.Concrete {
 			for _, fr := range frags {
 				out.MustInsert(fr)
 			}
-		}
+			return true
+		})
 		if !changed {
 			return cur
 		}

@@ -1,47 +1,81 @@
 // Package storage implements the in-memory relational storage engine the
-// rest of the system is built on: per-relation tuple heaps with O(1)
-// duplicate elimination and lazily built secondary hash indexes
-// (position, value-ID) → rows, which drive index-nested-loop candidate
-// selection in the homomorphism engine.
+// rest of the system is built on. Relations are stored column-wise: each
+// relation is a set of fixed-arity segments, and each segment keeps one
+// dense []value.ID column per attribute position, so the homomorphism
+// engine verifies a candidate row by indexing straight into the columns
+// it cares about instead of chasing per-tuple pointers. Secondary indexes
+// are sorted posting lists (position, value-ID) → ascending row numbers,
+// which support both index-nested-loop probes and sorted-list
+// intersection for conjunctive candidate sets.
 //
 // Representation. Every value entering a store is interned into a dense
-// value.ID by the store's value.Interner, and each tuple is kept in two
-// forms: the caller's []value.Value (immutable, returned by Tuple for
-// decoding and display) and the interned []value.ID row (returned by Row;
-// the identity used everywhere else). Duplicate elimination hashes the ID
-// row (value.HashIDs) into buckets and compares ID slices on collision —
-// no strings are built on the insert/lookup path. Secondary indexes are
-// keyed by value.ID, so the homomorphism engine probes them with plain
-// uint32s. Stores sharing one Interner (see NewStoreWith) agree on IDs,
-// which lets the chase rewrite and copy rows between instances without
-// re-rendering values.
+// value.ID by the store's value.Interner. A tuple of arity k lands in the
+// relation's arity-k segment as one entry per column; the caller-facing
+// []value.Value form is a decode cache, materialized lazily for rows that
+// were inserted as raw IDs (Tuple). Rows are addressed by a stable global
+// row number; a row-validity bitmap marks rows that were collapsed into
+// duplicates by an in-place substitution (SubstituteIDs, the egd-rewrite
+// fast path) — dead rows keep their number but are skipped by Len,
+// iteration, dedup, and the posting lists. Duplicate elimination hashes
+// the ID row (value.HashIDs) into buckets and compares against the
+// columns on collision; no strings are built on the insert/lookup path.
+//
+// SubstituteIDs rewrites only the rows that contain a substituted ID,
+// found through a lazily built reverse index (value-ID → rows containing
+// it); unaffected rows — the vast majority in a typical egd round — are
+// not touched, hashed, or copied. Stores sharing one Interner (see
+// NewStoreWith) agree on IDs, which lets the chase rewrite and copy rows
+// between instances without re-rendering values.
 //
 // The store is deliberately representation-agnostic: a tuple is a slice
 // of values, and both views use it — the concrete view stores a fact
 // R+(a, [s,e)) as the tuple ⟨a..., [s,e)⟩ whose last component is an
 // interval value, while abstract snapshots store plain ⟨a...⟩ tuples.
-// Tuples are treated as immutable once inserted.
+// Tuples are treated as immutable once inserted; only SubstituteIDs
+// rewrites stored rows, and it preserves set semantics.
 package storage
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 	"strings"
 
 	"repro/internal/value"
 )
 
-// Rel is a single relation: an append-only heap of deduplicated tuples
-// with optional per-position hash indexes.
+// segment is one fixed-arity columnar block of a relation: column p of
+// the segment's i-th row is cols[p][i], and rows[i] is its global row
+// number in the relation.
+type segment struct {
+	arity int
+	cols  [][]value.ID
+	rows  []int
+}
+
+// rowLoc locates a global row inside its segment.
+type rowLoc struct {
+	seg int32
+	off int32
+}
+
+// Rel is a single relation: an append-only set of deduplicated tuples in
+// columnar segments, with optional per-position posting-list indexes.
 type Rel struct {
-	name   string
-	in     *value.Interner
-	tuples [][]value.Value  // original values, for decoding and display
-	rows   [][]value.ID     // interned rows: the identity representation
-	dedup  map[uint64]int   // row hash → first row with that hash
-	over   map[uint64][]int // further rows per hash (collisions only; lazily built)
-	idx    map[int]map[value.ID][]int
+	name string
+	in   *value.Interner
+	segs []*segment
+	loc  []rowLoc // global row → segment location
+	live []uint64 // validity bitmap over global rows
+	dead int      // rows invalidated by SubstituteIDs
+
+	tuples [][]value.Value  // decode cache; nil entries resolve lazily
+	dedup  map[uint64]int   // row hash → a live row with that hash
+	over   map[uint64][]int // further live rows per hash (collisions only)
+
+	idx map[int]map[value.ID][]int // pos → ID → sorted live rows
+	rev map[value.ID][]int         // ID → rows containing it (lazy; may hold stale entries)
+
+	scratch []value.ID // reusable insert/lookup buffer
 }
 
 func newRel(name string, in *value.Interner) *Rel {
@@ -51,62 +85,187 @@ func newRel(name string, in *value.Interner) *Rel {
 // Name returns the relation name.
 func (r *Rel) Name() string { return r.name }
 
-// Len returns the number of (distinct) tuples.
-func (r *Rel) Len() int { return len(r.rows) }
+// Len returns the number of (distinct, live) tuples.
+func (r *Rel) Len() int { return len(r.loc) - r.dead }
 
-// Tuple returns tuple i as values. The caller must not mutate it.
-func (r *Rel) Tuple(i int) []value.Value { return r.tuples[i] }
+// NumRows returns the physical row-number space: valid row arguments are
+// [0, NumRows), of which Len are alive. The two differ only after an
+// in-place substitution collapsed rows.
+func (r *Rel) NumRows() int { return len(r.loc) }
 
-// Row returns the interned form of tuple i. The caller must not mutate it.
-func (r *Rel) Row(i int) []value.ID { return r.rows[i] }
+// Alive reports whether the row is live (not collapsed into a duplicate
+// by SubstituteIDs).
+func (r *Rel) Alive(row int) bool {
+	return r.live[row>>6]&(1<<(uint(row)&63)) != 0
+}
 
-// lookupHash returns the row number of a stored row identical to ids
-// under hash h, or -1.
+func (r *Rel) kill(row int) {
+	r.live[row>>6] &^= 1 << (uint(row) & 63)
+	r.dead++
+}
+
+// segFor returns the segment for the arity, creating it on first use.
+func (r *Rel) segFor(arity int) (int32, *segment) {
+	for i, s := range r.segs {
+		if s.arity == arity {
+			return int32(i), s
+		}
+	}
+	s := &segment{arity: arity, cols: make([][]value.ID, arity)}
+	r.segs = append(r.segs, s)
+	return int32(len(r.segs) - 1), s
+}
+
+// arityOf returns the arity of a row.
+func (r *Rel) arityOf(row int) int { return r.segs[r.loc[row].seg].arity }
+
+// appendRowIDs appends row's IDs to dst, which may be nil.
+func (r *Rel) appendRowIDs(dst []value.ID, row int) []value.ID {
+	l := r.loc[row]
+	s := r.segs[l.seg]
+	for p := 0; p < s.arity; p++ {
+		dst = append(dst, s.cols[p][l.off])
+	}
+	return dst
+}
+
+// Row returns the interned form of row i as a fresh slice.
+func (r *Rel) Row(i int) []value.ID {
+	return r.appendRowIDs(make([]value.ID, 0, r.arityOf(i)), i)
+}
+
+// Tuple returns row i as values, resolving and caching it on first use
+// for rows inserted as raw IDs. The caller must not mutate it. Not safe
+// for concurrent use (the cache fill is unsynchronized).
+func (r *Rel) Tuple(i int) []value.Value {
+	if t := r.tuples[i]; t != nil {
+		return t
+	}
+	r.scratch = r.appendRowIDs(r.scratch[:0], i)
+	t := r.in.ResolveAll(make([]value.Value, 0, len(r.scratch)), r.scratch)
+	r.tuples[i] = t
+	return t
+}
+
+// hashRow hashes a stored row the same way value.HashIDs hashes its
+// slice form.
+func (r *Rel) hashRow(row int) uint64 {
+	l := r.loc[row]
+	s := r.segs[l.seg]
+	h := value.NewHash64()
+	for p := 0; p < s.arity; p++ {
+		h = h.Word(uint64(s.cols[p][l.off]))
+	}
+	return h.Sum()
+}
+
+// rowEqual reports whether stored row equals the ID slice.
+func (r *Rel) rowEqual(row int, ids []value.ID) bool {
+	l := r.loc[row]
+	s := r.segs[l.seg]
+	if s.arity != len(ids) {
+		return false
+	}
+	for p, id := range ids {
+		if s.cols[p][l.off] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupHash returns the row number of a live stored row identical to
+// ids under hash h, or -1.
 func (r *Rel) lookupHash(h uint64, ids []value.ID) int {
 	first, ok := r.dedup[h]
 	if !ok {
 		return -1
 	}
-	if slices.Equal(r.rows[first], ids) {
+	if r.rowEqual(first, ids) {
 		return first
 	}
 	for _, row := range r.over[h] {
-		if slices.Equal(r.rows[row], ids) {
+		if r.rowEqual(row, ids) {
 			return row
 		}
 	}
 	return -1
 }
 
-// lookupRow returns the row number of an identical stored row, or -1.
+// lookupRow returns the row number of an identical live stored row, or -1.
 func (r *Rel) lookupRow(ids []value.ID) int {
 	return r.lookupHash(value.HashIDs(ids), ids)
 }
 
-// insertIDs adds the interned row unless an identical one is present,
-// resolving tup lazily when the row is new and tup is nil.
+// attachDedup registers a live row under its hash.
+func (r *Rel) attachDedup(h uint64, row int) {
+	if _, taken := r.dedup[h]; !taken {
+		r.dedup[h] = row
+		return
+	}
+	if r.over == nil {
+		r.over = make(map[uint64][]int)
+	}
+	r.over[h] = append(r.over[h], row)
+}
+
+// detachDedup removes a row from its hash bucket.
+func (r *Rel) detachDedup(h uint64, row int) {
+	if r.dedup[h] == row {
+		if extra := r.over[h]; len(extra) > 0 {
+			r.dedup[h] = extra[0]
+			if len(extra) == 1 {
+				delete(r.over, h)
+			} else {
+				r.over[h] = extra[1:]
+			}
+		} else {
+			delete(r.dedup, h)
+		}
+		return
+	}
+	extra := r.over[h]
+	for i, got := range extra {
+		if got == row {
+			r.over[h] = append(extra[:i], extra[i+1:]...)
+			if len(r.over[h]) == 0 {
+				delete(r.over, h)
+			}
+			return
+		}
+	}
+}
+
+// insertIDs adds the interned row unless an identical live one is
+// present. The ids are copied into the columns, so the caller may reuse
+// the slice; tup, when non-nil, is retained as the row's decoded form.
 func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
 	h := value.HashIDs(ids)
 	if r.lookupHash(h, ids) >= 0 {
 		return false
 	}
-	if tup == nil {
-		tup = r.in.ResolveAll(make([]value.Value, 0, len(ids)), ids)
+	row := len(r.loc)
+	si, s := r.segFor(len(ids))
+	off := int32(len(s.rows))
+	for p, id := range ids {
+		s.cols[p] = append(s.cols[p], id)
 	}
-	row := len(r.rows)
-	r.rows = append(r.rows, ids)
+	s.rows = append(s.rows, row)
+	r.loc = append(r.loc, rowLoc{seg: si, off: off})
+	if row>>6 >= len(r.live) {
+		r.live = append(r.live, 0)
+	}
+	r.live[row>>6] |= 1 << (uint(row) & 63)
 	r.tuples = append(r.tuples, tup)
-	if _, taken := r.dedup[h]; !taken {
-		r.dedup[h] = row
-	} else {
-		if r.over == nil {
-			r.over = make(map[uint64][]int)
-		}
-		r.over[h] = append(r.over[h], row)
-	}
+	r.attachDedup(h, row)
 	for pos, byID := range r.idx {
 		if pos < len(ids) {
 			byID[ids[pos]] = append(byID[ids[pos]], row)
+		}
+	}
+	if r.rev != nil {
+		for _, id := range ids {
+			r.rev[id] = append(r.rev[id], row)
 		}
 	}
 	return true
@@ -115,20 +274,32 @@ func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
 // insert interns and adds the tuple unless an identical one is present.
 // It reports whether the tuple was added, maintaining any built indexes.
 func (r *Rel) insert(tup []value.Value) bool {
-	ids := r.in.InternAll(make([]value.ID, 0, len(tup)), tup)
-	return r.insertIDs(ids, tup)
+	r.scratch = r.in.InternAll(r.scratch[:0], tup)
+	return r.insertIDs(r.scratch, tup)
 }
 
 // Contains reports whether an identical tuple is stored.
 func (r *Rel) Contains(tup []value.Value) bool {
-	ids, ok := r.in.LookupAll(make([]value.ID, 0, len(tup)), tup)
+	ids, ok := r.in.LookupAll(r.scratch[:0], tup)
+	r.scratch = ids[:0]
 	if !ok {
 		return false // a never-interned value cannot be stored
 	}
 	return r.lookupRow(ids) >= 0
 }
 
-// EnsureIndex builds the hash index on position pos if not yet present.
+// EachLive calls fn with every live row number in ascending order,
+// stopping early if fn returns false.
+func (r *Rel) EachLive(fn func(row int) bool) {
+	for row := 0; row < len(r.loc); row++ {
+		if r.Alive(row) && !fn(row) {
+			return
+		}
+	}
+}
+
+// EnsureIndex builds the posting-list index on position pos if not yet
+// present. Lists hold live rows in ascending order.
 func (r *Rel) EnsureIndex(pos int) {
 	if r.idx == nil {
 		r.idx = make(map[int]map[value.ID][]int)
@@ -137,17 +308,19 @@ func (r *Rel) EnsureIndex(pos int) {
 		return
 	}
 	byID := make(map[value.ID][]int)
-	for row, ids := range r.rows {
-		if pos < len(ids) {
-			byID[ids[pos]] = append(byID[ids[pos]], row)
+	for row, l := range r.loc {
+		s := r.segs[l.seg]
+		if pos < s.arity && r.Alive(row) {
+			id := s.cols[pos][l.off]
+			byID[id] = append(byID[id], row)
 		}
 	}
 	r.idx[pos] = byID
 }
 
-// CandidatesID returns the rows whose component pos equals the interned
-// value id, building the index on first use. The returned slice is
-// shared; do not mutate.
+// CandidatesID returns the posting list of live rows whose component pos
+// equals the interned value id, building the index on first use. The
+// list is sorted ascending and shared; do not mutate.
 func (r *Rel) CandidatesID(pos int, id value.ID) []int {
 	r.EnsureIndex(pos)
 	return r.idx[pos][id]
@@ -172,6 +345,244 @@ func (r *Rel) HasIndex(pos int) bool {
 
 // Interner returns the interner whose IDs this relation's rows use.
 func (r *Rel) Interner() *value.Interner { return r.in }
+
+// Block is a read-only view of one arity class of a relation, the unit
+// the homomorphism engine compiles against: Col(p)[off] is position p of
+// the class's off-th row, with no per-row indirection.
+type Block struct {
+	rel *Rel
+	s   *segment
+	si  int32
+}
+
+// BlockFor returns the block holding rows of the given arity; ok is
+// false when the relation has no such rows (then no atom of that arity
+// can match).
+func (r *Rel) BlockFor(arity int) (Block, bool) {
+	for i, s := range r.segs {
+		if s.arity == arity {
+			return Block{rel: r, s: s, si: int32(i)}, true
+		}
+	}
+	return Block{}, false
+}
+
+// Len returns the number of rows (offsets) in the block, dead included.
+func (b Block) Len() int { return len(b.s.rows) }
+
+// Col returns column p of the block. Do not mutate.
+func (b Block) Col(p int) []value.ID { return b.s.cols[p] }
+
+// Cols returns all columns of the block. Do not mutate.
+func (b Block) Cols() [][]value.ID { return b.s.cols }
+
+// RowAt returns the global row number of the block's off-th row.
+func (b Block) RowAt(off int) int { return b.s.rows[off] }
+
+// LiveAt reports whether the block's off-th row is live.
+func (b Block) LiveAt(off int) bool { return b.rel.Alive(b.s.rows[off]) }
+
+// Offset returns the block offset of a global row, or -1 when the row
+// belongs to a different arity class or is dead.
+func (b Block) Offset(row int) int {
+	l := b.rel.loc[row]
+	if l.seg != b.si || !b.rel.Alive(row) {
+		return -1
+	}
+	return int(l.off)
+}
+
+// Dense reports whether the block covers the whole relation with no dead
+// rows — then global row numbers and block offsets coincide and Offset /
+// LiveAt checks can be skipped. The answer is a snapshot: an in-place
+// substitution can invalidate it, so re-ask after mutating.
+func (b Block) Dense() bool {
+	return b.rel.dead == 0 && len(b.s.rows) == len(b.rel.loc)
+}
+
+// ensureRev builds the reverse index ID → rows containing it. It is
+// maintained on insert once built; substitution may leave stale entries
+// (rows that no longer contain the ID), which consumers re-verify.
+func (r *Rel) ensureRev() {
+	if r.rev != nil {
+		return
+	}
+	r.rev = make(map[value.ID][]int)
+	for row, l := range r.loc {
+		if !r.Alive(row) {
+			continue
+		}
+		s := r.segs[l.seg]
+		for p := 0; p < s.arity; p++ {
+			id := s.cols[p][l.off]
+			r.rev[id] = append(r.rev[id], row)
+		}
+	}
+}
+
+// substitute rewrites, in place, every live row containing one of the
+// subs IDs, mapping each of the row's IDs through canon. Rows that
+// collapse into an existing row are invalidated. Returns the number of
+// rows actually rewritten.
+func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID) int {
+	if len(r.loc) == 0 {
+		return 0
+	}
+	r.ensureRev()
+	var cand []int
+	for _, id := range subs {
+		for _, row := range r.rev[id] {
+			if r.Alive(row) {
+				cand = append(cand, row)
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return 0
+	}
+	sort.Ints(cand)
+	// Uniquify, and drop stale reverse-index hits: rows none of whose
+	// current IDs change under canon.
+	changed := cand[:0]
+	for i, row := range cand {
+		if i > 0 && row == cand[i-1] {
+			continue
+		}
+		l := r.loc[row]
+		s := r.segs[l.seg]
+		for p := 0; p < s.arity; p++ {
+			if id := s.cols[p][l.off]; canon(id) != id {
+				changed = append(changed, row)
+				break
+			}
+		}
+	}
+	if len(changed) == 0 {
+		return 0
+	}
+
+	// Phase 1 — detach every affected row from the dedup buckets and the
+	// posting lists of its changing positions, then write the new IDs
+	// into the columns. All detaches happen before any reattach so that
+	// two affected rows rewriting to the same value collapse correctly
+	// regardless of order.
+	for _, row := range changed {
+		r.detachDedup(r.hashRow(row), row)
+		l := r.loc[row]
+		s := r.segs[l.seg]
+		for p := 0; p < s.arity; p++ {
+			id := s.cols[p][l.off]
+			nid := canon(id)
+			if nid == id {
+				continue
+			}
+			if byID, ok := r.idx[p]; ok {
+				removePosting(byID, id, row)
+			}
+			s.cols[p][l.off] = nid
+			r.rev[nid] = append(r.rev[nid], row)
+		}
+		r.tuples[row] = nil // decode cache is stale; re-resolve lazily
+	}
+
+	// Phase 2 — reattach in ascending row order: a row identical to a
+	// surviving live row dies; otherwise it re-registers in the dedup
+	// buckets and posting lists.
+	ids := r.scratch[:0]
+	for _, row := range changed {
+		ids = r.appendRowIDs(ids[:0], row)
+		h := value.HashIDs(ids)
+		if r.lookupHash(h, ids) >= 0 {
+			r.kill(row)
+			// Remove from the posting lists of unchanged positions (the
+			// changed ones were detached in phase 1 and never re-added).
+			for p, id := range ids {
+				if byID, ok := r.idx[p]; ok {
+					removePosting(byID, id, row)
+				}
+			}
+			continue
+		}
+		r.attachDedup(h, row)
+		for p, id := range ids {
+			if byID, ok := r.idx[p]; ok {
+				insertPosting(byID, id, row)
+			}
+		}
+	}
+	r.scratch = ids[:0]
+	return len(changed)
+}
+
+// removePosting deletes row from the sorted posting list of id, if
+// present.
+func removePosting(byID map[value.ID][]int, id value.ID, row int) {
+	list := byID[id]
+	i := sort.SearchInts(list, row)
+	if i < len(list) && list[i] == row {
+		list = append(list[:i], list[i+1:]...)
+		if len(list) == 0 {
+			delete(byID, id)
+		} else {
+			byID[id] = list
+		}
+	}
+}
+
+// insertPosting adds row to the sorted posting list of id, keeping it
+// sorted and duplicate-free.
+func insertPosting(byID map[value.ID][]int, id value.ID, row int) {
+	list := byID[id]
+	if n := len(list); n == 0 || list[n-1] < row {
+		byID[id] = append(list, row) // common case: appends arrive in order
+		return
+	}
+	i := sort.SearchInts(list, row)
+	if i < len(list) && list[i] == row {
+		return
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = row
+	byID[id] = list
+}
+
+// IntersectPostings intersects two ascending row lists into dst
+// (overwritten and returned). When the lists are heavily skewed it
+// gallops through the longer one with binary search.
+func IntersectPostings(dst, a, b []int) []int {
+	dst = dst[:0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 16*len(a) {
+		for _, x := range a {
+			i := sort.SearchInts(b, x)
+			if i < len(b) && b[i] == x {
+				dst = append(dst, x)
+			}
+			b = b[i:]
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
 
 // Store is a set of relations sharing one value interner. NewStore gives
 // every store a private interner; NewStoreWith lets related stores (a
@@ -223,12 +634,30 @@ func (s *Store) Insert(rel string, tup []value.Value) bool {
 }
 
 // InsertIDs adds an already-interned row to the named relation. The ids
-// must come from this store's interner; the row is retained, so the
-// caller must not mutate it afterwards. This is the rewrite fast path:
-// egd substitution maps rows ID-by-ID and reinserts them without
+// must come from this store's interner; they are copied into the
+// columns, so the caller may reuse the slice. This is the rewrite fast
+// path: egd substitution maps rows ID-by-ID and reinserts them without
 // rendering a single value.
 func (s *Store) InsertIDs(rel string, ids []value.ID) bool {
 	return s.rel(rel).insertIDs(ids, nil)
+}
+
+// SubstituteIDs rewrites, in place, every live row of every relation
+// that contains one of the subs IDs, mapping the row's IDs through
+// canon; rows that collapse into an existing row are invalidated (their
+// row numbers stay allocated but dead). Only affected rows — found via
+// the reverse ID index — are touched. Returns the number of rows
+// rewritten. This is the incremental egd-rewrite primitive: one round's
+// substitution costs O(affected), not O(store).
+func (s *Store) SubstituteIDs(subs []value.ID, canon func(value.ID) value.ID) int {
+	if len(subs) == 0 {
+		return 0
+	}
+	touched := 0
+	for _, r := range s.rels {
+		touched += r.substitute(subs, canon)
+	}
+	return touched
 }
 
 // Contains reports whether the identical tuple is present.
@@ -255,7 +684,7 @@ func (s *Store) Relations() []string {
 	return out
 }
 
-// Size returns the total tuple count across relations.
+// Size returns the total live tuple count across relations.
 func (s *Store) Size() int {
 	n := 0
 	for _, r := range s.rels {
@@ -264,39 +693,68 @@ func (s *Store) Size() int {
 	return n
 }
 
-// Each calls fn for every tuple of every relation (relations in
-// lexicographic order, tuples in insertion order). fn must not mutate the
-// tuple. Iteration stops early if fn returns false.
+// Each calls fn for every live tuple of every relation (relations in
+// lexicographic order, tuples in insertion order). fn must not mutate
+// the tuple. Iteration stops early if fn returns false.
 func (s *Store) Each(fn func(rel string, tup []value.Value) bool) {
 	for _, name := range s.Relations() {
-		for _, tup := range s.rels[name].tuples {
-			if !fn(name, tup) {
-				return
+		r := s.rels[name]
+		stop := false
+		r.EachLive(func(row int) bool {
+			if !fn(name, r.Tuple(row)) {
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
 
-// EachRow is Each over interned rows. fn must not mutate the row.
+// EachRow is Each over interned rows. The ids slice is reused between
+// calls; fn must copy it to retain it.
 func (s *Store) EachRow(fn func(rel string, ids []value.ID) bool) {
+	var buf []value.ID
 	for _, name := range s.Relations() {
-		for _, ids := range s.rels[name].rows {
-			if !fn(name, ids) {
-				return
+		r := s.rels[name]
+		stop := false
+		r.EachLive(func(row int) bool {
+			buf = r.appendRowIDs(buf[:0], row)
+			if !fn(name, buf) {
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
 
 // Clone returns a deep copy of the relation structure sharing the
-// interner. Tuples and rows themselves are shared (they are immutable);
-// indexes are not copied.
+// interner. Columns and the validity bitmap are copied (the clone can be
+// substituted independently); decoded tuples are shared (they are
+// immutable); indexes are rebuilt lazily.
 func (s *Store) Clone() *Store {
 	out := NewStoreWith(s.interner())
 	for name, r := range s.rels {
 		nr := newRel(name, out.in)
+		nr.segs = make([]*segment, len(r.segs))
+		for i, sg := range r.segs {
+			ns := &segment{arity: sg.arity, cols: make([][]value.ID, sg.arity)}
+			for p, col := range sg.cols {
+				ns.cols[p] = append([]value.ID(nil), col...)
+			}
+			ns.rows = append([]int(nil), sg.rows...)
+			nr.segs[i] = ns
+		}
+		nr.loc = append([]rowLoc(nil), r.loc...)
+		nr.live = append([]uint64(nil), r.live...)
+		nr.dead = r.dead
 		nr.tuples = append([][]value.Value(nil), r.tuples...)
-		nr.rows = append([][]value.ID(nil), r.rows...)
 		nr.dedup = make(map[uint64]int, len(r.dedup))
 		for k, v := range r.dedup {
 			nr.dedup[k] = v
@@ -314,8 +772,8 @@ func (s *Store) Clone() *Store {
 
 // Rewrite builds a new store by applying fn to every tuple. fn returns
 // the replacement tuple (it may return its argument unchanged). Identical
-// results are deduplicated. Used by egd chase steps, which replace nulls
-// "everywhere".
+// results are deduplicated. Used by value-level substitutions that cannot
+// be expressed as an ID mapping; prefer SubstituteIDs on the hot path.
 func (s *Store) Rewrite(fn func(rel string, tup []value.Value) []value.Value) *Store {
 	out := NewStoreWith(s.interner())
 	s.Each(func(rel string, tup []value.Value) bool {

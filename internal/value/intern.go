@@ -51,13 +51,15 @@ type Interner struct {
 	kinds []Kind
 }
 
-// NewInterner returns an empty interner.
+// NewInterner returns an empty interner. The per-kind maps are presized
+// a little: cold bulk loads (a store ingesting a corpus) otherwise spend
+// most of their time growing maps through the first few doublings.
 func NewInterner() *Interner {
 	return &Interner{
-		consts: make(map[string]ID),
-		nulls:  make(map[nullKey]ID),
-		anns:   make(map[annKey]ID),
-		ivs:    make(map[interval.Interval]ID),
+		consts: make(map[string]ID, 64),
+		nulls:  make(map[nullKey]ID, 8),
+		anns:   make(map[annKey]ID, 32),
+		ivs:    make(map[interval.Interval]ID, 32),
 	}
 }
 
