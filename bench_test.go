@@ -10,9 +10,10 @@
 //	abl-norm    BenchmarkChaseNormStrategy
 //	(plus BenchmarkCoalesce and the homomorphism-search benchmarks in
 //	internal/logic)
-package repro
+package tdx
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -486,4 +487,55 @@ func BenchmarkDiff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		instance.Diff(a, c)
 	}
+}
+
+// employmentMappingText is the paper's employment mapping in TDX text
+// form — what a client of the public API would ship.
+const employmentMappingText = `
+source schema {
+    E(name, company)
+    S(name, salary)
+}
+target schema {
+    Emp(name, company, salary)
+}
+tgd sigma1: E(n, c) -> exists s . Emp(n, c, s)
+tgd sigma2: E(n, c), S(n, s) -> Emp(n, c, s)
+egd salary-key: Emp(n, c, s), Emp(n, c, s2) -> s = s2
+query q(n, s) :- Emp(n, c, s)
+`
+
+// BenchmarkExchangeReuse measures the tentpole contract of the public
+// API on employment-200: one tdx.Compile serving many Run calls must
+// beat re-parsing and re-compiling the mapping for every run.
+func BenchmarkExchangeReuse(b *testing.B) {
+	ic := employment(200)
+	ctx := context.Background()
+	b.Run("compile-once", func(b *testing.B) {
+		ex, err := Compile(employmentMappingText)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := NewInstance(ic)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-run-compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex, err := Compile(employmentMappingText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := NewInstance(ic)
+			if _, err := ex.Run(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,11 +1,14 @@
 // Command tdx is the temporal data exchange command-line tool. It loads a
 // schema mapping and a concrete source instance in the TDX text format
 // and runs the paper's pipeline: normalization (§4.2), the concrete chase
-// (§4.3), and certain-answer query evaluation (§5).
+// (§4.3), and certain-answer query evaluation (§5). It is a thin shell
+// over the public tdx engine API (package tdx at the module root): the
+// mapping is compiled once into a tdx.Exchange and every subcommand runs
+// against it.
 //
 // Usage:
 //
-//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-coalesce] [-table] [-stats] [-trace] [-json]
+//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-coalesce] [-table] [-stats] [-trace] [-json] [-timeout 30s]
 //	tdx normalize -m mapping.tdx -d source.facts [-norm smart|naive] [-table]
 //	tdx query     -m mapping.tdx -d source.facts [-q 'query q(n) :- Emp(n, c, s)' | -name q] [-table]
 //	tdx snapshot  -m mapping.tdx -d source.facts -at 2013 [-target]
@@ -15,28 +18,21 @@
 //
 // Mappings whose tgd heads carry modal markers (past / future / always
 // past / always future — the §7 extension) are chased with the temporal
-// chase automatically. Fact output is in the TDX fact format and can be
-// fed back into tdx.
+// chase automatically. Long chases are cancellable: -timeout bounds every
+// run, and Ctrl-C is honored mid-chase. Fact output is in the TDX fact
+// format and can be fed back into tdx.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
-	"repro/internal/chase"
-	"repro/internal/core"
-	"repro/internal/coreof"
-	"repro/internal/instance"
-	"repro/internal/interval"
-	"repro/internal/jsonio"
-	"repro/internal/normalize"
-	"repro/internal/parser"
-	"repro/internal/query"
-	"repro/internal/render"
-	"repro/internal/schema"
-	"repro/internal/temporal"
+	tdx "repro"
 )
 
 func main() {
@@ -48,7 +44,11 @@ func main() {
 		usage()
 		return
 	}
-	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+	// Ctrl-C cancels in-flight chases instead of killing the process
+	// abruptly: the engine unwinds promptly via context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1], os.Args[2:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tdx:", err)
 		os.Exit(1)
 	}
@@ -56,22 +56,22 @@ func main() {
 
 // run dispatches one subcommand, writing its report to w. Split from
 // main for testability.
-func run(cmd string, args []string, w io.Writer) error {
+func run(ctx context.Context, cmd string, args []string, w io.Writer) error {
 	switch cmd {
 	case "chase":
-		return cmdChase(args, w)
+		return cmdChase(ctx, args, w)
 	case "normalize":
-		return cmdNormalize(args, w)
+		return cmdNormalize(ctx, args, w)
 	case "query":
-		return cmdQuery(args, w)
+		return cmdQuery(ctx, args, w)
 	case "snapshot":
-		return cmdSnapshot(args, w)
+		return cmdSnapshot(ctx, args, w)
 	case "core":
-		return cmdCore(args, w)
+		return cmdCore(ctx, args, w)
 	case "diff":
-		return cmdDiff(args, w)
+		return cmdDiff(ctx, args, w)
 	case "validate":
-		return cmdValidate(args, w)
+		return cmdValidate(ctx, args, w)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -101,6 +101,7 @@ type commonFlags struct {
 	norm    string
 	egd     string
 	table   bool
+	timeout time.Duration
 }
 
 func (c *commonFlags) register(fs *flag.FlagSet) {
@@ -109,81 +110,81 @@ func (c *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.norm, "norm", "smart", "normalization strategy: smart (Algorithm 1) or naive")
 	fs.StringVar(&c.egd, "egd", "batch", "egd application strategy: batch or stepwise")
 	fs.BoolVar(&c.table, "table", false, "render output as per-relation tables instead of fact lines")
+	fs.DurationVar(&c.timeout, "timeout", 0, "bound the run (e.g. 30s); 0 means no limit")
 }
 
-func (c *commonFlags) options() (*chase.Options, error) {
-	opts := &chase.Options{}
-	switch c.norm {
-	case "smart", "":
-		opts.Norm = normalize.StrategySmart
-	case "naive":
-		opts.Norm = normalize.StrategyNaive
-	default:
-		return nil, fmt.Errorf("unknown -norm %q (want smart or naive)", c.norm)
+// options translates the flags into engine options.
+func (c *commonFlags) options() ([]tdx.Option, error) {
+	norm, err := tdx.ParseNorm(c.norm)
+	if err != nil {
+		return nil, err
 	}
-	switch c.egd {
-	case "batch", "":
-		opts.Egd = chase.EgdBatch
-	case "stepwise":
-		opts.Egd = chase.EgdStepwise
-	default:
-		return nil, fmt.Errorf("unknown -egd %q (want batch or stepwise)", c.egd)
+	egd, err := tdx.ParseEgdStrategy(c.egd)
+	if err != nil {
+		return nil, err
 	}
-	return opts, nil
+	return []tdx.Option{tdx.WithNorm(norm), tdx.WithEgdStrategy(egd)}, nil
 }
 
-// load reads the mapping and facts files.
-func (c *commonFlags) load() (*core.Engine, []query.UCQ, *instance.Concrete, error) {
-	eng, _, queries, ic, err := c.loadFile()
-	return eng, queries, ic, err
+// context bounds ctx by the -timeout flag.
+func (c *commonFlags) context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
-// loadFile reads the mapping and facts files, also returning the parsed
-// file so callers can detect temporal (§7 extension) mappings.
-func (c *commonFlags) loadFile() (*core.Engine, *parser.File, []query.UCQ, *instance.Concrete, error) {
+// compile compiles the mapping file into an exchange.
+func (c *commonFlags) compile(opts ...tdx.Option) (*tdx.Exchange, error) {
 	if c.mapping == "" {
-		return nil, nil, nil, nil, fmt.Errorf("-m mapping file is required")
+		return nil, fmt.Errorf("-m mapping file is required")
 	}
-	mtext, err := os.ReadFile(c.mapping)
+	text, err := os.ReadFile(c.mapping)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
-	f, err := parser.ParseMapping(string(mtext))
+	return tdx.Compile(string(text), opts...)
+}
+
+// source parses the facts file against the exchange's source schema.
+func (c *commonFlags) source(ex *tdx.Exchange) (*tdx.Instance, error) {
+	if c.data == "" {
+		return nil, fmt.Errorf("-d facts file is required")
+	}
+	text, err := os.ReadFile(c.data)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
-	eng, err := core.New(f.Mapping, nil)
+	return ex.ParseSource(string(text))
+}
+
+// load compiles the mapping and parses the facts in one step.
+func (c *commonFlags) load(opts ...tdx.Option) (*tdx.Exchange, *tdx.Instance, error) {
+	ex, err := c.compile(opts...)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
-	var ic *instance.Concrete
-	if c.data != "" {
-		dtext, err := os.ReadFile(c.data)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		ic, err = core.LoadFacts(string(dtext), eng.Mapping().Source)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
+	src, err := c.source(ex)
+	if err != nil {
+		return nil, nil, err
 	}
-	return eng, f, f.Queries, ic, nil
+	return ex, src, nil
 }
 
 // printInstance writes the instance as fact lines or tables.
-func printInstance(w io.Writer, c *instance.Concrete, asTable bool) {
+func printInstance(w io.Writer, c *tdx.Instance, asTable bool) {
 	if c.Len() == 0 {
 		fmt.Fprintln(w, "(empty)")
 		return
 	}
 	if asTable {
-		fmt.Fprint(w, render.Instance(c))
+		fmt.Fprint(w, c.Table())
 		return
 	}
-	fmt.Fprint(w, parser.FormatFacts(c))
+	fmt.Fprint(w, c.Facts())
 }
 
-func cmdChase(args []string, w io.Writer) error {
+func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("chase", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -198,51 +199,36 @@ func cmdChase(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts.Coalesce = *coalesce
+	opts = append(opts, tdx.WithCoalesce(*coalesce))
 	if *trace {
-		opts.Trace = func(e chase.Event) { fmt.Fprintln(os.Stderr, "  ", e) }
+		opts = append(opts, tdx.WithTrace(func(e tdx.Event) { fmt.Fprintln(os.Stderr, "  ", e) }))
 	}
-	eng, file, _, ic, err := cf.loadFile()
+	ex, src, err := cf.load(opts...)
 	if err != nil {
 		return err
 	}
-	if ic == nil {
-		return fmt.Errorf("-d facts file is required")
-	}
-	var res *core.Result
-	if file.Temporal != nil {
-		// Modal mapping (§7 extension): run the temporal chase.
-		jc, stats, err := temporal.Chase(ic, file.Temporal, opts)
-		if err != nil {
-			return err
-		}
-		if opts.Coalesce {
-			jc = jc.Coalesce()
-		}
-		res = &core.Result{Solution: jc, Stats: stats}
-	} else {
-		eng.SetOptions(*opts)
-		res, err = eng.Exchange(ic)
-		if err != nil {
-			return err
-		}
+	ctx, cancel := cf.context(ctx)
+	defer cancel()
+	sol, err := ex.Run(ctx, src)
+	if err != nil {
+		return err
 	}
 	if *asJSON {
-		data, err := jsonio.Encode(res.Solution)
+		data, err := sol.JSON()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, string(data))
 	} else {
-		printInstance(w, res.Solution, cf.table)
+		printInstance(w, &sol.Instance, cf.table)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%+v\n", res.Stats)
+		fmt.Fprintf(os.Stderr, "%+v\n", sol.Stats())
 	}
 	return nil
 }
 
-func cmdCore(args []string, w io.Writer) error {
+func cmdCore(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("core", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -253,23 +239,21 @@ func cmdCore(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, _, ic, err := cf.load()
+	ex, src, err := cf.load(opts...)
 	if err != nil {
 		return err
 	}
-	if ic == nil {
-		return fmt.Errorf("-d facts file is required")
-	}
-	eng.SetOptions(*opts)
-	res, err := eng.Exchange(ic)
+	ctx, cancel := cf.context(ctx)
+	defer cancel()
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		return err
 	}
-	printInstance(w, coreof.Of(res.Solution), cf.table)
+	printInstance(w, &sol.Core().Instance, cf.table)
 	return nil
 }
 
-func cmdNormalize(args []string, w io.Writer) error {
+func cmdNormalize(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("normalize", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -280,19 +264,21 @@ func cmdNormalize(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, _, ic, err := cf.load()
+	ex, src, err := cf.load(opts...)
 	if err != nil {
 		return err
 	}
-	if ic == nil {
-		return fmt.Errorf("-d facts file is required")
+	ctx, cancel := cf.context(ctx)
+	defer cancel()
+	normed, err := ex.Normalize(ctx, src)
+	if err != nil {
+		return err
 	}
-	eng.SetOptions(*opts)
-	printInstance(w, eng.NormalizeSource(ic), cf.table)
+	printInstance(w, normed, cf.table)
 	return nil
 }
 
-func cmdQuery(args []string, w io.Writer) error {
+func cmdQuery(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -305,42 +291,18 @@ func cmdQuery(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, queries, ic, err := cf.load()
+	ex, src, err := cf.load(opts...)
 	if err != nil {
 		return err
 	}
-	if ic == nil {
-		return fmt.Errorf("-d facts file is required")
+	// -q (inline text) takes precedence over -name, as it always has.
+	q := *qname
+	if *qtext != "" {
+		q = *qtext
 	}
-	eng.SetOptions(*opts)
-	var u query.UCQ
-	switch {
-	case *qtext != "":
-		cq, err := parser.ParseQueryLine(*qtext)
-		if err != nil {
-			return err
-		}
-		u, err = query.NewUCQ(cq.Name, cq)
-		if err != nil {
-			return err
-		}
-	case *qname != "":
-		found := false
-		for _, q := range queries {
-			if q.Name == *qname {
-				u, found = q, true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("no query named %q in %s", *qname, cf.mapping)
-		}
-	case len(queries) == 1:
-		u = queries[0]
-	default:
-		return fmt.Errorf("specify -q or -name (mapping declares %d queries)", len(queries))
-	}
-	ans, err := eng.Answer(u, ic)
+	ctx, cancel := cf.context(ctx)
+	defer cancel()
+	ans, err := ex.Answer(ctx, src, q)
 	if err != nil {
 		return err
 	}
@@ -348,7 +310,7 @@ func cmdQuery(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdSnapshot(args []string, w io.Writer) error {
+func cmdSnapshot(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -360,7 +322,7 @@ func cmdSnapshot(args []string, w io.Writer) error {
 	if *at == "" {
 		return fmt.Errorf("-at time point is required")
 	}
-	tp, err := interval.ParseTime(*at)
+	tp, err := tdx.ParseTime(*at)
 	if err != nil {
 		return err
 	}
@@ -368,27 +330,30 @@ func cmdSnapshot(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, _, ic, err := cf.load()
+	ex, src, err := cf.load(opts...)
 	if err != nil {
 		return err
 	}
-	if ic == nil {
-		return fmt.Errorf("-d facts file is required")
-	}
-	inst := ic
+	ctx, cancel := cf.context(ctx)
+	defer cancel()
+	var snap *tdx.Snapshot
 	if *target {
-		eng.SetOptions(*opts)
-		res, err := eng.Exchange(ic)
+		sol, err := ex.Run(ctx, src)
 		if err != nil {
 			return err
 		}
-		inst = res.Solution
+		snap, err = ex.Snapshot(ctx, sol, tp)
+		if err != nil {
+			return err
+		}
+	} else {
+		snap = src.Snapshot(tp)
 	}
-	fmt.Fprintf(w, "db%v = %s\n", tp, inst.Snapshot(tp))
+	fmt.Fprintf(w, "db%v = %s\n", tp, snap)
 	return nil
 }
 
-func cmdDiff(args []string, w io.Writer) error {
+func cmdDiff(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -399,20 +364,24 @@ func cmdDiff(args []string, w io.Writer) error {
 	if cf.data == "" || *other == "" {
 		return fmt.Errorf("diff needs -d and -against fact files")
 	}
-	var sch *schema.Schema
+	// With a mapping the fact files are validated against its source
+	// schema; without one they parse schemaless.
+	var ex *tdx.Exchange
 	if cf.mapping != "" {
-		eng, _, _, err := cf.load()
-		if err != nil {
+		var err error
+		if ex, err = cf.compile(); err != nil {
 			return err
 		}
-		sch = eng.Mapping().Source
 	}
-	read := func(path string) (*instance.Concrete, error) {
+	read := func(path string) (*tdx.Instance, error) {
 		text, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		return core.LoadFacts(string(text), sch)
+		if ex != nil {
+			return ex.ParseSource(string(text))
+		}
+		return tdx.ParseInstance(string(text))
 	}
 	a, err := read(cf.data)
 	if err != nil {
@@ -422,30 +391,34 @@ func cmdDiff(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printInstance(w, instance.Diff(a, b), cf.table)
+	printInstance(w, a.Diff(b), cf.table)
 	return nil
 }
 
-func cmdValidate(args []string, w io.Writer) error {
+func cmdValidate(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	var cf commonFlags
 	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, queries, ic, err := cf.load()
+	ex, err := cf.compile()
 	if err != nil {
 		return err
 	}
-	m := eng.Mapping()
+	info := ex.Info()
 	fmt.Fprintf(w, "mapping ok: %d source relations, %d target relations, %d tgds, %d egds, %d queries\n",
-		m.Source.Len(), m.Target.Len(), len(m.TGDs), len(m.EGDs), len(queries))
-	if ic != nil {
+		info.SourceRelations, info.TargetRelations, info.TGDs, info.EGDs, info.Queries)
+	if cf.data != "" {
+		src, err := cf.source(ex)
+		if err != nil {
+			return err
+		}
 		coalesced := "coalesced"
-		if !ic.IsCoalesced() {
+		if !src.IsCoalesced() {
 			coalesced = "NOT coalesced"
 		}
-		fmt.Fprintf(w, "facts ok: %d facts, %s, complete=%v\n", ic.Len(), coalesced, ic.IsComplete())
+		fmt.Fprintf(w, "facts ok: %d facts, %s, complete=%v\n", src.Len(), coalesced, src.IsComplete())
 	}
 	return nil
 }

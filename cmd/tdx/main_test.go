@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +18,7 @@ func testdata(name string) string {
 func runCmd(t *testing.T, cmd string, args ...string) string {
 	t.Helper()
 	var b strings.Builder
-	if err := run(cmd, args, &b); err != nil {
+	if err := run(context.Background(), cmd, args, &b); err != nil {
 		t.Fatalf("tdx %s %v: %v", cmd, args, err)
 	}
 	return b.String()
@@ -123,25 +125,25 @@ func TestNormExampleFiles(t *testing.T) {
 
 func TestErrorPaths(t *testing.T) {
 	var b strings.Builder
-	if err := run("chase", []string{"-d", testdata("employment.facts")}, &b); err == nil {
+	if err := run(context.Background(), "chase", []string{"-d", testdata("employment.facts")}, &b); err == nil {
 		t.Fatal("missing -m accepted")
 	}
-	if err := run("chase", []string{"-m", testdata("employment.tdx")}, &b); err == nil {
+	if err := run(context.Background(), "chase", []string{"-m", testdata("employment.tdx")}, &b); err == nil {
 		t.Fatal("missing -d accepted")
 	}
-	if err := run("frobnicate", nil, &b); err == nil {
+	if err := run(context.Background(), "frobnicate", nil, &b); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run("chase", []string{"-m", "no-such-file.tdx", "-d", "x"}, &b); err == nil {
+	if err := run(context.Background(), "chase", []string{"-m", "no-such-file.tdx", "-d", "x"}, &b); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run("chase", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-norm", "bogus"}, &b); err == nil {
+	if err := run(context.Background(), "chase", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-norm", "bogus"}, &b); err == nil {
 		t.Fatal("bad -norm accepted")
 	}
-	if err := run("snapshot", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts")}, &b); err == nil {
+	if err := run(context.Background(), "snapshot", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts")}, &b); err == nil {
 		t.Fatal("missing -at accepted")
 	}
-	if err := run("query", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-name", "nope"}, &b); err == nil {
+	if err := run(context.Background(), "query", []string{"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-name", "nope"}, &b); err == nil {
 		t.Fatal("unknown query name accepted")
 	}
 }
@@ -178,7 +180,44 @@ func TestDiffCommand(t *testing.T) {
 		t.Fatalf("diff output:\n%s", out)
 	}
 	var sb strings.Builder
-	if err := run("diff", []string{"-d", a}, &sb); err == nil {
+	if err := run(context.Background(), "diff", []string{"-d", a}, &sb); err == nil {
 		t.Fatal("missing -against accepted")
+	}
+}
+
+func TestContextFlows(t *testing.T) {
+	// A canceled parent context (what Ctrl-C produces) aborts the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	err := run(ctx, "chase", []string{
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts")}, &b)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	// A generous -timeout leaves the run unharmed.
+	b.Reset()
+	err = run(context.Background(), "chase", []string{
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-timeout", "1m"}, &b)
+	if err != nil || !strings.Contains(b.String(), "Emp(") {
+		t.Fatalf("timeout 1m: %v\n%s", err, b.String())
+	}
+	// An expired budget fails with the context's error.
+	b.Reset()
+	err = run(context.Background(), "chase", []string{
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-timeout", "1ns"}, &b)
+	if err == nil || (!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)) {
+		t.Fatalf("timeout 1ns: %v", err)
+	}
+}
+
+func TestQueryFlagPrecedence(t *testing.T) {
+	// -q (inline text) wins over -name when both are given.
+	var b strings.Builder
+	err := run(context.Background(), "query", []string{
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-q", `query who(n) :- Emp(n, "IBM", s)`, "-name", "q"}, &b)
+	if err != nil || !strings.Contains(b.String(), "who(Ada)") || strings.Contains(b.String(), "q(Ada") {
+		t.Fatalf("precedence: %v\n%s", err, b.String())
 	}
 }

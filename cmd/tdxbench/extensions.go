@@ -1,10 +1,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/chase"
+	tdx "repro"
 	"repro/internal/coreof"
 	"repro/internal/fact"
 	"repro/internal/instance"
@@ -39,10 +40,16 @@ func runExtTemporal(w io.Writer) error {
 	ic.MustInsert(fact.NewC("PhDgrad", paperex.Iv(2016, 2019), paperex.C("ada")))
 	fmt.Fprintln(w, "source:")
 	fmt.Fprint(w, render.Instance(ic))
-	jc, _, err := temporal.Chase(ic, m, nil)
+	// The §7 extension goes through the public API like any mapping.
+	ex, err := tdx.FromTemporalMapping(m)
 	if err != nil {
 		return err
 	}
+	sol, err := ex.Run(context.Background(), tdx.NewInstance(ic))
+	if err != nil {
+		return err
+	}
+	jc := sol.Concrete()
 	fmt.Fprintln(w, "\ntemporal chase result (canonical witness one step before):")
 	fmt.Fprint(w, render.Instance(jc))
 	ok, why := temporal.Satisfies(ic, jc, m)
@@ -67,12 +74,17 @@ func runExtTemporal(w io.Writer) error {
 func runExtCore(w io.Writer) error {
 	m := paperex.EmploymentMapping()
 	m.EGDs = nil
-	jc, _, err := chase.Concrete(paperex.Figure4(), m, nil)
+	ex, err := tdx.FromMapping(m)
 	if err != nil {
 		return err
 	}
+	sol, err := ex.Run(context.Background(), tdx.NewInstance(paperex.Figure4()))
+	if err != nil {
+		return err
+	}
+	jc := sol.Concrete()
 	fmt.Fprintf(w, "chase of Figure 4 WITHOUT the salary egd (%d facts, redundant):\n", jc.Len())
-	fmt.Fprint(w, render.Instance(jc))
+	fmt.Fprint(w, sol.Table())
 	core := coreof.Of(jc)
 	fmt.Fprintf(w, "\nsnapshot-wise core (%d facts):\n", core.Len())
 	fmt.Fprint(w, render.Instance(core))

@@ -1,10 +1,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/chase"
+	tdx "repro"
 	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/interval"
@@ -15,6 +16,12 @@ import (
 	"repro/internal/value"
 	"repro/internal/verify"
 )
+
+// employmentExchange compiles the paper's employment mapping once per
+// experiment through the public API.
+func employmentExchange() (*tdx.Exchange, error) {
+	return tdx.FromMapping(paperex.EmploymentMapping())
+}
 
 // paperYears are the time points Figure 1 and Figure 3 display.
 var paperYears = []interval.Time{2012, 2013, 2014, 2015, 2018}
@@ -54,7 +61,11 @@ func runFig2(w io.Writer) error {
 }
 
 func runFig3(w io.Writer) error {
-	ja, _, err := chase.Abstract(paperex.Figure4().Abstract(), paperex.EmploymentMapping(), nil)
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
+	ja, _, err := ex.RunAbstract(context.Background(), tdx.NewInstance(paperex.Figure4()))
 	if err != nil {
 		return err
 	}
@@ -98,28 +109,36 @@ func runFig8(w io.Writer) error {
 }
 
 func runFig9(w io.Writer) error {
-	jc, stats, err := chase.Concrete(paperex.Figure4(), paperex.EmploymentMapping(), nil)
+	ex, err := employmentExchange()
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, render.Instance(jc))
-	fmt.Fprintf(w, "\nchase stats: %+v\n", stats)
+	sol, err := ex.Run(context.Background(), tdx.NewInstance(paperex.Figure4()))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, sol.Table())
+	fmt.Fprintf(w, "\nchase stats: %+v\n", sol.Stats())
 	return nil
 }
 
 func runFig10(w io.Writer) error {
-	ic := paperex.Figure4()
-	m := paperex.EmploymentMapping()
-	jc, _, err := chase.Concrete(ic, m, nil)
+	ctx := context.Background()
+	ex, err := employmentExchange()
 	if err != nil {
 		return err
 	}
-	ja, _, err := chase.Abstract(ic.Abstract(), m, nil)
+	src := tdx.NewInstance(paperex.Figure4())
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		return err
 	}
-	okSol, why := verify.IsSolution(ic.Abstract(), jc.Abstract(), m)
+	ja, _, err := ex.RunAbstract(ctx, src)
+	if err != nil {
+		return err
+	}
+	okSol, why := verify.IsSolution(src.Concrete().Abstract(), sol.Concrete().Abstract(), ex.Mapping())
 	fmt.Fprintf(w, "⟦c-chase(Ic)⟧ is a solution:            %v %s\n", okSol, why)
-	fmt.Fprintf(w, "⟦c-chase(Ic)⟧ ∼ chase(⟦Ic⟧) (Cor. 20): %v\n", verify.HomEquivalent(jc.Abstract(), ja))
+	fmt.Fprintf(w, "⟦c-chase(Ic)⟧ ∼ chase(⟦Ic⟧) (Cor. 20): %v\n", verify.HomEquivalent(sol.Concrete().Abstract(), ja))
 	return nil
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
+	tdx "repro"
 	"repro/internal/chase"
 	"repro/internal/fact"
 	"repro/internal/instance"
@@ -89,8 +91,12 @@ func runThm13(w io.Writer) error {
 }
 
 func runThm21(w io.Writer) error {
+	ctx := context.Background()
 	r := rand.New(rand.NewSource(11))
-	m := paperex.EmploymentMapping()
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
 	u, err := query.NewUCQ("q", query.CQ{Name: "q", Head: []string{"n", "s"},
 		Body: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))}})
 	if err != nil {
@@ -99,11 +105,12 @@ func runThm21(w io.Writer) error {
 	trials, agree, failures := 300, 0, 0
 	for i := 0; i < trials; i++ {
 		ic := randomEmploymentSource(r)
-		jc, _, err := chase.Concrete(ic, m, nil)
+		sol, err := ex.Run(ctx, tdx.NewInstance(ic))
 		if err != nil {
 			failures++
 			continue
 		}
+		jc := sol.Concrete()
 		lhs := query.NaiveEvalConcrete(u, jc)
 		rhs := query.CertainAbstract(u, jc.Abstract())
 		if lhs.Abstract().EqualTo(rhs.Abstract()) {
@@ -150,8 +157,13 @@ func runPerfNorm(w io.Writer) error {
 }
 
 func runPerfChase(w io.Writer) error {
+	ctx := context.Background()
 	fmt.Fprintln(w, "same instance dilated over longer timelines (fact count constant)")
 	m := paperex.EmploymentMapping()
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
 	base := workload.Employment(workload.EmploymentConfig{
 		Seed: 3, Persons: 12, JobsPerPerson: 2, SalaryCoverage: 0.8, Span: 20,
 	})
@@ -165,14 +177,15 @@ func runPerfChase(w io.Writer) error {
 				horizon = f.T.End
 			}
 		}
+		src := tdx.NewInstance(ic)
 		var cT, sT, pT time.Duration
 		cT = timeIt(func() {
-			if _, _, err := chase.Concrete(ic, m, nil); err != nil {
+			if _, err := ex.Run(ctx, src); err != nil {
 				panic(err)
 			}
 		})
 		sT = timeIt(func() {
-			if _, _, err := chase.Abstract(ic.Abstract(), m, nil); err != nil {
+			if _, _, err := ex.RunAbstract(ctx, src); err != nil {
 				panic(err)
 			}
 		})
@@ -196,7 +209,11 @@ func runPerfChase(w io.Writer) error {
 }
 
 func runPerfQuery(w io.Writer) error {
-	m := paperex.EmploymentMapping()
+	ctx := context.Background()
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
 	u, err := query.NewUCQ("q", query.CQ{Name: "q", Head: []string{"n", "s"},
 		Body: logic.Conjunction{logic.NewAtom("Emp", logic.Var("n"), logic.Var("c"), logic.Var("s"))}})
 	if err != nil {
@@ -208,14 +225,14 @@ func runPerfQuery(w io.Writer) error {
 		ic := workload.Employment(workload.EmploymentConfig{
 			Seed: 1, Persons: persons, JobsPerPerson: 3, SalaryCoverage: 0.8, Span: 150,
 		})
-		jc, _, err := chase.Concrete(ic, m, nil)
+		sol, err := ex.Run(ctx, tdx.NewInstance(ic))
 		if err != nil {
 			return err
 		}
 		var ans *instance.Concrete
-		d := timeIt(func() { ans = query.NaiveEvalConcrete(u, jc) })
+		d := timeIt(func() { ans = query.NaiveEvalConcrete(u, sol.Concrete()) })
 		rows = append(rows, []string{
-			fmt.Sprint(jc.Len()),
+			fmt.Sprint(sol.Len()),
 			fmt.Sprintf("%.2f", float64(d.Microseconds())/1000),
 			fmt.Sprint(ans.Len()),
 		})
@@ -228,19 +245,23 @@ func runAblEgd(w io.Writer) error {
 	fmt.Fprintln(w, "egd-merge-dominated workload: k nulls per group collapse to one")
 	headers := []string{"groups", "k", "batch ms", "stepwise ms", "merges"}
 	var rows [][]string
+	ctx := context.Background()
 	for _, cfg := range []struct{ groups, k int }{{20, 4}, {40, 4}, {40, 8}, {80, 8}} {
-		m := workload.EgdStressMapping(cfg.k)
-		ic := workload.EgdStress(cfg.groups, cfg.k)
+		ex, err := tdx.FromMapping(workload.EgdStressMapping(cfg.k))
+		if err != nil {
+			return err
+		}
+		ic := tdx.NewInstance(workload.EgdStress(cfg.groups, cfg.k))
 		var merges int
 		bT := timeIt(func() {
-			_, stats, err := chase.Concrete(ic, m, &chase.Options{Egd: chase.EgdBatch})
+			sol, err := ex.Run(ctx, ic, tdx.WithEgdStrategy(tdx.EgdBatch))
 			if err != nil {
 				panic(err)
 			}
-			merges = stats.EgdMerges
+			merges = sol.Stats().EgdMerges
 		})
 		sT := timeIt(func() {
-			if _, _, err := chase.Concrete(ic, m, &chase.Options{Egd: chase.EgdStepwise}); err != nil {
+			if _, err := ex.Run(ctx, ic, tdx.WithEgdStrategy(tdx.EgdStepwise)); err != nil {
 				panic(err)
 			}
 		})
@@ -258,28 +279,33 @@ func runAblEgd(w io.Writer) error {
 }
 
 func runAblNormStrategy(w io.Writer) error {
+	ctx := context.Background()
 	fmt.Fprintln(w, "end-to-end c-chase under both normalization strategies")
-	m := paperex.EmploymentMapping()
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
 	headers := []string{"source facts", "smart ms", "smart |Jc|", "naive ms", "naive |Jc|", "equivalent"}
 	var rows [][]string
 	for _, persons := range []int{25, 50, 100, 200} {
 		ic := workload.Employment(workload.EmploymentConfig{
 			Seed: 5, Persons: persons, JobsPerPerson: 3, SalaryCoverage: 0.7, Span: 120,
 		})
+		src := tdx.NewInstance(ic)
 		var smartJc, naiveJc *instance.Concrete
 		sT := timeIt(func() {
-			var err error
-			smartJc, _, err = chase.Concrete(ic, m, &chase.Options{Norm: normalize.StrategySmart})
+			sol, err := ex.Run(ctx, src, tdx.WithNorm(tdx.NormSmart))
 			if err != nil {
 				panic(err)
 			}
+			smartJc = sol.Concrete()
 		})
 		nT := timeIt(func() {
-			var err error
-			naiveJc, _, err = chase.Concrete(ic, m, &chase.Options{Norm: normalize.StrategyNaive})
+			sol, err := ex.Run(ctx, src, tdx.WithNorm(tdx.NormNaive))
 			if err != nil {
 				panic(err)
 			}
+			naiveJc = sol.Concrete()
 		})
 		// Equivalence is checked on small instances only (the hom search
 		// is exponential in the worst case).

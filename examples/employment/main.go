@@ -3,14 +3,18 @@
 // shared nulls (Figure 2), the abstract chase (Figure 3), the concrete
 // instance (Figure 4), both normalization algorithms (Figures 5 and 6),
 // Algorithm 1 on the three-relation example (Figures 7 and 8), the
-// c-chase (Figure 9), and the commutativity square (Figure 10).
+// c-chase (Figure 9), and the commutativity square (Figure 10). The
+// pipeline figures run on the public tdx API (one compiled Exchange
+// serves the abstract chase, the c-chase, and the normalization views);
+// the figure-specific constructions use the internal packages directly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/chase"
+	tdx "repro"
 	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/interval"
@@ -25,13 +29,16 @@ import (
 func section(title string) { fmt.Printf("\n— %s —\n", title) }
 
 func main() {
-	ic := paperex.Figure4()
-	m := paperex.EmploymentMapping()
+	ctx := context.Background()
+	src := tdx.NewInstance(paperex.Figure4())
+	ex, err := tdx.FromMapping(paperex.EmploymentMapping())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	section("Figure 1: abstract view ⟦Ic⟧ (selected snapshots)")
-	a := ic.Abstract()
-	for _, y := range []interval.Time{2012, 2013, 2014, 2015, 2018} {
-		fmt.Printf("  %v  %s\n", y, a.Snapshot(y))
+	for _, y := range []tdx.Time{2012, 2013, 2014, 2015, 2018} {
+		fmt.Printf("  %v  %s\n", y, src.Snapshot(y))
 	}
 
 	section("Figure 2: one shared null vs per-snapshot nulls")
@@ -53,22 +60,25 @@ func main() {
 		verify.AbstractHom(j2, j1), verify.AbstractHom(j1, j2))
 
 	section("Figure 3: abstract chase, snapshot by snapshot")
-	ja, _, err := chase.Abstract(a, m, nil)
+	ja, _, err := ex.RunAbstract(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, y := range []interval.Time{2012, 2013, 2014, 2015, 2018} {
+	for _, y := range []tdx.Time{2012, 2013, 2014, 2015, 2018} {
 		fmt.Printf("  %v  %s\n", y, ja.Snapshot(y))
 	}
 
 	section("Figure 4: the concrete source instance")
-	fmt.Print(render.Instance(ic))
+	fmt.Print(src.Table())
 
 	section("Figure 5: Algorithm 1 normalization w.r.t. lhs(σ2+)")
-	fmt.Print(render.Instance(normalize.Smart(ic, []logic.Conjunction{paperex.Sigma2Body()})))
+	fmt.Print(render.Instance(normalize.Smart(src.Concrete(), []logic.Conjunction{paperex.Sigma2Body()})))
 
 	section("Figure 6: naïve normalization of the same instance")
-	naive := normalize.Naive(ic)
+	naive, err := ex.Normalize(ctx, src, tdx.WithNorm(tdx.NormNaive))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  %d facts (vs 9 for Algorithm 1) — the size cost of ignoring Φ+\n", naive.Len())
 
 	section("Figures 7–8: Algorithm 1 on the R/P/S instance of Example 14")
@@ -78,17 +88,18 @@ func main() {
 	fmt.Printf("  merged components: %d ({f1,f2,f3} and {f4,f5})\n", stats.Components)
 
 	section("Figure 9: the c-chase result")
-	jc, cstats, err := chase.Concrete(ic, m, nil)
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(render.Instance(jc))
+	fmt.Print(sol.Table())
+	cstats := sol.Stats()
 	fmt.Printf("  tgd steps fired: %d, nulls created: %d, egd merges: %d\n",
 		cstats.TGDFires, cstats.NullsCreated, cstats.EgdMerges)
 
 	section("Figure 10: the commutativity square")
 	fmt.Printf("  ⟦c-chase(Ic)⟧ ∼ chase(⟦Ic⟧): %v (Corollary 20)\n",
-		verify.HomEquivalent(jc.Abstract(), ja))
-	ok, _ := verify.IsSolution(a, jc.Abstract(), m)
+		verify.HomEquivalent(sol.Concrete().Abstract(), ja))
+	ok, _ := verify.IsSolution(src.Concrete().Abstract(), sol.Concrete().Abstract(), ex.Mapping())
 	fmt.Printf("  ⟦c-chase(Ic)⟧ is a solution: %v (Theorem 19)\n", ok)
 }

@@ -4,34 +4,37 @@
 // information arising naturally: a patient admitted without a recorded
 // diagnosis gets an interval-annotated null in their chart, and the
 // one-primary-diagnosis egd resolves it when a diagnosis overlapping the
-// stay appears.
+// stay appears. The whole pipeline is driven through the public tdx API:
+// the mapping compiles once and serves every run.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/chase"
+	tdx "repro"
 	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/interval"
-	"repro/internal/logic"
 	"repro/internal/paperex"
-	"repro/internal/query"
-	"repro/internal/render"
 	"repro/internal/workload"
 )
 
 func iv(s, e interval.Time) interval.Interval { return interval.MustNew(s, e) }
 
 func main() {
-	m := workload.MedicalMapping()
+	ctx := context.Background()
+	ex, err := tdx.FromMapping(workload.MedicalMapping(), tdx.WithCoalesce(true))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("schema mapping:")
-	fmt.Println(m)
+	fmt.Println(ex.Mapping())
 
 	// A hand-built ward: day granularity.
-	ic := instance.NewConcrete(m.Source)
+	ward := instance.NewConcrete(ex.Mapping().Source)
 	c := paperex.C
 	for _, f := range []fact.CFact{
 		// Iris: admitted twice; the diagnosis only covers the second stay.
@@ -42,51 +45,48 @@ func main() {
 		// Jon: admitted, never diagnosed — his chart keeps an unknown.
 		fact.NewC("Admission", iv(3, 7), c("jon"), c("ortho")),
 	} {
-		if _, err := ic.Insert(f); err != nil {
+		if _, err := ward.Insert(f); err != nil {
 			log.Fatal(err)
 		}
 	}
+	src := tdx.NewInstance(ward)
 	fmt.Println("\nsource (admissions / diagnoses / prescriptions):")
-	fmt.Print(render.Instance(ic))
+	fmt.Print(src.Table())
 
-	jc, _, err := chase.Concrete(ic, m, &chase.Options{Coalesce: true})
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nintegrated target (charts and treatments):")
-	fmt.Print(render.Instance(jc))
+	fmt.Print(sol.Table())
 	fmt.Println("\nIris's chart carries 'arrhythmia' exactly while a diagnosis overlaps")
 	fmt.Println("her stay ([9,14)); her first stay and Jon's whole stay carry")
 	fmt.Println("interval-annotated nulls — diagnoses unknown, possibly different each day.")
 
 	// Certain answers: which patients were certainly treated for what?
-	u, err := query.NewUCQ("treated", query.CQ{
-		Name: "treated",
-		Head: []string{"p", "d"},
-		Body: logic.Conjunction{logic.NewAtom("Treatment", logic.Var("p"), logic.Var("dr"), logic.Var("d"))},
-	})
+	ans, err := ex.Query(ctx, sol, "query treated(p, d) :- Treatment(p, dr, d)")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans := query.NaiveEvalConcrete(u, jc)
 	fmt.Println("\ncertain answers to treated(p, d):")
-	fmt.Print(render.Instance(ans))
+	fmt.Print(ans.Table())
 
 	// Conflicting primary diagnoses on overlapping stays make the setting
 	// unsatisfiable — the chase proves no solution exists.
-	bad := ic.Clone()
-	bad.MustInsert(fact.NewC("Diagnosis", iv(10, 12), c("iris"), c("flu")))
-	if _, _, err := chase.Concrete(bad, m, nil); errors.Is(err, chase.ErrNoSolution) {
+	bad := src.Clone()
+	bad.Concrete().MustInsert(fact.NewC("Diagnosis", iv(10, 12), c("iris"), c("flu")))
+	if _, err := ex.Run(ctx, bad); errors.Is(err, tdx.ErrNoSolution) {
 		fmt.Println("\nadding a second overlapping diagnosis for Iris:")
 		fmt.Println("  ", err)
 	}
 
 	// Scale up with the generator to show the pipeline beyond toy sizes.
-	big := workload.Medical(workload.MedicalConfig{Seed: 42, Patients: 200, Span: 120})
-	bigJc, stats, err := chase.Concrete(big, m, nil)
+	big := tdx.NewInstance(workload.Medical(workload.MedicalConfig{Seed: 42, Patients: 200, Span: 120}))
+	bigSol, err := ex.Run(ctx, big, tdx.WithCoalesce(false))
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := bigSol.Stats()
 	fmt.Printf("\nsynthetic hospital: %d source facts → %d target facts "+
-		"(%d tgd firings, %d egd merges)\n", big.Len(), bigJc.Len(), stats.TGDFires, stats.EgdMerges)
+		"(%d tgd firings, %d egd merges)\n", big.Len(), bigSol.Len(), stats.TGDFires, stats.EgdMerges)
 }

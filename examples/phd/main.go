@@ -1,103 +1,98 @@
-// Phd demonstrates the §7 future-work extension implemented in
-// internal/temporal: schema mappings with modal operators. The paper's
-// closing example —
+// Phd demonstrates the §7 future-work extension: schema mappings with
+// modal operators. The paper's closing example —
 //
 //	∀n PhDgrad(n) → ◆ ∃adv, top . PhDCan(n, adv, top)
 //
 // ("every PhD graduate was a PhD candidate at some point before, with a
-// topic and an adviser") — is chased on a concrete instance, the result
-// is verified to be a solution, and the paper's open question about
-// universality is answered in the negative with a concrete witness.
+// topic and an adviser") — compiles and runs through the public tdx API
+// exactly like a plain mapping: Compile detects the modal markers and
+// Run dispatches to the temporal chase. The result is verified to be a
+// solution, and the paper's open question about universality is answered
+// in the negative with a concrete witness.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
+	tdx "repro"
 	"repro/internal/fact"
 	"repro/internal/instance"
-	"repro/internal/logic"
 	"repro/internal/paperex"
-	"repro/internal/render"
-	"repro/internal/schema"
 	"repro/internal/temporal"
 	"repro/internal/verify"
 )
 
+const mapping = `
+source schema {
+    PhDgrad(name)
+    Faculty(name, dept)
+}
+target schema {
+    PhDCan(name, adviser, topic)
+    Alumni(name, u)
+}
+tgd was-candidate: PhDgrad(n) -> exists adv, top . past PhDCan(n, adv, top)
+tgd stays-alumni:  PhDgrad(n) -> exists u . always future Alumni(n, u)
+`
+
 func main() {
-	src := schema.MustNew(
-		schema.MustRelation("PhDgrad", "name"),
-		schema.MustRelation("Faculty", "name", "dept"),
-	)
-	tgt := schema.MustNew(
-		schema.MustRelation("PhDCan", "name", "adviser", "topic"),
-		schema.MustRelation("Alumni", "name", "u"),
-	)
-	m := &temporal.Mapping{
-		Source: src,
-		Target: tgt,
-		TGDs: []temporal.TGD{
-			{
-				Name: "was-candidate",
-				Body: logic.Conjunction{logic.NewAtom("PhDgrad", logic.Var("n"))},
-				Head: []temporal.HeadAtom{{
-					Ref:  temporal.SometimePast,
-					Atom: logic.NewAtom("PhDCan", logic.Var("n"), logic.Var("adv"), logic.Var("top")),
-				}},
-			},
-			{
-				Name: "stays-alumni",
-				Body: logic.Conjunction{logic.NewAtom("PhDgrad", logic.Var("n"))},
-				Head: []temporal.HeadAtom{{
-					Ref:  temporal.AlwaysFut,
-					Atom: logic.NewAtom("Alumni", logic.Var("n"), logic.Var("u")),
-				}},
-			},
-		},
-	}
-	if err := m.Validate(); err != nil {
+	ctx := context.Background()
+	ex, err := tdx.Compile(mapping)
+	if err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range m.TGDs {
+	if !ex.Info().Temporal {
+		log.Fatal("modal markers should compile as a temporal mapping")
+	}
+	for _, d := range ex.Temporal().TGDs {
 		fmt.Printf("dependency: %v\n", d)
 	}
 
-	ic := instance.NewConcrete(src)
-	ic.MustInsert(fact.NewC("PhDgrad", paperex.Iv(2016, 2019), paperex.C("ada")))
-	ic.MustInsert(fact.NewC("Faculty", paperex.Iv(2019, paperex.Inf), paperex.C("ada"), paperex.C("cs")))
+	src, err := ex.ParseSource(`
+PhDgrad(ada) @ [2016, 2019)
+Faculty(ada, cs) @ [2019, inf)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nsource:")
-	fmt.Print(render.Instance(ic))
+	fmt.Print(src.Table())
 
-	jc, stats, err := temporal.Chase(ic, m, nil)
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntemporal chase result:")
-	fmt.Print(render.Instance(jc))
+	fmt.Print(sol.Table())
+	stats := sol.Stats()
 	fmt.Printf("\n(%d tgd firings, %d fresh unknowns)\n", stats.TGDFires, stats.NullsCreated)
 
-	ok, why := temporal.Satisfies(ic, jc, m)
+	ok, why := temporal.Satisfies(src.Concrete(), sol.Concrete(), ex.Temporal())
 	fmt.Printf("\nresult satisfies the mapping: %v %s\n", ok, why)
 
 	// The open question of §7: is such a chase result universal? No.
-	alt := instance.NewConcrete(tgt)
+	alt := instance.NewConcrete(ex.Temporal().Target)
 	alt.MustInsert(fact.NewC("PhDCan", paperex.Iv(2010, 2011),
 		paperex.C("ada"), paperex.C("prof-x"), paperex.C("temporal-databases")))
 	alt.MustInsert(fact.NewC("Alumni", paperex.Iv(2017, paperex.Inf), paperex.C("ada"), paperex.C("u")))
-	if ok, _ := temporal.Satisfies(ic, alt, m); ok {
+	if ok, _ := temporal.Satisfies(src.Concrete(), alt, ex.Temporal()); ok {
 		fmt.Println("\nan alternative solution places the candidacy at [2010,2011) instead;")
 		fmt.Printf("homomorphism chase-result → alternative exists: %v\n",
-			verify.AbstractHom(jc.Abstract(), alt.Abstract()))
+			verify.AbstractHom(sol.Concrete().Abstract(), alt.Abstract()))
 		fmt.Println("⇒ the canonical chase result is a solution but NOT universal:")
 		fmt.Println("  homomorphisms cannot move facts across time points, so no fixed")
 		fmt.Println("  witness rule dominates all solutions — §7's question, answered")
 	}
 
 	// A graduate since time 0 has no possible candidacy.
-	impossible := instance.NewConcrete(src)
-	impossible.MustInsert(fact.NewC("PhDgrad", paperex.Iv(0, 3), paperex.C("eve")))
-	if _, _, err := temporal.Chase(impossible, m, nil); errors.Is(err, temporal.ErrNoWitness) {
+	impossible, err := ex.ParseSource("PhDgrad(eve) @ [0, 3)\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ex.Run(ctx, impossible); errors.Is(err, tdx.ErrNoWitness) {
 		fmt.Println("\ngraduate at time 0:", err)
 	}
 }

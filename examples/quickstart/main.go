@@ -1,15 +1,15 @@
-// Quickstart: the paper's running example end to end — parse a mapping,
-// load the Figure 4 source instance, materialize the Figure 9 solution
-// with the c-chase, and compute certain answers.
+// Quickstart: the paper's running example end to end on the public tdx
+// API — compile a mapping once, load the Figure 4 source instance,
+// materialize the Figure 9 solution with the c-chase, compute certain
+// answers, and inspect the abstract view.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/interval"
-	"repro/internal/render"
+	tdx "repro"
 )
 
 const mapping = `
@@ -35,36 +35,44 @@ S(Bob, 13k)    @ [2015, inf)
 `
 
 func main() {
-	eng, queries, err := core.FromMappingSource(mapping)
+	ctx := context.Background()
+
+	// Compile once: the mapping is the fixed artifact. The returned
+	// Exchange is concurrency-safe and serves any number of runs.
+	ex, err := tdx.Compile(mapping)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ic, err := core.LoadFacts(facts, eng.Mapping().Source)
+	src, err := ex.ParseSource(facts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("source instance (Figure 4):")
-	fmt.Println(render.Instance(ic))
+	fmt.Println(src.Table())
 
-	res, err := eng.Exchange(ic)
+	sol, err := ex.Run(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("concrete universal solution (Figure 9):")
-	fmt.Println(render.Instance(res.Solution))
+	fmt.Println(sol.Table())
 	fmt.Printf("N^[s,e) is an interval-annotated null: an unknown value that may\n")
 	fmt.Printf("differ at every snapshot the interval spans (paper §4.1).\n\n")
 
-	ans, err := eng.AnswerOn(queries[0], res.Solution)
+	ans, err := ex.Query(ctx, sol, "q")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("certain answers to q(n, s) :- Emp(n, c, s):")
-	fmt.Println(render.Instance(ans))
+	fmt.Println(ans.Table())
 
 	fmt.Println("the same data at individual time points (abstract view):")
-	for _, year := range []interval.Time{2012, 2013, 2015, 2018} {
-		fmt.Printf("  db%v = %s\n", year, res.Solution.Snapshot(year))
+	for _, year := range []tdx.Time{2012, 2013, 2015, 2018} {
+		snap, err := ex.Snapshot(ctx, sol, year)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  db%v = %s\n", year, snap)
 	}
 }

@@ -23,10 +23,23 @@ import (
 // A failure in any segment is a failure of the whole chase, and by
 // Proposition 4 part 2 proves that no solution exists.
 func Abstract(ia *instance.Abstract, m *dependency.Mapping, opts *Options) (*instance.Abstract, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return abstractCompiled(ia, cm, opts)
+}
+
+// abstractCompiled is Abstract against a pre-compiled mapping.
+func abstractCompiled(ia *instance.Abstract, cm *Compiled, opts *Options) (*instance.Abstract, Stats, error) {
 	gen := opts.gen()
+	ctx := opts.ctx()
 	var total Stats
 	segs := make([]instance.Segment, 0, len(ia.Segments()))
 	for _, seg := range ia.Segments() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, total, err
+		}
 		// Build the segment's representative source snapshot. Source
 		// instances are complete (paper §2), so segment facts carry only
 		// constants; reject anything else loudly.
@@ -41,7 +54,7 @@ func Abstract(ia *instance.Abstract, m *dependency.Mapping, opts *Options) (*ins
 		}
 		segIv := seg.Iv
 		fresh := func() value.Value { return gen.FreshAnn(segIv) }
-		tgtSnap, stats, err := Snapshot(src, m, fresh, opts)
+		tgtSnap, stats, err := snapshotCompiled(src, cm, fresh, opts)
 		total.TGDHoms += stats.TGDHoms
 		total.TGDFires += stats.TGDFires
 		total.FactsCreated += stats.FactsCreated

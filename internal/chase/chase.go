@@ -7,6 +7,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -76,6 +77,14 @@ type Options struct {
 	// passes, tgd firings, egd merges, failures). For debugging and the
 	// CLI's -trace flag; adds no cost when nil.
 	Trace func(Event)
+	// Ctx, when set, is checked throughout the chase loops — normalization
+	// passes, tgd firing rounds, egd match enumeration and rewrite rounds —
+	// so long chases can be canceled or deadline-bounded. On cancellation
+	// the chase stops promptly and returns an error wrapping ctx.Err();
+	// instances under construction are abandoned and the caller's source
+	// instance is never mutated (the chase never writes to it). Nil means
+	// context.Background (never canceled).
+	Ctx context.Context
 }
 
 func (o *Options) gen() *value.NullGen {
@@ -125,6 +134,32 @@ func (o *Options) withInterner(in *value.Interner) *Options {
 // tracing reports whether a trace hook is installed, so hot loops can
 // skip argument evaluation for emit entirely.
 func (o *Options) tracing() bool { return o != nil && o.Trace != nil }
+
+// ctx returns the run's context, Background when none was configured.
+func (o *Options) ctx() context.Context {
+	if o == nil || o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// ctxErr reports the context's error without blocking: nil while the
+// context is live, a wrapped ctx.Err() once it is done. Hot loops call it
+// every few dozen iterations through a counter; Background's nil Done
+// channel makes the check a single select with an always-ready default.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("chase: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// ctxCheckMask throttles in-loop context checks: positions with
+// (i & ctxCheckMask) == 0 pay the select. 64 keeps cancellation latency
+// in the microseconds while adding nothing measurable to the loops.
+const ctxCheckMask = 63
 
 // Stats reports what a chase run did, for the experiment harness.
 type Stats struct {

@@ -1,0 +1,81 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/logic"
+)
+
+// Compiled is a schema mapping compiled for repeated chase runs: the
+// concrete (interval-tailed) bodies and heads of every dependency, the
+// existential variables of every tgd, and the egd well-formedness checks
+// are derived once, so a long-lived caller — the public tdx.Exchange,
+// which serves one mapping to many source instances — pays parsing and
+// derivation once instead of per run. A Compiled mapping is immutable
+// after construction and safe for concurrent use by any number of chase
+// runs.
+type Compiled struct {
+	m         *dependency.Mapping
+	tgds      []compiledTGD
+	egds      []compiledEGD
+	tgdBodies []logic.Conjunction // concrete tgd bodies: the normalization Φ+ set
+	egdBodies []logic.Conjunction // concrete egd bodies: the egd-phase Φ+ set
+}
+
+// compiledTGD caches one tgd's derived forms: the concrete body/head for
+// the c-chase and the existential variable list (shared with the
+// snapshot chase, whose plain body/head live on d).
+type compiledTGD struct {
+	d     dependency.TGD
+	body  logic.Conjunction // ConcreteBody()
+	head  logic.Conjunction // ConcreteHead()
+	exist []string
+}
+
+// compiledEGD caches one egd's concrete body; the plain body for the
+// snapshot chase lives on d.
+type compiledEGD struct {
+	d    dependency.EGD
+	body logic.Conjunction // ConcreteBody()
+}
+
+// CompileMapping derives the reusable chase artifacts of a mapping. It
+// rejects malformed egds (an equated variable missing from the body
+// would bind to no value) up front, so runs never re-validate. The
+// mapping itself is not schema-validated here — use
+// dependency.Mapping.Validate (or the tdx facade, which does both).
+func CompileMapping(m *dependency.Mapping) (*Compiled, error) {
+	cm := &Compiled{
+		m:         m,
+		tgds:      make([]compiledTGD, len(m.TGDs)),
+		egds:      make([]compiledEGD, len(m.EGDs)),
+		tgdBodies: make([]logic.Conjunction, len(m.TGDs)),
+		egdBodies: make([]logic.Conjunction, len(m.EGDs)),
+	}
+	for i, d := range m.TGDs {
+		cm.tgds[i] = compiledTGD{
+			d:     d,
+			body:  d.ConcreteBody(),
+			head:  d.ConcreteHead(),
+			exist: d.Existentials(),
+		}
+		cm.tgdBodies[i] = cm.tgds[i].body
+	}
+	for i, d := range m.EGDs {
+		body := d.ConcreteBody()
+		if !body.HasVar(d.X1) || !body.HasVar(d.X2) {
+			return nil, fmt.Errorf("chase: egd %s equates %q and %q but its body binds only %v", d.Name, d.X1, d.X2, d.Body.Vars())
+		}
+		cm.egds[i] = compiledEGD{d: d, body: body}
+		cm.egdBodies[i] = body
+	}
+	return cm, nil
+}
+
+// Mapping returns the underlying schema mapping.
+func (c *Compiled) Mapping() *dependency.Mapping { return c.m }
+
+// TGDBodies returns the concrete tgd bodies — the Φ+ set the source is
+// normalized against. Shared; do not mutate.
+func (c *Compiled) TGDBodies() []logic.Conjunction { return c.tgdBodies }

@@ -31,13 +31,37 @@ import (
 //
 // On success the returned instance is a concrete solution; ⟦Jc⟧ is a
 // universal solution for ⟦Ic⟧ (Theorem 19). On failure the error wraps
-// ErrNoSolution.
+// ErrNoSolution. When Options.Ctx is canceled mid-run the error wraps
+// the context's error and ic is left untouched (the chase never writes
+// to its source).
+//
+// Concrete compiles the mapping per call; callers that chase one mapping
+// against many sources should CompileMapping once and use
+// ConcreteCompiled (the tdx facade does).
 func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*instance.Concrete, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ConcreteCompiled(ic, cm, opts)
+}
+
+// ConcreteCompiled is Concrete against a pre-compiled mapping: the
+// compile-once/run-many entry point. cm is read-only here, so any number
+// of runs (including concurrent ones) may share it.
+func ConcreteCompiled(ic *instance.Concrete, cm *Compiled, opts *Options) (*instance.Concrete, Stats, error) {
 	var stats Stats
 	gen := opts.gen()
+	ctx := opts.ctx()
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 
 	// Step 1: normalize the source w.r.t. lhs(Σst).
-	src := normalize.ForMapping(ic, m.TGDBodies(), opts.norm())
+	src, err := normalize.ForMappingCtx(ctx, ic, cm.tgdBodies, opts.norm())
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.NormalizeRuns++
 	stats.NormalizedSourceFacts = src.Len()
 	opts.emit(EventNormalize, "", "source normalized (%s): %d → %d facts", opts.norm(), ic.Len(), src.Len())
@@ -46,41 +70,47 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 	// deterministic pass over all homomorphisms reaches the tgd fixpoint.
 	// The target shares the normalized source's interner (unless Options
 	// overrides it), so every instance of this run is ID-compatible.
-	tgt := instance.NewConcreteWith(m.Target, opts.interner(src.Interner()))
-	for _, d := range m.TGDs {
-		body := d.ConcreteBody()
-		head := d.ConcreteHead()
-		ms := logic.FindAll(src.Store(), body, nil)
+	tgt := instance.NewConcreteWith(cm.m.Target, opts.interner(src.Interner()))
+	for _, d := range cm.tgds {
+		if err := ctxErr(ctx); err != nil {
+			return nil, stats, err
+		}
+		ms := logic.FindAll(src.Store(), d.body, nil)
 		stats.TGDHoms += len(ms)
-		for _, h := range ms {
-			if logic.Exists(tgt.Store(), head, h.Binding) {
+		for hi, h := range ms {
+			if hi&ctxCheckMask == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, stats, err
+				}
+			}
+			if logic.Exists(tgt.Store(), d.head, h.Binding) {
 				continue // extension h' to φ+ ∧ ψ+ already exists
 			}
 			tv, ok := h.Binding[dependency.TemporalVar]
 			if !ok || !tv.IsInterval() {
-				return nil, stats, fmt.Errorf("chase: tgd %s: temporal variable unbound", d.Name)
+				return nil, stats, fmt.Errorf("chase: tgd %s: temporal variable unbound", d.d.Name)
 			}
 			t, _ := tv.Interval()
 			stats.TGDFires++
-			opts.emit(EventTGDFire, d.Name, "fired at %v with %v", t, h.Binding)
+			opts.emit(EventTGDFire, d.d.Name, "fired at %v with %v", t, h.Binding)
 			ext := h.Binding.Clone()
-			for _, y := range d.Existentials() {
+			for _, y := range d.exist {
 				ext[y] = gen.FreshAnn(t)
 				stats.NullsCreated++
 			}
-			for _, atom := range head {
+			for _, atom := range d.head {
 				n := len(atom.Terms) - 1 // last term is the temporal variable
 				args := make([]value.Value, n)
 				for i := 0; i < n; i++ {
 					v, ok := ext.Apply(atom.Terms[i])
 					if !ok {
-						return nil, stats, fmt.Errorf("chase: tgd %s: unbound head variable %v", d.Name, atom.Terms[i])
+						return nil, stats, fmt.Errorf("chase: tgd %s: unbound head variable %v", d.d.Name, atom.Terms[i])
 					}
 					args[i] = v
 				}
 				added, err := tgt.Insert(fact.NewC(atom.Rel, t, args...))
 				if err != nil {
-					return nil, stats, fmt.Errorf("chase: tgd %s: %w", d.Name, err)
+					return nil, stats, fmt.Errorf("chase: tgd %s: %w", d.d.Name, err)
 				}
 				if added {
 					stats.FactsCreated++
@@ -91,7 +121,7 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 
 	// Steps 3–4: egd phase with renormalization. tgt was built here, so
 	// the egd loop owns it and may rewrite it in place.
-	tgt, err := concreteEgds(tgt, m, opts, &stats, true)
+	tgt, err = concreteEgds(tgt, cm, opts, &stats, true)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -107,21 +137,17 @@ func Concrete(ic *instance.Concrete, m *dependency.Mapping, opts *Options) (*ins
 // chase run: owned instances are rewritten in place, a caller-supplied
 // one is cloned before the first rewrite so the caller's instance is
 // never mutated.
-func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, stats *Stats, owned bool) (*instance.Concrete, error) {
-	if len(m.EGDs) == 0 {
+func concreteEgds(tgt *instance.Concrete, cm *Compiled, opts *Options, stats *Stats, owned bool) (*instance.Concrete, error) {
+	if len(cm.egds) == 0 {
 		return tgt, nil
 	}
-	// Malformed egds (an equated variable missing from the body) would
-	// bind to NoID below; reject them up front with a clear error.
-	egdBodies := m.EGDBodies()
-	for i, d := range m.EGDs {
-		if !egdBodies[i].HasVar(d.X1) || !egdBodies[i].HasVar(d.X2) {
-			return nil, fmt.Errorf("chase: egd %s equates %q and %q but its body binds only %v", d.Name, d.X1, d.X2, egdBodies[i].Vars())
-		}
-	}
+	ctx := opts.ctx()
 	naiveDone := false
 	for {
 		stats.EgdRounds++
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		// Normalize w.r.t. lhs(Σeg) and synchronize null families (an egd
 		// identification replaces an annotated null "everywhere", which is
 		// only sound when all overlapping occurrences of a family carry the
@@ -136,7 +162,10 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 				naiveDone = true
 			}
 		} else {
-			norm := normalize.ForEgdPhase(tgt, egdBodies, normalize.StrategySmart)
+			norm, err := normalize.ForEgdPhaseCtx(ctx, tgt, cm.egdBodies, normalize.StrategySmart)
+			if err != nil {
+				return nil, err
+			}
 			if norm != tgt {
 				owned = true // normalization built a fresh instance
 			}
@@ -149,9 +178,16 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 		uf := newValueUF(in)
 		var stepErr error
 		stop := false
-		for i, d := range m.EGDs {
-			x1, x2 := d.X1, d.X2
-			logic.ForEachIDs(tgt.Store(), egdBodies[i], nil, func(h *logic.IDMatch) bool {
+		seen := 0
+		for _, d := range cm.egds {
+			x1, x2 := d.d.X1, d.d.X2
+			logic.ForEachIDs(tgt.Store(), d.body, nil, func(h *logic.IDMatch) bool {
+				seen++
+				if seen&ctxCheckMask == 0 {
+					if stepErr = ctxErr(ctx); stepErr != nil {
+						return false
+					}
+				}
 				b1, _ := h.ID(x1)
 				b2, _ := h.ID(x2)
 				v1, v2 := uf.canon(b1), uf.canon(b2)
@@ -159,13 +195,13 @@ func concreteEgds(tgt *instance.Concrete, m *dependency.Mapping, opts *Options, 
 					return true
 				}
 				if err := uf.union(v1, v2); err != nil {
-					stepErr = &FailError{Dep: d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
-					opts.emit(EventEgdFail, d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
+					stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+					opts.emit(EventEgdFail, d.d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
 					return false
 				}
 				stats.EgdMerges++
 				if opts.tracing() {
-					opts.emit(EventEgdMerge, d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
+					opts.emit(EventEgdMerge, d.d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
 				}
 				stop = opts.egd() == EgdStepwise
 				return !stop
@@ -211,7 +247,16 @@ func rewriteConcrete(c *instance.Concrete, uf *valueUF) int {
 // families, and applies egd steps to a fixpoint. tgt itself is never
 // mutated; rewrites happen on normalization outputs or a private clone.
 func EgdPhase(tgt *instance.Concrete, m *dependency.Mapping, opts *Options) (*instance.Concrete, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return EgdPhaseCompiled(tgt, cm, opts)
+}
+
+// EgdPhaseCompiled is EgdPhase against a pre-compiled mapping.
+func EgdPhaseCompiled(tgt *instance.Concrete, cm *Compiled, opts *Options) (*instance.Concrete, Stats, error) {
 	var stats Stats
-	out, err := concreteEgds(tgt, m, opts, &stats, false)
+	out, err := concreteEgds(tgt, cm, opts, &stats, false)
 	return out, stats, err
 }

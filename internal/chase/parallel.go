@@ -27,6 +27,17 @@ import (
 // override is honored only for the sequential path — worker-private
 // interners are what make the parallel path scale.
 func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Options, workers int) (*instance.Abstract, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return AbstractParallelCompiled(ia, cm, opts, workers)
+}
+
+// AbstractParallelCompiled is AbstractParallel against a pre-compiled
+// mapping, which the workers share read-only — the compile-once entry
+// point, mirroring ConcreteCompiled.
+func AbstractParallelCompiled(ia *instance.Abstract, cm *Compiled, opts *Options, workers int) (*instance.Abstract, Stats, error) {
 	segsIn := ia.Segments()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,9 +46,10 @@ func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Option
 		workers = len(segsIn)
 	}
 	if workers <= 1 {
-		return Abstract(ia, m, opts)
+		return abstractCompiled(ia, cm, opts)
 	}
 	gen := opts.gen()
+	ctx := opts.ctx()
 
 	results := make([]segResult, len(segsIn))
 	jobs := make(chan int)
@@ -51,7 +63,13 @@ func AbstractParallel(ia *instance.Abstract, m *dependency.Mapping, opts *Option
 			// chases build (targets, rewrites) shares it.
 			wopts := opts.withInterner(value.NewInterner())
 			for idx := range jobs {
-				results[idx] = chaseSegment(segsIn[idx], m, gen, wopts)
+				// A canceled context stops each worker at its next segment
+				// (and mid-segment through the chase's own checks).
+				if err := ctxErr(ctx); err != nil {
+					results[idx] = segResult{err: err}
+					continue
+				}
+				results[idx] = chaseSegment(segsIn[idx], cm, gen, wopts)
 			}
 		}()
 	}
@@ -94,7 +112,7 @@ type segResult struct {
 // the target segment. The source snapshot adopts the Options interner
 // when one is set (the parallel path's worker shard), so repeated
 // segments reuse already-interned constants.
-func chaseSegment(seg instance.Segment, m *dependency.Mapping, gen *value.NullGen, opts *Options) (res segResult) {
+func chaseSegment(seg instance.Segment, cm *Compiled, gen *value.NullGen, opts *Options) (res segResult) {
 	src := instance.NewSnapshotWith(opts.interner(nil))
 	for _, f := range seg.Facts {
 		for _, v := range f.Args {
@@ -107,7 +125,7 @@ func chaseSegment(seg instance.Segment, m *dependency.Mapping, gen *value.NullGe
 	}
 	segIv := seg.Iv
 	fresh := func() value.Value { return gen.FreshAnn(segIv) }
-	tgtSnap, stats, err := Snapshot(src, m, fresh, opts)
+	tgtSnap, stats, err := snapshotCompiled(src, cm, fresh, opts)
 	res.stats = stats
 	if err != nil {
 		res.err = fmt.Errorf("in segment %v: %w", seg.Iv, err)

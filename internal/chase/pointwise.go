@@ -21,10 +21,18 @@ import (
 // The result is returned as the sequence of per-point snapshots. Facts
 // beyond the horizon are ignored; use Abstract for exact results.
 func Pointwise(ic *instance.Concrete, m *dependency.Mapping, horizon interval.Time, opts *Options) ([]*instance.Snapshot, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	var total Stats
 	gen := opts.gen()
+	ctx := opts.ctx()
 	out := make([]*instance.Snapshot, 0, int(horizon))
 	for tp := interval.Time(0); tp < horizon; tp++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, total, err
+		}
 		src := instance.NewSnapshot()
 		for _, f := range ic.Facts() {
 			if af, ok := f.Project(tp); ok {
@@ -38,7 +46,7 @@ func Pointwise(ic *instance.Concrete, m *dependency.Mapping, horizon interval.Ti
 		}
 		point := tp
 		fresh := func() value.Value { return value.NewProjectedNull(gen.Fresh(), point) }
-		tgt, stats, err := Snapshot(src, m, fresh, opts)
+		tgt, stats, err := snapshotCompiled(src, cm, fresh, opts)
 		total.TGDHoms += stats.TGDHoms
 		total.TGDFires += stats.TGDFires
 		total.FactsCreated += stats.FactsCreated

@@ -19,7 +19,18 @@ import (
 // This is the per-snapshot building block of the abstract chase (§3): the
 // paper applies it independently to every db_ℓ of the abstract instance.
 func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() value.Value, opts *Options) (*instance.Snapshot, Stats, error) {
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return snapshotCompiled(src, cm, freshNull, opts)
+}
+
+// snapshotCompiled is Snapshot against a pre-compiled mapping — the
+// abstract chase compiles once and runs it per segment.
+func snapshotCompiled(src *instance.Snapshot, cm *Compiled, freshNull func() value.Value, opts *Options) (*instance.Snapshot, Stats, error) {
 	var stats Stats
+	ctx := opts.ctx()
 	// Share the source snapshot's interner (or the Options override) so
 	// the tgd phase's Exists probes and the egd phase's rewrites stay
 	// ID-compatible.
@@ -27,25 +38,33 @@ func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() va
 
 	// TGD phase: bodies read only the source, so one pass over all
 	// homomorphisms reaches the fixpoint.
-	for _, d := range m.TGDs {
-		ms := logic.FindAll(src.Store(), d.Body, nil)
+	for _, d := range cm.tgds {
+		if err := ctxErr(ctx); err != nil {
+			return nil, stats, err
+		}
+		ms := logic.FindAll(src.Store(), d.d.Body, nil)
 		stats.TGDHoms += len(ms)
-		for _, h := range ms {
-			if logic.Exists(tgt.Store(), d.Head, h.Binding) {
+		for hi, h := range ms {
+			if hi&ctxCheckMask == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, stats, err
+				}
+			}
+			if logic.Exists(tgt.Store(), d.d.Head, h.Binding) {
 				continue // an extension to the head already exists
 			}
 			stats.TGDFires++
 			ext := h.Binding.Clone()
-			for _, y := range d.Existentials() {
+			for _, y := range d.exist {
 				ext[y] = freshNull()
 				stats.NullsCreated++
 			}
-			for _, atom := range d.Head {
+			for _, atom := range d.d.Head {
 				args := make([]value.Value, len(atom.Terms))
 				for i, t := range atom.Terms {
 					v, ok := ext.Apply(t)
 					if !ok {
-						return nil, stats, fmt.Errorf("chase: unbound head variable %v in tgd %s", t, d.Name)
+						return nil, stats, fmt.Errorf("chase: unbound head variable %v in tgd %s", t, d.d.Name)
 					}
 					args[i] = v
 				}
@@ -57,31 +76,38 @@ func Snapshot(src *instance.Snapshot, m *dependency.Mapping, freshNull func() va
 	}
 
 	// EGD phase.
-	out, egdStats, err := snapshotEgds(tgt, m, opts.egd())
+	out, egdStats, err := snapshotEgds(tgt, cm, opts)
 	stats.EgdRounds, stats.EgdMerges = egdStats.EgdRounds, egdStats.EgdMerges
 	stats.RowsRewritten = egdStats.RowsRewritten
 	return out, stats, err
 }
 
-// snapshotEgds applies the egds of m to the snapshot until satisfied.
-func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrategy) (*instance.Snapshot, Stats, error) {
+// snapshotEgds applies the egds of the compiled mapping to the snapshot
+// until satisfied (the snapshot chase matches the plain, non-temporal
+// egd bodies).
+func snapshotEgds(tgt *instance.Snapshot, cm *Compiled, opts *Options) (*instance.Snapshot, Stats, error) {
 	var stats Stats
-	// Malformed egds (an equated variable missing from the body) would
-	// bind to NoID below; reject them up front with a clear error.
-	for _, d := range m.EGDs {
-		if !d.Body.HasVar(d.X1) || !d.Body.HasVar(d.X2) {
-			return nil, stats, fmt.Errorf("chase: egd %s equates %q and %q but its body binds only %v", d.Name, d.X1, d.X2, d.Body.Vars())
-		}
-	}
+	ctx := opts.ctx()
+	strat := opts.egd()
 	in := tgt.Interner()
 	for {
 		stats.EgdRounds++
+		if err := ctxErr(ctx); err != nil {
+			return nil, stats, err
+		}
 		uf := newValueUF(in)
 		stop := false
+		seen := 0
 		var stepErr error
-		for _, d := range m.EGDs {
-			x1, x2 := d.X1, d.X2
-			logic.ForEachIDs(tgt.Store(), d.Body, nil, func(h *logic.IDMatch) bool {
+		for _, d := range cm.egds {
+			x1, x2 := d.d.X1, d.d.X2
+			logic.ForEachIDs(tgt.Store(), d.d.Body, nil, func(h *logic.IDMatch) bool {
+				seen++
+				if seen&ctxCheckMask == 0 {
+					if stepErr = ctxErr(ctx); stepErr != nil {
+						return false
+					}
+				}
 				b1, _ := h.ID(x1)
 				b2, _ := h.ID(x2)
 				v1, v2 := uf.canon(b1), uf.canon(b2)
@@ -89,7 +115,7 @@ func snapshotEgds(tgt *instance.Snapshot, m *dependency.Mapping, strat EgdStrate
 					return true
 				}
 				if err := uf.union(v1, v2); err != nil {
-					stepErr = &FailError{Dep: d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+					stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
 					return false
 				}
 				stats.EgdMerges++

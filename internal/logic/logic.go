@@ -230,6 +230,9 @@ type planTerm struct {
 // global rows coincide (no dead rows, single arity class), eliding the
 // per-row translation; buf is the atom's posting-intersection scratch
 // (safe per atom: the search uses each atom at one depth at a time).
+// epoch is the relation's mutation epoch at compile time: the column
+// snapshots are valid only while it holds, and the search revalidates it
+// after every match callback (the only point user code runs).
 type planAtom struct {
 	rel   *storage.Rel
 	block storage.Block
@@ -237,6 +240,7 @@ type planAtom struct {
 	terms []planTerm
 	order []int
 	dense bool
+	epoch uint64
 	buf   []int
 }
 
@@ -271,7 +275,7 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 			p.empty = true
 			return p
 		}
-		pa := planAtom{rel: rel, block: block, cols: block.Cols(), terms: make([]planTerm, len(a.Terms)), dense: block.Dense()}
+		pa := planAtom{rel: rel, block: block, cols: block.Cols(), terms: make([]planTerm, len(a.Terms)), dense: block.Dense(), epoch: rel.Epoch()}
 		for j, t := range a.Terms {
 			if t.IsVar {
 				s, ok := slotOf[t.Name]
@@ -324,6 +328,22 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 		p.init[s] = id
 	}
 	return p
+}
+
+// revalidate panics when any relation a plan was compiled against has
+// been mutated since compile time: the plan's column snapshots (and the
+// posting lists feeding it) would silently describe a stale store. It is
+// called after every match callback — the only point during enumeration
+// where caller code runs.
+func (p *plan) revalidate() {
+	for i := range p.atoms {
+		pa := &p.atoms[i]
+		if e := pa.rel.Epoch(); e != pa.epoch {
+			panic(fmt.Sprintf(
+				"logic: relation %q mutated during plan enumeration (epoch %d -> %d): a store must not be written while a compiled plan runs over it; collect matches first, or write to a different store",
+				pa.rel.Name(), pa.epoch, e))
+		}
+	}
 }
 
 // candidates returns the candidate rows of pa worth testing under the
@@ -384,22 +404,42 @@ func run(p plan, fn func(*IDMatch) bool) {
 		if depth == n {
 			im.Rows = rows
 			im.bind = bind
-			return fn(&im)
+			cont := fn(&im)
+			p.revalidate()
+			return cont
 		}
-		// Greedy join order: the unprocessed atom with the most bound terms.
-		bestAtom, bestScore := -1, -1
+		// Adaptive join order: the unprocessed atom with the smallest
+		// estimated candidate set — the minimum posting-list length over
+		// its determined positions (bound variable or literal), O(1) per
+		// read on the materialized posting lists. An atom with no
+		// determined position is estimated at its full block length (a
+		// scan). An empty posting list estimates to 0, so a contradicted
+		// atom is picked first and fails the branch immediately. Ties keep
+		// the lowest atom index, so the order stays deterministic.
+		bestAtom := -1
+		bestEst := int(^uint(0) >> 1)
 		for i := range p.atoms {
 			if done[i] {
 				continue
 			}
-			s := 0
-			for _, t := range p.atoms[i].terms {
-				if t.slot < 0 || bind[t.slot] != value.NoID {
-					s++
+			cand := &p.atoms[i]
+			est := cand.block.Len()
+			for pos, t := range cand.terms {
+				var id value.ID
+				switch {
+				case t.slot < 0:
+					id = t.lit
+				case bind[t.slot] != value.NoID:
+					id = bind[t.slot]
+				default:
+					continue
+				}
+				if l := len(cand.rel.CandidatesID(pos, id)); l < est {
+					est = l
 				}
 			}
-			if s > bestScore {
-				bestScore, bestAtom = s, i
+			if est < bestEst {
+				bestEst, bestAtom = est, i
 			}
 		}
 		pa := &p.atoms[bestAtom]

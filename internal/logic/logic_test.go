@@ -3,6 +3,7 @@ package logic
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/interval"
@@ -325,6 +326,90 @@ func BenchmarkHomSearchIndexed(b *testing.B) {
 		ForEach(st, conj, nil, func(Match) bool { n++; return true })
 		if n != 10000 {
 			b.Fatalf("matches = %d", n)
+		}
+	}
+}
+
+func TestMutationDuringEnumerationPanics(t *testing.T) {
+	st := figure4Store()
+	conj := Conjunction{NewAtom("E", Var("n"), Var("c"), Var("t"))}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("inserting into the searched store mid-enumeration should panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "mutated during plan enumeration") {
+			t.Fatalf("panic = %v, want a stale-epoch message", r)
+		}
+	}()
+	ForEachIDs(st, conj, nil, func(*IDMatch) bool {
+		st.Insert("E", []value.Value{cv("Eve"), cv("ACME"), ivv(1, 2)})
+		return true
+	})
+}
+
+func TestSubstituteDuringEnumerationPanics(t *testing.T) {
+	st := storage.NewStore()
+	in := st.Interner()
+	n1 := value.NewAnnNull(1, interval.MustNew(0, 2))
+	st.Insert("R", []value.Value{cv("a"), n1})
+	st.Insert("R", []value.Value{cv("b"), cv("x")})
+	nID := in.Intern(n1)
+	xID := in.Intern(cv("x"))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("substituting the searched store mid-enumeration should panic")
+		}
+	}()
+	ForEachIDs(st, Conjunction{NewAtom("R", Var("a"), Var("v"))}, nil, func(*IDMatch) bool {
+		st.SubstituteIDs([]value.ID{nID}, func(id value.ID) value.ID {
+			if id == nID {
+				return xID
+			}
+			return id
+		})
+		return true
+	})
+}
+
+// TestInsertIntoOtherStoreDuringEnumeration pins down the supported
+// pattern: query evaluation inserts answers into a *different* store
+// while enumerating, which must not trip the epoch revalidation.
+func TestInsertIntoOtherStoreDuringEnumeration(t *testing.T) {
+	st := figure4Store()
+	out := storage.NewStore()
+	n := 0
+	ForEachIDs(st, Conjunction{NewAtom("E", Var("n"), Var("c"), Var("t"))}, nil, func(*IDMatch) bool {
+		out.Insert("Ans", []value.Value{cv(fmt.Sprintf("row%d", n))})
+		n++
+		return true
+	})
+	if n != 3 || out.Size() != 3 {
+		t.Fatalf("matches = %d, answers = %d", n, out.Size())
+	}
+}
+
+// TestAdaptiveJoinOrderFindsAllMatches cross-checks the selectivity-
+// ordered search against brute-force enumeration on a store where the
+// posting-list estimates differ sharply between atoms.
+func TestAdaptiveJoinOrderFindsAllMatches(t *testing.T) {
+	st := storage.NewStore()
+	for i := 0; i < 64; i++ {
+		st.Insert("Big", []value.Value{cv(fmt.Sprintf("k%d", i%8)), cv(fmt.Sprintf("v%d", i))})
+	}
+	st.Insert("Small", []value.Value{cv("k3"), cv("only")})
+	conj := Conjunction{
+		NewAtom("Big", Var("k"), Var("v")),
+		NewAtom("Small", Var("k"), Var("w")),
+	}
+	got := FindAll(st, conj, nil)
+	if len(got) != 8 {
+		t.Fatalf("matches = %d, want 8 (k3 bucket of Big joined with Small)", len(got))
+	}
+	for _, m := range got {
+		if m.Binding["k"] != cv("k3") || m.Binding["w"] != cv("only") {
+			t.Fatalf("bad match %v", m.Binding)
 		}
 	}
 }

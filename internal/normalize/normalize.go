@@ -20,6 +20,8 @@
 package normalize
 
 import (
+	"context"
+	"fmt"
 	"slices"
 	"sort"
 
@@ -30,6 +32,17 @@ import (
 	"repro/internal/logic"
 	"repro/internal/value"
 )
+
+// ctxErr reports the context's error without blocking: nil while the
+// context is live, a wrapped ctx.Err() once it is done.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("normalize: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
 
 // Renamed returns N(Φ+): each conjunction with its shared temporal
 // variable replaced by one fresh variable per atom (Example 9).
@@ -62,13 +75,26 @@ func hashRefs(refs []factRef) uint64 {
 // conjunction in N(Φ+) and whose intervals have a non-empty common
 // intersection. Duplicate sets are returned once. Only the row witnesses
 // of each homomorphism are consumed, so the enumeration runs on the
-// interned fast path (ForEachIDs) and never materializes a binding.
-func matchSets(ic *instance.Concrete, phis []logic.Conjunction) [][]factRef {
+// interned fast path (ForEachIDs) and never materializes a binding. The
+// enumeration — the potentially large part of normalization — checks ctx
+// every few dozen matches and aborts with its error once canceled.
+func matchSets(ctx context.Context, ic *instance.Concrete, phis []logic.Conjunction) ([][]factRef, error) {
 	seen := make(map[uint64][][]factRef)
 	var out [][]factRef
+	var stepErr error
+	matches := 0
 	st := ic.Store()
 	for _, phi := range Renamed(phis) {
+		if stepErr = ctxErr(ctx); stepErr != nil {
+			return nil, stepErr
+		}
 		logic.ForEachIDs(st, phi, nil, func(m *logic.IDMatch) bool {
+			matches++
+			if matches&63 == 0 {
+				if stepErr = ctxErr(ctx); stepErr != nil {
+					return false
+				}
+			}
 			// Deduplicate rows within a match: set semantics for Δ.
 			refs := make([]factRef, 0, len(m.Rows))
 			for _, r := range m.Rows {
@@ -106,8 +132,11 @@ func matchSets(ic *instance.Concrete, phis []logic.Conjunction) [][]factRef {
 			out = append(out, uniq)
 			return true
 		})
+		if stepErr != nil {
+			return nil, stepErr
+		}
 	}
-	return out
+	return out, nil
 }
 
 // unionFind is a plain union-find over dense indices.
@@ -135,9 +164,20 @@ func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
 // instance in which exactly the facts participating in overlapping match
 // sets are fragmented, on the endpoint partition of their merged set Δ.
 func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
-	sets := matchSets(ic, phis)
+	out, _ := SmartCtx(context.Background(), ic, phis) // Background never cancels
+	return out
+}
+
+// SmartCtx is Smart under a context: the match-set enumeration — the
+// expensive step — aborts promptly with the context's error once ctx is
+// done. This is the entry the chase's cancellable loops use.
+func SmartCtx(ctx context.Context, ic *instance.Concrete, phis []logic.Conjunction) (*instance.Concrete, error) {
+	sets, err := matchSets(ctx, ic, phis)
+	if err != nil {
+		return nil, err
+	}
 	if len(sets) == 0 {
-		return ic.Clone()
+		return ic.Clone(), nil
 	}
 
 	// Merge sets sharing a fact (lines 4–10) with a union-find over the
@@ -184,6 +224,9 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 	// key the match witnesses in ids), and dead rows are skipped.
 	out := instance.NewConcreteWith(ic.Schema(), ic.Interner())
 	for _, rel := range ic.Relations() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		ic.Store().Rel(rel).EachLive(func(row int) bool {
 			f := ic.FactAt(rel, row)
 			id, inSet := ids[factRef{rel, row}]
@@ -197,7 +240,7 @@ func Smart(ic *instance.Concrete, phis []logic.Conjunction) *instance.Concrete {
 			return true
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Naive fragments every fact of the instance on the global endpoint
@@ -219,11 +262,21 @@ func Naive(ic *instance.Concrete) *instance.Concrete {
 // ForMapping normalizes an instance for the given strategy. Smart
 // requires the conjunction set; Naive ignores it.
 func ForMapping(ic *instance.Concrete, phis []logic.Conjunction, strategy Strategy) *instance.Concrete {
+	out, _ := ForMappingCtx(context.Background(), ic, phis, strategy)
+	return out
+}
+
+// ForMappingCtx is ForMapping under a context; once ctx is done the pass
+// aborts promptly with its error.
+func ForMappingCtx(ctx context.Context, ic *instance.Concrete, phis []logic.Conjunction, strategy Strategy) (*instance.Concrete, error) {
 	switch strategy {
 	case StrategyNaive:
-		return Naive(ic)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return Naive(ic), nil
 	default:
-		return Smart(ic, phis)
+		return SmartCtx(ctx, ic, phis)
 	}
 }
 
@@ -292,7 +345,7 @@ type Stats struct {
 func SmartWithStats(ic *instance.Concrete, phis []logic.Conjunction) (*instance.Concrete, Stats) {
 	out := Smart(ic, phis)
 	st := Stats{InputFacts: ic.Len(), OutputFacts: out.Len()}
-	sets := matchSets(ic, phis)
+	sets, _ := matchSets(context.Background(), ic, phis)
 	roots := make(map[int]bool)
 	// Recompute component count the same way Smart does.
 	ids := make(map[factRef]int)
@@ -341,8 +394,17 @@ func Check(original, normalized *instance.Concrete) bool {
 // pass propagates the cuts through families until all occurrences align.
 // (The naïve normalizer's global partition has this property already.)
 func SyncFamilies(c *instance.Concrete) *instance.Concrete {
+	out, _ := syncFamiliesCtx(context.Background(), c)
+	return out
+}
+
+// syncFamiliesCtx is SyncFamilies with a per-pass context check.
+func syncFamiliesCtx(ctx context.Context, c *instance.Concrete) (*instance.Concrete, error) {
 	cur := c
 	for pass := 0; ; pass++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		// Collect, per family, the endpoints of all occurrence annotations
 		// (equal to the enclosing fact intervals by the fact invariant).
 		// Iteration is store order (EachFact): deterministic without the
@@ -375,7 +437,7 @@ func SyncFamilies(c *instance.Concrete) *instance.Concrete {
 			return true
 		})
 		if !changed {
-			return cur
+			return cur, nil
 		}
 		cur = out
 	}
@@ -388,14 +450,32 @@ func SyncFamilies(c *instance.Concrete) *instance.Concrete {
 // which can desynchronize families). Terminates because cuts only refine
 // within the finite global endpoint set.
 func ForEgdPhase(c *instance.Concrete, phis []logic.Conjunction, strategy Strategy) *instance.Concrete {
+	out, _ := ForEgdPhaseCtx(context.Background(), c, phis, strategy)
+	return out
+}
+
+// ForEgdPhaseCtx is ForEgdPhase under a context; the joint fixpoint loop
+// and the match-set enumerations inside it abort promptly with the
+// context's error once ctx is done.
+func ForEgdPhaseCtx(ctx context.Context, c *instance.Concrete, phis []logic.Conjunction, strategy Strategy) (*instance.Concrete, error) {
 	if strategy == StrategyNaive {
-		return Naive(c) // globally fragmented: EIP for every Φ and family-consistent
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return Naive(c), nil // globally fragmented: EIP for every Φ and family-consistent
 	}
 	cur := c
 	for {
-		next := SyncFamilies(Smart(cur, phis))
+		smart, err := SmartCtx(ctx, cur, phis)
+		if err != nil {
+			return nil, err
+		}
+		next, err := syncFamiliesCtx(ctx, smart)
+		if err != nil {
+			return nil, err
+		}
 		if next.Equal(cur) {
-			return cur
+			return cur, nil
 		}
 		cur = next
 	}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chase"
@@ -190,15 +191,37 @@ func (fz *frozen) isFrozen(v value.Value) bool { return fz.consts[v] }
 // The union of the disjuncts' answers is returned as a coalesced concrete
 // instance over the answer relation u.Name.
 func NaiveEvalConcrete(u UCQ, jc *instance.Concrete) *instance.Concrete {
+	out, _ := NaiveEvalCtx(context.Background(), u, jc) // Background never cancels
+	return out
+}
+
+// NaiveEvalCtx is NaiveEvalConcrete under a context: the per-disjunct
+// normalization and the homomorphism enumeration abort promptly with the
+// context's error once ctx is done.
+func NaiveEvalCtx(ctx context.Context, u UCQ, jc *instance.Concrete) (*instance.Concrete, error) {
 	out := instance.NewConcrete(nil)
 	for _, q := range u.Disjuncts {
 		body := q.ConcreteBody()
 		// Step 1 — normalize w.r.t. q′ and synchronize null families, so
 		// that step 2 freezes one constant per unknown-per-time-range and
 		// joins through a shared unknown still succeed.
-		normed := normalize.ForEgdPhase(jc, []logic.Conjunction{body}, normalize.StrategySmart)
-		frozenInst, fz := freezeNulls(normed)                                   // step 2
+		normed, err := normalize.ForEgdPhaseCtx(ctx, jc, []logic.Conjunction{body}, normalize.StrategySmart)
+		if err != nil {
+			return nil, err
+		}
+		frozenInst, fz := freezeNulls(normed) // step 2
+		matches := 0
+		var stepErr error
 		logic.ForEach(frozenInst.Store(), body, nil, func(m logic.Match) bool { // step 3
+			matches++
+			if matches&63 == 0 {
+				select {
+				case <-ctx.Done():
+					stepErr = fmt.Errorf("query: %w", ctx.Err())
+					return false
+				default:
+				}
+			}
 			tv := m.Binding[dependency.TemporalVar]
 			t, ok := tv.Interval()
 			if !ok {
@@ -218,8 +241,11 @@ func NaiveEvalConcrete(u UCQ, jc *instance.Concrete) *instance.Concrete {
 			}
 			return true
 		})
+		if stepErr != nil {
+			return nil, stepErr
+		}
 	}
-	return out.Coalesce()
+	return out.Coalesce(), nil
 }
 
 // CertainAnswers computes certain(q, ⟦Ic⟧, M) by Corollary 22: run the
@@ -227,13 +253,17 @@ func NaiveEvalConcrete(u UCQ, jc *instance.Concrete) *instance.Concrete {
 // the query on it. The error wraps chase.ErrNoSolution when the chase
 // fails (no solution ⇒ certain answers are undefined; by convention every
 // tuple is vacuously certain, which the caller must decide how to
-// surface).
+// surface). Cancellation of opts.Ctx covers both stages.
 func CertainAnswers(u UCQ, ic *instance.Concrete, m *dependency.Mapping, opts *chase.Options) (*instance.Concrete, error) {
 	jc, _, err := chase.Concrete(ic, m, opts)
 	if err != nil {
 		return nil, err
 	}
-	return NaiveEvalConcrete(u, jc), nil
+	ctx := context.Background()
+	if opts != nil && opts.Ctx != nil {
+		ctx = opts.Ctx
+	}
+	return NaiveEvalCtx(ctx, u, jc)
 }
 
 // CertainAbstract computes the sequence certain(q, Ja) — q(db)↓ per

@@ -27,6 +27,12 @@
 // NewStoreWith) agree on IDs, which lets the chase rewrite and copy rows
 // between instances without re-rendering values.
 //
+// Plans compiled by the homomorphism engine snapshot column slice
+// headers, so relations must not be mutated while a plan over them runs.
+// Every mutation bumps the relation's epoch counter (Epoch), which
+// compiled plans revalidate after each match callback — a violation
+// panics loudly instead of silently reading stale columns.
+//
 // The store is deliberately representation-agnostic: a tuple is a slice
 // of values, and both views use it — the concrete view stores a fact
 // R+(a, [s,e)) as the tuple ⟨a..., [s,e)⟩ whose last component is an
@@ -61,12 +67,13 @@ type rowLoc struct {
 // Rel is a single relation: an append-only set of deduplicated tuples in
 // columnar segments, with optional per-position posting-list indexes.
 type Rel struct {
-	name string
-	in   *value.Interner
-	segs []*segment
-	loc  []rowLoc // global row → segment location
-	live []uint64 // validity bitmap over global rows
-	dead int      // rows invalidated by SubstituteIDs
+	name  string
+	in    *value.Interner
+	segs  []*segment
+	loc   []rowLoc // global row → segment location
+	live  []uint64 // validity bitmap over global rows
+	dead  int      // rows invalidated by SubstituteIDs
+	epoch uint64   // bumped by every mutation (insert, substitute)
 
 	tuples [][]value.Value  // decode cache; nil entries resolve lazily
 	dedup  map[uint64]int   // row hash → a live row with that hash
@@ -92,6 +99,16 @@ func (r *Rel) Len() int { return len(r.loc) - r.dead }
 // [0, NumRows), of which Len are alive. The two differ only after an
 // in-place substitution collapsed rows.
 func (r *Rel) NumRows() int { return len(r.loc) }
+
+// Epoch returns the relation's mutation epoch: a counter bumped by every
+// insert and every in-place substitution. Compiled homomorphism plans
+// snapshot column slice headers, so a relation must not be mutated while
+// a plan over it runs; the engine records each relation's epoch at plan
+// compile time and revalidates it after every match callback, turning a
+// silent read of stale column headers into a loud panic. Building lazy
+// caches (posting-list indexes, the reverse ID index, decoded tuples)
+// does not change what a plan would read, so those do not bump the epoch.
+func (r *Rel) Epoch() uint64 { return r.epoch }
 
 // Alive reports whether the row is live (not collapsed into a duplicate
 // by SubstituteIDs).
@@ -244,6 +261,7 @@ func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
 	if r.lookupHash(h, ids) >= 0 {
 		return false
 	}
+	r.epoch++
 	row := len(r.loc)
 	si, s := r.segFor(len(ids))
 	off := int32(len(s.rows))
@@ -460,6 +478,7 @@ func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID) int {
 	if len(changed) == 0 {
 		return 0
 	}
+	r.epoch++
 
 	// Phase 1 — detach every affected row from the dedup buckets and the
 	// posting lists of its changing positions, then write the new IDs

@@ -322,3 +322,48 @@ func TestQuickDedupSemantics(t *testing.T) {
 		t.Fatalf("size %d != distinct %d", s.Rel("R").Len(), len(ref))
 	}
 }
+
+func TestEpochBumpsOnMutation(t *testing.T) {
+	st := NewStore()
+	cst := value.NewConst
+	st.Insert("R", []value.Value{cst("a"), cst("x")})
+	r := st.Rel("R")
+	e0 := r.Epoch()
+	// A duplicate insert is a no-op... but still bumps? No: dedup short-
+	// circuits before any column write, so the epoch must NOT move (plans
+	// stay valid across failed inserts).
+	st.Insert("R", []value.Value{cst("a"), cst("x")})
+	if r.Epoch() != e0 {
+		t.Fatal("duplicate insert moved the epoch")
+	}
+	st.Insert("R", []value.Value{cst("b"), cst("x")})
+	if r.Epoch() == e0 {
+		t.Fatal("insert did not move the epoch")
+	}
+	e1 := r.Epoch()
+	// Lazy caches are reads, not mutations.
+	r.EnsureIndex(0)
+	r.CandidatesID(0, st.Interner().Intern(cst("a")))
+	r.Tuple(0)
+	if r.Epoch() != e1 {
+		t.Fatal("lazy index/decode builds moved the epoch")
+	}
+	// Substitution that touches a row bumps it.
+	aID := st.Interner().Intern(cst("a"))
+	bID := st.Interner().Intern(cst("b"))
+	n := st.SubstituteIDs([]value.ID{aID}, func(id value.ID) value.ID {
+		if id == aID {
+			return bID
+		}
+		return id
+	})
+	if n == 0 || r.Epoch() == e1 {
+		t.Fatalf("substitution (touched %d rows) did not move the epoch", n)
+	}
+	e2 := r.Epoch()
+	// A substitution with no affected rows leaves it alone.
+	ghost := st.Interner().Intern(cst("never-stored"))
+	if st.SubstituteIDs([]value.ID{ghost}, func(id value.ID) value.ID { return id }) != 0 || r.Epoch() != e2 {
+		t.Fatal("no-op substitution moved the epoch")
+	}
+}

@@ -24,6 +24,7 @@
 package temporal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -256,14 +257,58 @@ func witnessInterval(ref Ref, t interval.Interval) (interval.Interval, bool, err
 // general universal — the paper's §7 question; see the package tests for
 // a counterexample.
 func Chase(ic *instance.Concrete, m *Mapping, opts *chase.Options) (*instance.Concrete, chase.Stats, error) {
-	var stats chase.Stats
-	var gen value.NullGen
+	cm, err := CompileMapping(m)
+	if err != nil {
+		return nil, chase.Stats{}, err
+	}
+	return ChaseCompiled(ic, cm, opts)
+}
 
+// Compiled is a temporal mapping compiled for repeated chase runs: the
+// concrete tgd bodies and the compiled egd-phase mapping are derived
+// once, mirroring chase.Compiled for plain mappings. Read-only after
+// construction; safe to share across concurrent runs.
+type Compiled struct {
+	m      *Mapping
+	bodies []logic.Conjunction // concrete tgd bodies (normalization Φ+)
+	egds   *chase.Compiled     // the tgd-less egd-phase mapping
+}
+
+// CompileMapping derives the reusable artifacts of a temporal mapping.
+func CompileMapping(m *Mapping) (*Compiled, error) {
 	bodies := make([]logic.Conjunction, len(m.TGDs))
 	for i, d := range m.TGDs {
 		bodies[i] = dependency.TGD{Body: d.Body}.ConcreteBody()
 	}
-	src := normalize.Smart(ic, bodies)
+	egds, err := chase.CompileMapping(&dependency.Mapping{Source: m.Source, Target: m.Target, EGDs: m.EGDs})
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{m: m, bodies: bodies, egds: egds}, nil
+}
+
+// Mapping returns the underlying temporal mapping.
+func (c *Compiled) Mapping() *Mapping { return c.m }
+
+// Bodies returns the concrete tgd bodies — the Φ+ set the source is
+// normalized against. Shared; do not mutate.
+func (c *Compiled) Bodies() []logic.Conjunction { return c.bodies }
+
+// ChaseCompiled is Chase against a pre-compiled mapping — the
+// compile-once/run-many entry point the tdx facade uses.
+func ChaseCompiled(ic *instance.Concrete, cm *Compiled, opts *chase.Options) (*instance.Concrete, chase.Stats, error) {
+	var stats chase.Stats
+	var gen value.NullGen
+	m, bodies := cm.m, cm.bodies
+	ctx := context.Background()
+	if opts != nil && opts.Ctx != nil {
+		ctx = opts.Ctx
+	}
+
+	src, err := normalize.ForMappingCtx(ctx, ic, bodies, normalize.StrategySmart)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.NormalizeRuns++
 	stats.NormalizedSourceFacts = src.Len()
 
@@ -273,7 +318,14 @@ func Chase(ic *instance.Concrete, m *Mapping, opts *chase.Options) (*instance.Co
 	for i, d := range m.TGDs {
 		ms := logic.FindAll(src.Store(), bodies[i], nil)
 		stats.TGDHoms += len(ms)
-		for _, h := range ms {
+		for hi, h := range ms {
+			if hi&63 == 0 {
+				select {
+				case <-ctx.Done():
+					return nil, stats, fmt.Errorf("temporal: %w", ctx.Err())
+				default:
+				}
+			}
 			tv := h.Binding[dependency.TemporalVar]
 			t, ok := tv.Interval()
 			if !ok {
@@ -322,10 +374,8 @@ func Chase(ic *instance.Concrete, m *Mapping, opts *chase.Options) (*instance.Co
 		}
 	}
 
-	// Plain egd phase via the standard machinery.
-	plain := &dependency.Mapping{Source: m.Source, Target: m.Target, EGDs: m.EGDs,
-		TGDs: nil}
-	out, egdStats, err := chase.EgdPhase(tgt, plain, opts)
+	// Plain egd phase via the standard machinery, pre-compiled.
+	out, egdStats, err := chase.EgdPhaseCompiled(tgt, cm.egds, opts)
 	stats.EgdRounds = egdStats.EgdRounds
 	stats.EgdMerges = egdStats.EgdMerges
 	stats.NormalizeRuns += egdStats.NormalizeRuns

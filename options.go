@@ -1,0 +1,161 @@
+package tdx
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/normalize"
+)
+
+// Norm selects the normalization algorithm (paper §4.2).
+type Norm int
+
+const (
+	// NormSmart is the paper's Algorithm 1: only facts participating in
+	// overlapping match sets are fragmented (the default).
+	NormSmart Norm = iota
+	// NormNaive fragments every fact on the global endpoint partition:
+	// O(n log n), larger output, stable under egd rewrites.
+	NormNaive
+)
+
+func (n Norm) String() string {
+	if n == NormNaive {
+		return "naive"
+	}
+	return "smart"
+}
+
+// ParseNorm parses a normalization strategy name ("smart" or "naive";
+// "" means smart), for flag and config surfaces.
+func ParseNorm(s string) (Norm, error) {
+	switch s {
+	case "smart", "":
+		return NormSmart, nil
+	case "naive":
+		return NormNaive, nil
+	}
+	return NormSmart, fmt.Errorf("tdx: unknown normalization strategy %q (want smart or naive)", s)
+}
+
+// EgdStrategy selects how equality generating dependencies are applied.
+type EgdStrategy int
+
+const (
+	// EgdBatch collects every violated equality in a round, merges them in
+	// one union-find pass, and rewrites the instance once per round (the
+	// default; asymptotically cheaper).
+	EgdBatch EgdStrategy = iota
+	// EgdStepwise applies one equality at a time and re-searches — the
+	// textbook chase-step formulation, kept as the ablation baseline.
+	EgdStepwise
+)
+
+func (s EgdStrategy) String() string {
+	if s == EgdStepwise {
+		return "stepwise"
+	}
+	return "batch"
+}
+
+// ParseEgdStrategy parses an egd strategy name ("batch" or "stepwise";
+// "" means batch), for flag and config surfaces.
+func ParseEgdStrategy(s string) (EgdStrategy, error) {
+	switch s {
+	case "batch", "":
+		return EgdBatch, nil
+	case "stepwise":
+		return EgdStepwise, nil
+	}
+	return EgdBatch, fmt.Errorf("tdx: unknown egd strategy %q (want batch or stepwise)", s)
+}
+
+// Event is one step of a chase run, delivered to a WithTrace hook: the
+// event kind ("normalize", "tgd-fire", "egd-merge", "egd-fail"), the
+// dependency label when one applies, and human-readable detail.
+type Event struct {
+	Kind   string
+	Dep    string
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Dep != "" {
+		return fmt.Sprintf("%s %s: %s", e.Kind, e.Dep, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Kind, e.Detail)
+}
+
+// config is the resolved option set of an Exchange (or of one Run, when
+// per-call options override it).
+type config struct {
+	norm        Norm
+	egd         EgdStrategy
+	coalesce    bool
+	trace       func(Event)
+	parallelism int
+}
+
+// Option configures an Exchange at Compile time; the executing methods
+// Run, RunAbstract, Normalize, and Answer also accept Options as
+// per-call overrides. (Query evaluates an already-materialized solution,
+// so it has nothing to override.)
+type Option func(*config)
+
+// WithNorm selects the normalization algorithm.
+func WithNorm(n Norm) Option { return func(c *config) { c.norm = n } }
+
+// WithEgdStrategy selects how egds are applied.
+func WithEgdStrategy(s EgdStrategy) Option { return func(c *config) { c.egd = s } }
+
+// WithCoalesce makes Run return the coalesced solution (the compact form
+// of the paper's Figure 9), merging the intervals of facts with
+// identical data values into maximal disjoint intervals.
+func WithCoalesce(on bool) Option { return func(c *config) { c.coalesce = on } }
+
+// WithTrace installs a hook receiving one Event per chase action
+// (normalization passes, tgd firings, egd merges, failures). Nil removes
+// a previously installed hook. The hook is invoked synchronously from
+// the chase; when an Exchange is shared across goroutines the hook must
+// be safe for concurrent use.
+func WithTrace(fn func(Event)) Option { return func(c *config) { c.trace = fn } }
+
+// WithParallelism sets the worker count used by the parallel paths
+// (RunAbstract's segment-level fan-out). 0 or negative selects
+// GOMAXPROCS.
+func WithParallelism(workers int) Option { return func(c *config) { c.parallelism = workers } }
+
+// chaseNorm translates the public strategy to the internal one.
+func (c config) chaseNorm() normalize.Strategy {
+	if c.norm == NormNaive {
+		return normalize.StrategyNaive
+	}
+	return normalize.StrategySmart
+}
+
+// chaseEgd translates the public strategy to the internal one.
+func (c config) chaseEgd() chase.EgdStrategy {
+	if c.egd == EgdStepwise {
+		return chase.EgdStepwise
+	}
+	return chase.EgdBatch
+}
+
+// chaseTrace adapts the public trace hook to the internal event type.
+func (c config) chaseTrace() func(chase.Event) {
+	if c.trace == nil {
+		return nil
+	}
+	fn := c.trace
+	return func(e chase.Event) {
+		fn(Event{Kind: e.Kind.String(), Dep: e.Dep, Detail: e.Detail})
+	}
+}
+
+// apply returns c with the given options applied on top.
+func (c config) apply(opts []Option) config {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

@@ -1,0 +1,144 @@
+package tdx
+
+import (
+	"repro/internal/chase"
+	"repro/internal/coreof"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/jsonio"
+	"repro/internal/parser"
+	"repro/internal/render"
+)
+
+// Time is a time point of the discrete timeline.
+type Time = interval.Time
+
+// Infinity is the open upper end point of unbounded intervals.
+const Infinity = interval.Infinity
+
+// ParseTime parses a time point ("2013", "inf", ...).
+func ParseTime(s string) (Time, error) { return interval.ParseTime(s) }
+
+// Snapshot is one abstract snapshot db_t of an instance: the plain
+// relational database holding at a single time point, with
+// interval-annotated nulls projected to per-snapshot labeled nulls
+// (paper §2, §4.1).
+type Snapshot = instance.Snapshot
+
+// Stats reports what a chase run did: normalization passes, tgd
+// homomorphisms and firings, nulls invented, egd rounds/merges, and rows
+// touched by incremental rewrites.
+type Stats = chase.Stats
+
+// Instance is a concrete temporal database instance: a finite set of
+// interval-timestamped facts. Instances are produced by
+// Exchange.ParseSource, ParseInstance, and the exchange pipeline itself;
+// they render as fact lines (Facts) or per-relation tables (Table) and
+// support the semantic operations of the paper — snapshots, coalescing,
+// and temporal difference.
+//
+// An Instance is not safe for concurrent mutation, and the engine builds
+// lazy per-relation indexes during matching: do not share one Instance
+// between concurrent Run calls — parse (or Clone) one per goroutine. The
+// compiled Exchange, by contrast, is freely shareable.
+type Instance struct {
+	c *instance.Concrete
+}
+
+// NewInstance wraps an existing concrete instance for use with the tdx
+// API. This is the bridge for module-internal callers (generators,
+// experiment harnesses) that construct instances programmatically.
+func NewInstance(c *instance.Concrete) *Instance { return &Instance{c: c} }
+
+// ParseInstance parses a TDX facts file into a schemaless instance — for
+// tooling over bare fact files (e.g. temporal diffing); use
+// Exchange.ParseSource to validate against a mapping's source schema.
+func ParseInstance(facts string) (*Instance, error) {
+	c, err := parser.ParseFacts(facts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: c}, nil
+}
+
+// Concrete exposes the underlying representation for module-internal
+// tooling (verification, core computation, experiment harnesses).
+func (i *Instance) Concrete() *instance.Concrete { return i.c }
+
+// Len returns the number of facts.
+func (i *Instance) Len() int { return i.c.Len() }
+
+// Facts renders the instance in the TDX fact-line format, which parses
+// back via ParseInstance / Exchange.ParseSource.
+func (i *Instance) Facts() string { return parser.FormatFacts(i.c) }
+
+// Table renders the instance as per-relation tables, one row per fact.
+func (i *Instance) Table() string { return render.Instance(i.c) }
+
+// String renders the facts one per line, deterministically sorted.
+func (i *Instance) String() string { return i.c.String() }
+
+// IsCoalesced reports whether facts with identical data values have
+// pairwise disjoint, non-adjacent intervals (paper §2).
+func (i *Instance) IsCoalesced() bool { return i.c.IsCoalesced() }
+
+// IsComplete reports whether the instance is null-free.
+func (i *Instance) IsComplete() bool { return i.c.IsComplete() }
+
+// Coalesce returns the canonical coalesced equivalent: intervals of
+// facts sharing data values merged into maximal disjoint intervals.
+func (i *Instance) Coalesce() *Instance { return &Instance{c: i.c.Coalesce()} }
+
+// Clone returns an independent copy; clones may be mutated (and chased)
+// independently.
+func (i *Instance) Clone() *Instance { return &Instance{c: i.c.Clone()} }
+
+// Equal reports whether both instances contain exactly the same facts.
+func (i *Instance) Equal(other *Instance) bool { return i.c.Equal(other.c) }
+
+// Diff returns the semantic temporal difference i minus other: the facts
+// (fragments) holding in i but not in other, per time point.
+func (i *Instance) Diff(other *Instance) *Instance {
+	return &Instance{c: instance.Diff(i.c, other.c)}
+}
+
+// Snapshot materializes the abstract snapshot db_at = ⟦i⟧(at).
+func (i *Instance) Snapshot(at Time) *Snapshot { return i.c.Snapshot(at) }
+
+// JSON encodes the instance in the TDX JSON format.
+func (i *Instance) JSON() ([]byte, error) { return jsonio.Encode(i.c) }
+
+// DecodeJSON decodes an instance from the TDX JSON format (the inverse
+// of Instance.JSON).
+func DecodeJSON(data []byte) (*Instance, error) {
+	c, err := jsonio.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: c}, nil
+}
+
+// Solution is the outcome of a successful exchange: the materialized
+// concrete solution Jc (whose semantics ⟦Jc⟧ is a universal solution for
+// the source, Theorem 19) together with the run's statistics. It embeds
+// Instance, so all rendering, coalescing, snapshot, and diff operations
+// apply directly.
+type Solution struct {
+	Instance
+	stats Stats
+}
+
+// Stats reports what the chase did.
+func (s *Solution) Stats() Stats { return s.stats }
+
+// Coalesce returns the solution in canonical coalesced form, keeping the
+// statistics.
+func (s *Solution) Coalesce() *Solution {
+	return &Solution{Instance: *s.Instance.Coalesce(), stats: s.stats}
+}
+
+// Core shrinks the solution to its snapshot-wise core — the smallest
+// homomorphically equivalent solution (§7 extension).
+func (s *Solution) Core() *Solution {
+	return &Solution{Instance: Instance{c: coreof.Of(s.c)}, stats: s.stats}
+}

@@ -1,0 +1,416 @@
+// Package tdx is the public engine API for temporal data exchange
+// (Golshanara & Chomicki, SIGMOD 2016): translating data valid over time
+// intervals from a source schema to a target schema under s-t tgds and
+// egds, with incomplete information represented by interval-annotated
+// nulls, and answering queries over the target with certain-answer
+// semantics.
+//
+// The mapping is the fixed artifact; source instances are the variable
+// input. Compile parses, validates, and compiles a mapping once into a
+// reusable *Exchange — schemas, dependency plans, and a shared value
+// interner — and every run executes against it:
+//
+//	ex, err := tdx.Compile(mappingText)
+//	src, err := ex.ParseSource(factsText)
+//	sol, err := ex.Run(ctx, src)          // c-chase: a universal solution
+//	ans, err := ex.Query(ctx, sol, "q")   // certain answers
+//	db  := sol.Snapshot(2013)             // the abstract view at a point
+//
+// An Exchange is immutable after Compile and safe for concurrent use:
+// one compiled mapping serves any number of goroutines, each running its
+// own source instances (an Instance itself must not be shared between
+// concurrent runs). Behavior is configured with functional options at
+// Compile time and overridable per call — WithNorm, WithEgdStrategy,
+// WithCoalesce, WithTrace, WithParallelism.
+//
+// All executing methods take a context.Context, checked throughout the
+// chase loops (normalization passes, tgd rounds, egd iterations): a
+// canceled or deadline-expired context stops the run promptly with an
+// error wrapping the context's error, and never mutates the caller's
+// source instance.
+//
+// Mappings whose tgd heads carry modal markers (past / future / always
+// past / always future — the paper's §7 extension) compile and run
+// transparently: Run dispatches to the temporal chase.
+//
+// The pipeline follows the paper: normalization (§4.2) fragments facts so
+// intervals behave as constants, the concrete chase (§4.3) materializes a
+// concrete solution Jc whose semantics ⟦Jc⟧ is a universal solution
+// (Theorem 19), and naïve evaluation on Jc yields certain answers
+// (Corollary 22). Run fails with an error wrapping ErrNoSolution when the
+// setting admits no solution.
+package tdx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+	"repro/internal/value"
+)
+
+// ErrNoSolution is wrapped by every Run (and Answer) failure caused by an
+// egd equating two distinct constants: the setting admits no solution.
+var ErrNoSolution = chase.ErrNoSolution
+
+// ErrNoWitness is wrapped by temporal-mapping runs whose modal operators
+// admit no witness interval (e.g. "sometime in the past" at time 0).
+var ErrNoWitness = temporal.ErrNoWitness
+
+// Exchange is a compiled schema mapping: the one supported way to drive
+// the engine. It bundles the validated mapping, the pre-compiled
+// dependency plans, the declared queries, and a shared value interner, so
+// the per-mapping work is paid once at Compile and amortized over every
+// Run. Exchanges are immutable and safe for concurrent use.
+type Exchange struct {
+	cfg     config
+	cm      *chase.Compiled    // plain mappings
+	tm      *temporal.Mapping  // §7 modal mappings (nil otherwise)
+	tcm     *temporal.Compiled // compiled form of tm (nil for plain mappings)
+	source  *schema.Schema
+	target  *schema.Schema
+	queries []query.UCQ
+	byName  map[string]query.UCQ
+	// in is the exchange-wide interner: every run's target instances
+	// intern into it (it is thread-safe), so values recurring across runs
+	// — the mapping-domain constants, shared dimension values — are
+	// interned once instead of once per run. It accumulates every
+	// distinct value the runs ever intern and has no eviction, so an
+	// Exchange serving unbounded distinct inputs grows with them (see
+	// ROADMAP: per-exchange interner eviction for server deployments).
+	in *value.Interner
+	// normBodies are the concrete tgd bodies the source is normalized
+	// against (derived from tm for temporal mappings).
+	normBodies []logic.Conjunction
+}
+
+// Compile parses, validates, and compiles a TDX mapping file into a
+// reusable Exchange. The text may declare queries ("query q(n) :- ...");
+// they become addressable by name in Query and Answer. Options set the
+// exchange-wide defaults.
+func Compile(mapping string, opts ...Option) (*Exchange, error) {
+	f, err := parser.ParseMapping(mapping)
+	if err != nil {
+		return nil, err
+	}
+	if f.Temporal != nil {
+		return fromTemporal(f.Temporal, f.Queries, opts)
+	}
+	return fromMapping(f.Mapping, f.Queries, opts)
+}
+
+// MustCompile is Compile but panics on error, for tests, examples, and
+// mappings embedded as source constants.
+func MustCompile(mapping string, opts ...Option) *Exchange {
+	ex, err := Compile(mapping, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return ex
+}
+
+// FromMapping compiles a programmatically built mapping — the bridge for
+// module-internal callers (workload generators, experiment harnesses)
+// that do not go through the text format.
+func FromMapping(m *dependency.Mapping, opts ...Option) (*Exchange, error) {
+	return fromMapping(m, nil, opts)
+}
+
+// FromTemporalMapping is FromMapping for §7 modal mappings.
+func FromTemporalMapping(m *temporal.Mapping, opts ...Option) (*Exchange, error) {
+	return fromTemporal(m, nil, opts)
+}
+
+func fromMapping(m *dependency.Mapping, queries []query.UCQ, opts []Option) (*Exchange, error) {
+	if m == nil {
+		return nil, fmt.Errorf("tdx: nil mapping")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cm, err := chase.CompileMapping(m)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exchange{
+		cfg:        config{}.apply(opts),
+		cm:         cm,
+		source:     m.Source,
+		target:     m.Target,
+		in:         value.NewInterner(),
+		normBodies: cm.TGDBodies(),
+	}
+	return ex.withQueries(queries)
+}
+
+func fromTemporal(m *temporal.Mapping, queries []query.UCQ, opts []Option) (*Exchange, error) {
+	if m == nil {
+		return nil, fmt.Errorf("tdx: nil mapping")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	tcm, err := temporal.CompileMapping(m)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exchange{
+		cfg:        config{}.apply(opts),
+		tm:         m,
+		tcm:        tcm,
+		source:     m.Source,
+		target:     m.Target,
+		in:         value.NewInterner(),
+		normBodies: tcm.Bodies(),
+	}
+	return ex.withQueries(queries)
+}
+
+// withQueries validates and indexes the declared queries.
+func (ex *Exchange) withQueries(queries []query.UCQ) (*Exchange, error) {
+	ex.queries = queries
+	ex.byName = make(map[string]query.UCQ, len(queries))
+	for _, u := range queries {
+		if err := u.Validate(ex.target); err != nil {
+			return nil, err
+		}
+		if _, dup := ex.byName[u.Name]; dup {
+			return nil, fmt.Errorf("tdx: duplicate query name %q", u.Name)
+		}
+		ex.byName[u.Name] = u
+	}
+	return ex, nil
+}
+
+// Info summarizes a compiled exchange, for validation surfaces.
+type Info struct {
+	SourceRelations int
+	TargetRelations int
+	TGDs            int
+	EGDs            int
+	Queries         int
+	Temporal        bool // the mapping uses §7 modal operators
+}
+
+// Info returns the exchange's shape.
+func (ex *Exchange) Info() Info {
+	info := Info{
+		SourceRelations: ex.source.Len(),
+		TargetRelations: ex.target.Len(),
+		Queries:         len(ex.queries),
+	}
+	if ex.tm != nil {
+		info.Temporal = true
+		info.TGDs, info.EGDs = len(ex.tm.TGDs), len(ex.tm.EGDs)
+	} else {
+		m := ex.cm.Mapping()
+		info.TGDs, info.EGDs = len(m.TGDs), len(m.EGDs)
+	}
+	return info
+}
+
+// Queries returns the names of the queries declared in the mapping file,
+// in declaration order.
+func (ex *Exchange) Queries() []string {
+	out := make([]string, len(ex.queries))
+	for i, u := range ex.queries {
+		out[i] = u.Name
+	}
+	return out
+}
+
+// Mapping exposes the underlying plain mapping for module-internal
+// tooling (nil for temporal mappings).
+func (ex *Exchange) Mapping() *dependency.Mapping {
+	if ex.cm == nil {
+		return nil
+	}
+	return ex.cm.Mapping()
+}
+
+// Temporal exposes the underlying §7 modal mapping for module-internal
+// tooling (nil for plain mappings).
+func (ex *Exchange) Temporal() *temporal.Mapping { return ex.tm }
+
+// ParseSource parses a TDX facts file into a source instance validated
+// against the mapping's source schema. Each concurrent Run should get
+// its own parsed (or Cloned) instance.
+func (ex *Exchange) ParseSource(facts string) (*Instance, error) {
+	c, err := parser.ParseFacts(facts, ex.source)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: c}, nil
+}
+
+// chaseOptions builds one run's chase options: fresh per run (the null
+// generator must be private), sharing the exchange-wide interner.
+func (ex *Exchange) chaseOptions(ctx context.Context, cfg config) *chase.Options {
+	return &chase.Options{
+		Norm:     cfg.chaseNorm(),
+		Egd:      cfg.chaseEgd(),
+		Trace:    cfg.chaseTrace(),
+		Interner: ex.in,
+		Ctx:      ctx,
+	}
+}
+
+// ctxOrBackground tolerates a nil context.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// Run materializes a concrete universal solution for the source instance
+// with the c-chase (§4.3) — or the temporal chase for §7 modal mappings.
+// src is never mutated. The error wraps ErrNoSolution when the setting
+// admits no solution, and ctx's error when the run is canceled or its
+// deadline expires. Options override the exchange defaults for this run
+// only.
+func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*Solution, error) {
+	ctx = ctxOrBackground(ctx)
+	cfg := ex.cfg.apply(opts)
+	copts := ex.chaseOptions(ctx, cfg)
+	var (
+		jc    *instance.Concrete
+		stats chase.Stats
+		err   error
+	)
+	if ex.tm != nil {
+		jc, stats, err = temporal.ChaseCompiled(src.c, ex.tcm, copts)
+	} else {
+		jc, stats, err = chase.ConcreteCompiled(src.c, ex.cm, copts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.coalesce {
+		jc = jc.Coalesce()
+	}
+	return &Solution{Instance: Instance{c: jc}, stats: stats}, nil
+}
+
+// RunAbstract runs the abstract chase on ⟦src⟧ segment-wise (§3) — the
+// semantic reference the c-chase is proven equivalent to (Corollary 20),
+// exposed for verification and experiments. Segments are chased on a
+// worker pool sized by WithParallelism. Not available for temporal
+// mappings.
+func (ex *Exchange) RunAbstract(ctx context.Context, src *Instance, opts ...Option) (*instance.Abstract, Stats, error) {
+	ctx = ctxOrBackground(ctx)
+	cfg := ex.cfg.apply(opts)
+	if ex.tm != nil {
+		return nil, Stats{}, fmt.Errorf("tdx: the abstract chase is not defined for temporal (§7) mappings")
+	}
+	return chase.AbstractParallelCompiled(src.c.Abstract(), ex.cm, ex.chaseOptions(ctx, cfg), cfg.parallelism)
+}
+
+// Normalize returns the source normalized w.r.t. the mapping's tgd
+// bodies (paper §4.2) under the configured strategy — exposed for
+// inspection; Run performs it internally.
+func (ex *Exchange) Normalize(ctx context.Context, src *Instance, opts ...Option) (*Instance, error) {
+	ctx = ctxOrBackground(ctx)
+	cfg := ex.cfg.apply(opts)
+	c, err := normalize.ForMappingCtx(ctx, src.c, ex.normBodies, cfg.chaseNorm())
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: c}, nil
+}
+
+// Query computes the certain answers of q over an already materialized
+// solution by naïve evaluation (§5; sound by Corollary 22 when sol came
+// from Run). q is either the name of a query declared in the mapping
+// file, an inline query in rule syntax ("query q(n) :- Emp(n, c, s)"),
+// or empty when the mapping declares exactly one query.
+func (ex *Exchange) Query(ctx context.Context, sol *Solution, q string) (*Instance, error) {
+	u, err := ex.lookupQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return ex.queryResolved(ctx, sol, u)
+}
+
+// queryResolved evaluates an already-resolved query on a solution.
+func (ex *Exchange) queryResolved(ctx context.Context, sol *Solution, u query.UCQ) (*Instance, error) {
+	ans, err := query.NaiveEvalCtx(ctxOrBackground(ctx), u, sol.c)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: ans}, nil
+}
+
+// Answer computes the certain answers of q for a source instance end to
+// end (Corollary 22): it runs the exchange, then evaluates. Use Run once
+// and Query many times when one solution serves several queries.
+func (ex *Exchange) Answer(ctx context.Context, src *Instance, q string, opts ...Option) (*Instance, error) {
+	ctx = ctxOrBackground(ctx)
+	// Resolve the query first: a bad query name should not cost a chase.
+	u, err := ex.lookupQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := ex.Run(ctx, src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ex.queryResolved(ctx, sol, u)
+}
+
+// Snapshot materializes the solution's abstract snapshot db_at — the
+// plain relational database holding at time point at, with
+// interval-annotated nulls projected to per-snapshot labeled nulls.
+func (ex *Exchange) Snapshot(ctx context.Context, sol *Solution, at Time) (*Snapshot, error) {
+	ctx = ctxOrBackground(ctx)
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("tdx: %w", ctx.Err())
+	default:
+	}
+	return sol.c.Snapshot(at), nil
+}
+
+// lookupQuery resolves a query argument: declared name, inline rule
+// text, or "" for the single declared query.
+func (ex *Exchange) lookupQuery(q string) (query.UCQ, error) {
+	q = strings.TrimSpace(q)
+	if q == "" {
+		switch len(ex.queries) {
+		case 1:
+			return ex.queries[0], nil
+		case 0:
+			return query.UCQ{}, errors.New("tdx: the mapping declares no queries; pass an inline query")
+		default:
+			return query.UCQ{}, fmt.Errorf("tdx: the mapping declares %d queries; pass a name or an inline query", len(ex.queries))
+		}
+	}
+	if u, ok := ex.byName[q]; ok {
+		return u, nil
+	}
+	if strings.Contains(q, ":-") {
+		cq, err := parser.ParseQueryLine(q)
+		if err != nil {
+			return query.UCQ{}, err
+		}
+		u, err := query.NewUCQ(cq.Name, cq)
+		if err != nil {
+			return query.UCQ{}, err
+		}
+		if err := u.Validate(ex.target); err != nil {
+			return query.UCQ{}, err
+		}
+		return u, nil
+	}
+	return query.UCQ{}, fmt.Errorf("tdx: no query named %q in the mapping (declared: %s)", q, strings.Join(ex.Queries(), ", "))
+}
