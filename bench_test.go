@@ -349,6 +349,27 @@ func BenchmarkTemporalChase(b *testing.B) {
 	}
 }
 
+// BenchmarkCChaseParallel measures the partitioned parallel concrete
+// chase on the heaviest scenario (taxi-150) across worker counts.
+// workers=1 is the sequential baseline; output is byte-identical at
+// every count, so the sub-benchmarks differ only in wall time. On a
+// single-CPU host the worker counts collapse to the same core and the
+// comparison only shows the fan-out overhead.
+func BenchmarkCChaseParallel(b *testing.B) {
+	tm := workload.TaxiMapping()
+	ic := workload.Taxi(workload.TaxiConfig{Seed: 7, Drivers: 150, Cabs: 60, Span: 100})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.Concrete(ic, tm, &chase.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAbstractChaseParallel(b *testing.B) {
 	m := paperex.EmploymentMapping()
 	ic := employment(150)

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-coalesce] [-table] [-stats] [-trace] [-json] [-timeout 30s]
+//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-parallel N] [-coalesce] [-table] [-stats] [-trace] [-json] [-timeout 30s]
 //	tdx normalize -m mapping.tdx -d source.facts [-norm smart|naive] [-table]
 //	tdx query     -m mapping.tdx -d source.facts [-q 'query q(n) :- Emp(n, c, s)' | -name q] [-table]
 //	tdx snapshot  -m mapping.tdx -d source.facts -at 2013 [-target]
@@ -96,12 +96,13 @@ run 'tdx <command> -h' for flags
 
 // commonFlags bundles the flags shared by most subcommands.
 type commonFlags struct {
-	mapping string
-	data    string
-	norm    string
-	egd     string
-	table   bool
-	timeout time.Duration
+	mapping  string
+	data     string
+	norm     string
+	egd      string
+	parallel int
+	table    bool
+	timeout  time.Duration
 }
 
 func (c *commonFlags) register(fs *flag.FlagSet) {
@@ -109,6 +110,7 @@ func (c *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.data, "d", "", "source facts file")
 	fs.StringVar(&c.norm, "norm", "smart", "normalization strategy: smart (Algorithm 1) or naive")
 	fs.StringVar(&c.egd, "egd", "batch", "egd application strategy: batch or stepwise")
+	fs.IntVar(&c.parallel, "parallel", 0, "chase worker count; 0 uses all CPUs, 1 forces the sequential path")
 	fs.BoolVar(&c.table, "table", false, "render output as per-relation tables instead of fact lines")
 	fs.DurationVar(&c.timeout, "timeout", 0, "bound the run (e.g. 30s); 0 means no limit")
 }
@@ -123,7 +125,7 @@ func (c *commonFlags) options() ([]tdx.Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []tdx.Option{tdx.WithNorm(norm), tdx.WithEgdStrategy(egd)}, nil
+	return []tdx.Option{tdx.WithNorm(norm), tdx.WithEgdStrategy(egd), tdx.WithParallelism(c.parallel)}, nil
 }
 
 // context bounds ctx by the -timeout flag.

@@ -73,9 +73,22 @@ type Options struct {
 	// the value domain across runs. AbstractParallel ignores the override:
 	// its workers always intern into private shards (see AbstractParallel).
 	Interner *value.Interner
+	// Workers sets the worker count for the partitioned parallel concrete
+	// tgd phase: the homomorphism enumeration over the (frozen) normalized
+	// source is split into contiguous shards, one per worker, with
+	// per-worker private target stores merged in worker-rank order — the
+	// result is byte-identical to the sequential chase. 0 or 1 runs
+	// sequentially (the internal default; the tdx facade maps
+	// WithParallelism onto this field, resolving 0 to GOMAXPROCS there).
+	// Inputs below an internal cutoff, and the egd phase, always run
+	// sequentially.
+	Workers int
 	// Trace, when set, receives one Event per chase action (normalization
 	// passes, tgd firings, egd merges, failures). For debugging and the
-	// CLI's -trace flag; adds no cost when nil.
+	// CLI's -trace flag; adds no cost when nil. Event order and count are
+	// deterministic at any Workers setting, but the parallel tgd phase
+	// abbreviates the detail text of tgd-fire events (it fires from
+	// recorded rows, not bindings).
 	Trace func(Event)
 	// Ctx, when set, is checked throughout the chase loops — normalization
 	// passes, tgd firing rounds, egd match enumeration and rewrite rounds —
@@ -131,6 +144,15 @@ func (o *Options) withInterner(in *value.Interner) *Options {
 	return &c
 }
 
+// workers returns the configured tgd-phase worker count; anything below
+// 2 means sequential.
+func (o *Options) workers() int {
+	if o == nil || o.Workers < 2 {
+		return 1
+	}
+	return o.Workers
+}
+
 // tracing reports whether a trace hook is installed, so hot loops can
 // skip argument evaluation for emit entirely.
 func (o *Options) tracing() bool { return o != nil && o.Trace != nil }
@@ -172,6 +194,7 @@ type Stats struct {
 	EgdMerges             int // value identifications applied
 	NormalizeRuns         int // normalization passes over the target
 	RowsRewritten         int // rows touched by incremental egd rewrites
+	TGDWorkers            int // workers the tgd phase used (1 = sequential)
 }
 
 // valueUF is an integer union-find over interned value IDs with constant

@@ -24,13 +24,15 @@ type Compiled struct {
 }
 
 // compiledTGD caches one tgd's derived forms: the concrete body/head for
-// the c-chase and the existential variable list (shared with the
-// snapshot chase, whose plain body/head live on d).
+// the c-chase, the existential variable list (shared with the snapshot
+// chase, whose plain body/head live on d), and the universal head
+// variables the parallel chase records per match.
 type compiledTGD struct {
-	d     dependency.TGD
-	body  logic.Conjunction // ConcreteBody()
-	head  logic.Conjunction // ConcreteHead()
-	exist []string
+	d        dependency.TGD
+	body     logic.Conjunction // ConcreteBody()
+	head     logic.Conjunction // ConcreteHead()
+	exist    []string
+	headVars []string // universal data variables of the head, in first-occurrence order
 }
 
 // compiledEGD caches one egd's concrete body; the plain body for the
@@ -60,7 +62,17 @@ func CompileMapping(m *dependency.Mapping) (*Compiled, error) {
 			head:  d.ConcreteHead(),
 			exist: d.Existentials(),
 		}
-		cm.tgdBodies[i] = cm.tgds[i].body
+		ct := &cm.tgds[i]
+		isExist := make(map[string]bool, len(ct.exist))
+		for _, y := range ct.exist {
+			isExist[y] = true
+		}
+		for _, v := range ct.head.Vars() {
+			if v != dependency.TemporalVar && !isExist[v] {
+				ct.headVars = append(ct.headVars, v)
+			}
+		}
+		cm.tgdBodies[i] = ct.body
 	}
 	for i, d := range m.EGDs {
 		body := d.ConcreteBody()

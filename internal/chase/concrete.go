@@ -1,11 +1,13 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dependency"
 	"repro/internal/fact"
 	"repro/internal/instance"
+	"repro/internal/interval"
 	"repro/internal/logic"
 	"repro/internal/normalize"
 	"repro/internal/value"
@@ -69,54 +71,12 @@ func ConcreteCompiled(ic *instance.Concrete, cm *Compiled, opts *Options) (*inst
 	// Step 2: s-t tgd steps. Bodies read only the source, so a single
 	// deterministic pass over all homomorphisms reaches the tgd fixpoint.
 	// The target shares the normalized source's interner (unless Options
-	// overrides it), so every instance of this run is ID-compatible.
+	// overrides it), so every instance of this run is ID-compatible. With
+	// Options.Workers ≥ 2 the pass runs partitioned over a frozen source
+	// (see cparallel.go), byte-identical to the sequential pass.
 	tgt := instance.NewConcreteWith(cm.m.Target, opts.interner(src.Interner()))
-	for _, d := range cm.tgds {
-		if err := ctxErr(ctx); err != nil {
-			return nil, stats, err
-		}
-		ms := logic.FindAll(src.Store(), d.body, nil)
-		stats.TGDHoms += len(ms)
-		for hi, h := range ms {
-			if hi&ctxCheckMask == 0 {
-				if err := ctxErr(ctx); err != nil {
-					return nil, stats, err
-				}
-			}
-			if logic.Exists(tgt.Store(), d.head, h.Binding) {
-				continue // extension h' to φ+ ∧ ψ+ already exists
-			}
-			tv, ok := h.Binding[dependency.TemporalVar]
-			if !ok || !tv.IsInterval() {
-				return nil, stats, fmt.Errorf("chase: tgd %s: temporal variable unbound", d.d.Name)
-			}
-			t, _ := tv.Interval()
-			stats.TGDFires++
-			opts.emit(EventTGDFire, d.d.Name, "fired at %v with %v", t, h.Binding)
-			ext := h.Binding.Clone()
-			for _, y := range d.exist {
-				ext[y] = gen.FreshAnn(t)
-				stats.NullsCreated++
-			}
-			for _, atom := range d.head {
-				n := len(atom.Terms) - 1 // last term is the temporal variable
-				args := make([]value.Value, n)
-				for i := 0; i < n; i++ {
-					v, ok := ext.Apply(atom.Terms[i])
-					if !ok {
-						return nil, stats, fmt.Errorf("chase: tgd %s: unbound head variable %v", d.d.Name, atom.Terms[i])
-					}
-					args[i] = v
-				}
-				added, err := tgt.Insert(fact.NewC(atom.Rel, t, args...))
-				if err != nil {
-					return nil, stats, fmt.Errorf("chase: tgd %s: %w", d.d.Name, err)
-				}
-				if added {
-					stats.FactsCreated++
-				}
-			}
-		}
+	if err := tgdPhase(ctx, src, tgt, cm, gen, opts, &stats); err != nil {
+		return nil, stats, err
 	}
 
 	// Steps 3–4: egd phase with renormalization. tgt was built here, so
@@ -130,6 +90,75 @@ func ConcreteCompiled(ic *instance.Concrete, cm *Compiled, opts *Options) (*inst
 		tgt = tgt.Coalesce()
 	}
 	return tgt, stats, nil
+}
+
+// tgdPhaseSeq is the sequential s-t tgd pass: one deterministic sweep
+// over all homomorphisms of every tgd body, firing each new extension
+// into tgt. It is the semantic reference the parallel pass reproduces
+// byte for byte.
+func tgdPhaseSeq(ctx context.Context, src, tgt *instance.Concrete, cm *Compiled, gen *value.NullGen, opts *Options, stats *Stats) error {
+	for di := range cm.tgds {
+		d := &cm.tgds[di]
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		ms := logic.FindAll(src.Store(), d.body, nil)
+		stats.TGDHoms += len(ms)
+		for hi, h := range ms {
+			if hi&ctxCheckMask == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+			}
+			if logic.Exists(tgt.Store(), d.head, h.Binding) {
+				continue // extension h' to φ+ ∧ ψ+ already exists
+			}
+			tv, ok := h.Binding[dependency.TemporalVar]
+			if !ok || !tv.IsInterval() {
+				return fmt.Errorf("chase: tgd %s: temporal variable unbound", d.d.Name)
+			}
+			t, _ := tv.Interval()
+			if err := fireTGD(tgt, d, h.Binding, t, gen, opts, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fireTGD applies one tgd chase step: extends bind with a fresh
+// interval-annotated null per existential variable and inserts every head
+// atom's instantiation at interval t. bind must bind every universal head
+// variable (the caller has already ruled the extension out of tgt); it is
+// cloned, not mutated. Shared by the sequential pass and the parallel
+// merge so both fire identically.
+func fireTGD(tgt *instance.Concrete, d *compiledTGD, bind logic.Binding, t interval.Interval, gen *value.NullGen, opts *Options, stats *Stats) error {
+	stats.TGDFires++
+	opts.emit(EventTGDFire, d.d.Name, "fired at %v with %v", t, bind)
+	ext := bind.Clone()
+	for _, y := range d.exist {
+		ext[y] = gen.FreshAnn(t)
+		stats.NullsCreated++
+	}
+	for _, atom := range d.head {
+		n := len(atom.Terms) - 1 // last term is the temporal variable
+		args := make([]value.Value, n)
+		for i := 0; i < n; i++ {
+			v, ok := ext.Apply(atom.Terms[i])
+			if !ok {
+				return fmt.Errorf("chase: tgd %s: unbound head variable %v", d.d.Name, atom.Terms[i])
+			}
+			args[i] = v
+		}
+		added, err := tgt.Insert(fact.NewC(atom.Rel, t, args...))
+		if err != nil {
+			return fmt.Errorf("chase: tgd %s: %w", d.d.Name, err)
+		}
+		if added {
+			stats.FactsCreated++
+		}
+	}
+	return nil
 }
 
 // concreteEgds normalizes the target and applies egd c-chase steps until

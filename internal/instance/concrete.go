@@ -53,19 +53,42 @@ func (c *Concrete) Interner() *value.Interner { return c.st.Interner() }
 // Callers must not mutate it directly.
 func (c *Concrete) Store() *storage.Store { return c.st }
 
+// Freeze publishes the instance for concurrent reads: every lazy storage
+// structure reads consult (posting lists, decoded tuples) is built
+// eagerly and the underlying store flips to immutable — any number of
+// goroutines may then match, snapshot, render, or clone the instance
+// concurrently. Writes to a frozen instance panic. Idempotent; Clone
+// returns a mutable copy.
+func (c *Concrete) Freeze() { c.st.Freeze() }
+
+// Frozen reports whether the instance has been frozen.
+func (c *Concrete) Frozen() bool { return c.st.Frozen() }
+
+// CheckRel validates a relation name and data arity against the
+// instance's schema; a nil schema accepts everything. Insert applies it
+// per fact; the chase's parallel merge path (which inserts interned rows
+// directly) shares it so both paths report identical errors.
+func (c *Concrete) CheckRel(rel string, arity int) error {
+	if c.sch == nil {
+		return nil
+	}
+	r, ok := c.sch.Relation(rel)
+	if !ok {
+		return fmt.Errorf("instance: unknown relation %s", rel)
+	}
+	if arity != r.Arity() {
+		return fmt.Errorf("instance: %s expects %d data attributes, got %d", rel, r.Arity(), arity)
+	}
+	return nil
+}
+
 // Insert validates and adds a fact, reporting whether it was new.
 func (c *Concrete) Insert(f fact.CFact) (bool, error) {
 	if err := f.Validate(); err != nil {
 		return false, err
 	}
-	if c.sch != nil {
-		r, ok := c.sch.Relation(f.Rel)
-		if !ok {
-			return false, fmt.Errorf("instance: unknown relation %s", f.Rel)
-		}
-		if len(f.Args) != r.Arity() {
-			return false, fmt.Errorf("instance: %s expects %d data attributes, got %d", f.Rel, r.Arity(), len(f.Args))
-		}
+	if err := c.CheckRel(f.Rel, len(f.Args)); err != nil {
+		return false, err
 	}
 	return c.st.Insert(f.Rel, ToTuple(f)), nil
 }

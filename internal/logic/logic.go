@@ -232,26 +232,35 @@ type planTerm struct {
 // (safe per atom: the search uses each atom at one depth at a time).
 // epoch is the relation's mutation epoch at compile time: the column
 // snapshots are valid only while it holds, and the search revalidates it
-// after every match callback (the only point user code runs).
+// after every match callback (the only point user code runs). frozen
+// relations cannot mutate at all, so their atoms skip revalidation —
+// that, plus every buffer being plan-local, is what lets any number of
+// goroutines run plans over one frozen store concurrently.
 type planAtom struct {
-	rel   *storage.Rel
-	block storage.Block
-	cols  [][]value.ID
-	terms []planTerm
-	order []int
-	dense bool
-	epoch uint64
-	buf   []int
+	rel    *storage.Rel
+	block  storage.Block
+	cols   [][]value.ID
+	terms  []planTerm
+	order  []int
+	dense  bool
+	frozen bool
+	epoch  uint64
+	buf    []int
 }
 
 // plan is a conjunction compiled against a store: atoms over variable
-// slots and literal IDs, plus the initial slot bindings.
+// slots and literal IDs, plus the initial slot bindings. part/parts
+// restrict the enumeration to one contiguous shard of the outermost
+// atom's candidate range (see ForEachIDsPart); 0/1 means the whole range.
 type plan struct {
-	atoms  []planAtom
-	names  []string   // slot → variable name
-	init   []value.ID // initial binding per slot; NoID when unbound
-	extras Binding    // initial bindings for variables not in the conjunction
-	empty  bool       // no homomorphism can exist (missing relation or never-interned value)
+	atoms   []planAtom
+	names   []string   // slot → variable name
+	init    []value.ID // initial binding per slot; NoID when unbound
+	extras  Binding    // initial bindings for variables not in the conjunction
+	empty   bool       // no homomorphism can exist (missing relation or never-interned value)
+	mutable bool       // some atom's relation is not frozen: revalidate epochs
+	part    int
+	parts   int
 }
 
 // compile builds the ID plan for conj over st. Literals and initial
@@ -275,7 +284,10 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 			p.empty = true
 			return p
 		}
-		pa := planAtom{rel: rel, block: block, cols: block.Cols(), terms: make([]planTerm, len(a.Terms)), dense: block.Dense(), epoch: rel.Epoch()}
+		pa := planAtom{rel: rel, block: block, cols: block.Cols(), terms: make([]planTerm, len(a.Terms)), dense: block.Dense(), frozen: rel.Frozen(), epoch: rel.Epoch()}
+		if !pa.frozen {
+			p.mutable = true
+		}
 		for j, t := range a.Terms {
 			if t.IsVar {
 				s, ok := slotOf[t.Name]
@@ -334,10 +346,18 @@ func compile(st *storage.Store, conj Conjunction, initial Binding) plan {
 // been mutated since compile time: the plan's column snapshots (and the
 // posting lists feeding it) would silently describe a stale store. It is
 // called after every match callback — the only point during enumeration
-// where caller code runs.
+// where caller code runs. Frozen relations cannot be mutated, so their
+// atoms are exempt (and a fully frozen plan skips the pass entirely —
+// reading another goroutine's epoch would be both racy and pointless).
 func (p *plan) revalidate() {
+	if !p.mutable {
+		return
+	}
 	for i := range p.atoms {
 		pa := &p.atoms[i]
+		if pa.frozen {
+			continue
+		}
 		if e := pa.rel.Epoch(); e != pa.epoch {
 			panic(fmt.Sprintf(
 				"logic: relation %q mutated during plan enumeration (epoch %d -> %d): a store must not be written while a compiled plan runs over it; collect matches first, or write to a different store",
@@ -451,8 +471,18 @@ func run(p plan, fn func(*IDMatch) bool) {
 		if scan {
 			limit = pa.block.Len()
 		}
+		// A sharded plan restricts the outermost atom's candidate range to
+		// its contiguous [lo, hi) slice; every deeper level runs the full
+		// range. Shard boundaries depend only on the store and the shard
+		// arithmetic, so concatenating shards 0..parts-1 reproduces the
+		// unsharded enumeration exactly, in order.
+		lo, hi := 0, limit
+		if p.parts > 1 && depth == 0 {
+			lo = limit * p.part / p.parts
+			hi = limit * (p.part + 1) / p.parts
+		}
 	rowLoop:
-		for k := 0; k < limit; k++ {
+		for k := lo; k < hi; k++ {
 			var row, off int
 			switch {
 			case scan && pa.dense:
@@ -521,14 +551,36 @@ func run(p plan, fn func(*IDMatch) bool) {
 // fn is transient. Initial bindings for variables outside the conjunction
 // are not visible through the IDMatch (use ForEach for those).
 func ForEachIDs(st *storage.Store, conj Conjunction, initial Binding, fn func(*IDMatch) bool) {
+	ForEachIDsPart(st, conj, initial, 0, 1, fn)
+}
+
+// ForEachIDsPart is ForEachIDs restricted to the part-th of parts
+// contiguous shards of the enumeration: the candidate range of the
+// outermost (first-chosen) atom is split into parts contiguous
+// sub-ranges, and only homomorphisms rooted in sub-range part are
+// enumerated. Concatenating the matches of shards 0, 1, ..., parts-1
+// yields exactly the ForEachIDs enumeration in order — the property the
+// parallel concrete chase relies on for deterministic, byte-identical
+// merges. Shards share no mutable state, so any number of them may run
+// concurrently against a frozen store. part/parts outside 0 ≤ part <
+// parts enumerate nothing.
+func ForEachIDsPart(st *storage.Store, conj Conjunction, initial Binding, part, parts int, fn func(*IDMatch) bool) {
+	if part < 0 || parts < 1 || part >= parts {
+		return
+	}
 	if len(conj) == 0 {
-		fn(&IDMatch{})
+		// The empty conjunction has exactly one (empty) homomorphism; it
+		// belongs to the first shard.
+		if part == 0 {
+			fn(&IDMatch{})
+		}
 		return
 	}
 	p := compile(st, conj, initial)
 	if p.empty {
 		return
 	}
+	p.part, p.parts = part, parts
 	run(p, fn)
 }
 

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/value"
+)
+
+// freezeStore builds a small mixed store for the freeze tests.
+func freezeStore() *Store {
+	st := NewStore()
+	for i := 0; i < 64; i++ {
+		iv := interval.MustNew(interval.Time(i%10), interval.Time(i%10+3))
+		st.Insert("R", []value.Value{
+			value.NewConst(string(rune('a' + i%7))),
+			value.NewAnnNull(uint64(i%5+1), iv),
+			value.NewInterval(iv),
+		})
+		st.Insert("S", []value.Value{value.NewConst(string(rune('a' + i%3)))})
+	}
+	return st
+}
+
+// expectFrozenPanic runs fn and asserts it panics with the frozen-store
+// message.
+func expectFrozenPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s on a frozen store did not panic", what)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "frozen") {
+			t.Fatalf("%s panic message %v does not mention the freeze", what, r)
+		}
+	}()
+	fn()
+}
+
+func TestFreezeMakesWritesPanic(t *testing.T) {
+	st := freezeStore()
+	st.Freeze()
+	if !st.Frozen() || !st.Rel("R").Frozen() {
+		t.Fatal("store not marked frozen")
+	}
+	tup := []value.Value{value.NewConst("zz"), value.NewConst("zz"), value.NewInterval(interval.MustNew(0, 1))}
+	expectFrozenPanic(t, "Insert", func() { st.Insert("R", tup) })
+	expectFrozenPanic(t, "Insert into a new relation", func() { st.Insert("Fresh", tup) })
+	expectFrozenPanic(t, "InsertIDs", func() { st.InsertIDs("R", []value.ID{0, 1, 2}) })
+	expectFrozenPanic(t, "SubstituteIDs", func() {
+		st.SubstituteIDs([]value.ID{0}, func(id value.ID) value.ID { return id })
+	})
+}
+
+func TestFreezeIsIdempotentAndKeepsEpoch(t *testing.T) {
+	st := freezeStore()
+	r := st.Rel("R")
+	epoch := r.Epoch()
+	st.Freeze()
+	st.Freeze()
+	// Reads must not move the epoch or mutate anything observable.
+	r.EachLive(func(row int) bool {
+		_ = r.Tuple(row)
+		_ = r.Row(row)
+		return true
+	})
+	if !st.Contains("R", r.Tuple(0)) {
+		t.Fatal("frozen store lost a tuple")
+	}
+	_ = r.CandidatesID(0, 0)
+	_ = r.Candidates(1, value.NewConst("nope"))
+	r.EnsureIndex(99) // past every arity: must be a no-op on a frozen rel
+	if r.HasIndex(99) {
+		t.Fatal("EnsureIndex built an index on a frozen relation")
+	}
+	if got := r.Epoch(); got != epoch {
+		t.Fatalf("epoch moved %d -> %d under frozen reads", epoch, got)
+	}
+}
+
+// TestFreezeConcurrentReaders hammers one frozen store from 16
+// goroutines through every read path; run under -race this proves the
+// frozen read paths are mutation-free. The epoch is asserted unchanged.
+func TestFreezeConcurrentReaders(t *testing.T) {
+	st := freezeStore()
+	st.Freeze()
+	r := st.Rel("R")
+	epoch := r.Epoch()
+	want := st.String()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 0
+				r.EachLive(func(row int) bool {
+					tup := r.Tuple(row)
+					if !st.Contains("R", tup) {
+						t.Error("frozen Contains lost a stored tuple")
+						return false
+					}
+					n++
+					return true
+				})
+				if n != r.Len() {
+					t.Errorf("EachLive visited %d rows, want %d", n, r.Len())
+				}
+				for pos := 0; pos < 3; pos++ {
+					for id := value.ID(0); id < 8; id++ {
+						_ = r.CandidatesID(pos, id)
+					}
+				}
+				st.EachRow(func(rel string, ids []value.ID) bool { return true })
+				if got := st.String(); got != want {
+					t.Error("concurrent String render diverged")
+				}
+				cl := st.Clone()
+				if cl.Frozen() {
+					t.Error("clone of a frozen store is frozen")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Epoch(); got != epoch {
+		t.Fatalf("epoch moved %d -> %d under 16 concurrent readers", epoch, got)
+	}
+}
+
+func TestCloneOfFrozenIsMutable(t *testing.T) {
+	st := freezeStore()
+	st.Freeze()
+	before := st.Size()
+	cl := st.Clone()
+	if !cl.Insert("R", []value.Value{value.NewConst("new"), value.NewConst("new"), value.NewInterval(interval.MustNew(0, 1))}) {
+		t.Fatal("insert into the clone failed")
+	}
+	cl.SubstituteIDs([]value.ID{0}, func(id value.ID) value.ID { return id })
+	if st.Size() != before {
+		t.Fatal("mutating the clone changed the frozen original")
+	}
+}

@@ -33,6 +33,19 @@
 // compiled plans revalidate after each match callback — a violation
 // panics loudly instead of silently reading stale columns.
 //
+// Concurrency contract: a store is mutable-until-frozen. While mutable it
+// is single-goroutine (inserts, substitutions, and the lazy caches behind
+// Tuple/Contains/CandidatesID all write unsynchronized state). Freeze
+// eagerly builds every lazy structure reads consult — posting-list
+// indexes on every position, decoded tuples — and then flips the
+// store into an immutable published state: every read path is
+// mutation-free afterwards, so any number of goroutines may probe one
+// frozen store concurrently (the homomorphism engine additionally skips
+// epoch revalidation over frozen relations, letting one compiled plan
+// shape execute from many goroutines). Writing to a frozen store panics
+// loudly, mirroring the epoch-revalidation contract; Clone returns a
+// mutable copy when a derived store must be rewritten.
+//
 // The store is deliberately representation-agnostic: a tuple is a slice
 // of values, and both views use it — the concrete view stores a fact
 // R+(a, [s,e)) as the tuple ⟨a..., [s,e)⟩ whose last component is an
@@ -83,6 +96,8 @@ type Rel struct {
 	rev map[value.ID][]int         // ID → rows containing it (lazy; may hold stale entries)
 
 	scratch []value.ID // reusable insert/lookup buffer
+
+	frozen bool // immutable and shareable; see Freeze
 }
 
 func newRel(name string, in *value.Interner) *Rel {
@@ -109,6 +124,50 @@ func (r *Rel) NumRows() int { return len(r.loc) }
 // caches (posting-list indexes, the reverse ID index, decoded tuples)
 // does not change what a plan would read, so those do not bump the epoch.
 func (r *Rel) Epoch() uint64 { return r.epoch }
+
+// Freeze eagerly builds every lazy structure a read path can consult —
+// the posting-list index on every column position and the decoded form
+// of every row — and then flips the relation into an immutable state:
+// all read paths (Tuple, Contains, block access, posting lookups) are
+// mutation-free afterwards and safe for any number of concurrent
+// readers. The reverse ID index is exempt: it feeds only substitution,
+// which a frozen relation forbids, so building it would be dead weight.
+// Writes to a frozen relation panic loudly. Freeze is idempotent; it
+// must be called from the single goroutine that owns the still-mutable
+// relation.
+func (r *Rel) Freeze() {
+	if r.frozen {
+		return
+	}
+	maxArity := 0
+	for _, s := range r.segs {
+		if s.arity > maxArity {
+			maxArity = s.arity
+		}
+	}
+	for pos := 0; pos < maxArity; pos++ {
+		r.EnsureIndex(pos)
+	}
+	// Decode every row — dead ones included, so no read path is ever
+	// tempted to fill a cache entry after the freeze.
+	for row := range r.loc {
+		if r.tuples[row] == nil {
+			r.scratch = r.appendRowIDs(r.scratch[:0], row)
+			r.tuples[row] = r.in.ResolveAll(make([]value.Value, 0, len(r.scratch)), r.scratch)
+		}
+	}
+	r.frozen = true
+}
+
+// Frozen reports whether the relation has been frozen.
+func (r *Rel) Frozen() bool { return r.frozen }
+
+// frozenPanic aborts a write to a frozen relation.
+func (r *Rel) frozenPanic() {
+	panic(fmt.Sprintf(
+		"storage: relation %q is frozen: a frozen store is immutable and may be shared by concurrent readers; Clone the store for a mutable copy",
+		r.name))
+}
 
 // Alive reports whether the row is live (not collapsed into a duplicate
 // by SubstituteIDs).
@@ -152,8 +211,10 @@ func (r *Rel) Row(i int) []value.ID {
 }
 
 // Tuple returns row i as values, resolving and caching it on first use
-// for rows inserted as raw IDs. The caller must not mutate it. Not safe
-// for concurrent use (the cache fill is unsynchronized).
+// for rows inserted as raw IDs. The caller must not mutate it. The cache
+// fill is unsynchronized, so a mutable relation is single-goroutine; a
+// frozen relation has every row pre-decoded and is safe for concurrent
+// Tuple calls.
 func (r *Rel) Tuple(i int) []value.Value {
 	if t := r.tuples[i]; t != nil {
 		return t
@@ -257,6 +318,9 @@ func (r *Rel) detachDedup(h uint64, row int) {
 // present. The ids are copied into the columns, so the caller may reuse
 // the slice; tup, when non-nil, is retained as the row's decoded form.
 func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
+	if r.frozen {
+		r.frozenPanic()
+	}
 	h := value.HashIDs(ids)
 	if r.lookupHash(h, ids) >= 0 {
 		return false
@@ -292,12 +356,26 @@ func (r *Rel) insertIDs(ids []value.ID, tup []value.Value) bool {
 // insert interns and adds the tuple unless an identical one is present.
 // It reports whether the tuple was added, maintaining any built indexes.
 func (r *Rel) insert(tup []value.Value) bool {
+	if r.frozen {
+		r.frozenPanic()
+	}
 	r.scratch = r.in.InternAll(r.scratch[:0], tup)
 	return r.insertIDs(r.scratch, tup)
 }
 
-// Contains reports whether an identical tuple is stored.
+// Contains reports whether an identical tuple is stored. Safe for
+// concurrent use on a frozen relation.
 func (r *Rel) Contains(tup []value.Value) bool {
+	if r.frozen {
+		// Frozen relations serve concurrent readers: a stack buffer
+		// instead of the shared scratch field.
+		var buf [12]value.ID
+		ids, ok := r.in.LookupAll(buf[:0], tup)
+		if !ok {
+			return false
+		}
+		return r.lookupRow(ids) >= 0
+	}
 	ids, ok := r.in.LookupAll(r.scratch[:0], tup)
 	r.scratch = ids[:0]
 	if !ok {
@@ -317,13 +395,20 @@ func (r *Rel) EachLive(fn func(row int) bool) {
 }
 
 // EnsureIndex builds the posting-list index on position pos if not yet
-// present. Lists hold live rows in ascending order.
+// present. Lists hold live rows in ascending order. On a frozen relation
+// every position with rows is already indexed, so the call is a pure read.
 func (r *Rel) EnsureIndex(pos int) {
-	if r.idx == nil {
-		r.idx = make(map[int]map[value.ID][]int)
-	}
 	if _, ok := r.idx[pos]; ok {
 		return
+	}
+	if r.frozen {
+		// Freeze indexed every position up to the maximum arity; a missing
+		// position has no rows, so there is nothing to build (and building
+		// would mutate shared state).
+		return
+	}
+	if r.idx == nil {
+		r.idx = make(map[int]map[value.ID][]int)
 	}
 	byID := make(map[value.ID][]int)
 	for row, l := range r.loc {
@@ -443,6 +528,9 @@ func (r *Rel) ensureRev() {
 // collapse into an existing row are invalidated. Returns the number of
 // rows actually rewritten.
 func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID) int {
+	if r.frozen {
+		r.frozenPanic()
+	}
 	if len(r.loc) == 0 {
 		return 0
 	}
@@ -608,8 +696,9 @@ func IntersectPostings(dst, a, b []int) []int {
 // chase's source and target, an instance and its rewrites) share one so
 // their rows are ID-compatible.
 type Store struct {
-	in   *value.Interner
-	rels map[string]*Rel
+	in     *value.Interner
+	rels   map[string]*Rel
+	frozen bool // immutable and shareable; see Freeze
 }
 
 // NewStore returns an empty store with a fresh interner.
@@ -646,9 +735,40 @@ func (s *Store) rel(name string) *Rel {
 	return r
 }
 
+// Freeze eagerly builds every lazy structure of every relation that
+// reads consult (posting lists, decoded tuples) and flips the store into
+// an immutable published state: all read paths are mutation-free
+// afterwards, so any number of goroutines may share the frozen store.
+// Writes (Insert, InsertIDs, SubstituteIDs) panic loudly. The interner
+// stays shared and thread-safe: interning new values does not touch
+// frozen relation state. Freeze is idempotent and must be called from
+// the goroutine that owns the still-mutable store; Clone returns a
+// mutable copy.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	for _, r := range s.rels {
+		r.Freeze()
+	}
+	s.frozen = true
+}
+
+// Frozen reports whether the store has been frozen.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// frozenPanic aborts a write to a frozen store.
+func (s *Store) frozenPanic(op string) {
+	panic(fmt.Sprintf(
+		"storage: %s on a frozen store: a frozen store is immutable and may be shared by concurrent readers; Clone it for a mutable copy", op))
+}
+
 // Insert adds a tuple to the named relation, creating the relation on
 // first use, and reports whether the tuple was new.
 func (s *Store) Insert(rel string, tup []value.Value) bool {
+	if s.frozen {
+		s.frozenPanic("Insert")
+	}
 	return s.rel(rel).insert(tup)
 }
 
@@ -658,6 +778,9 @@ func (s *Store) Insert(rel string, tup []value.Value) bool {
 // path: egd substitution maps rows ID-by-ID and reinserts them without
 // rendering a single value.
 func (s *Store) InsertIDs(rel string, ids []value.ID) bool {
+	if s.frozen {
+		s.frozenPanic("InsertIDs")
+	}
 	return s.rel(rel).insertIDs(ids, nil)
 }
 
@@ -669,6 +792,9 @@ func (s *Store) InsertIDs(rel string, ids []value.ID) bool {
 // rewritten. This is the incremental egd-rewrite primitive: one round's
 // substitution costs O(affected), not O(store).
 func (s *Store) SubstituteIDs(subs []value.ID, canon func(value.ID) value.ID) int {
+	if s.frozen {
+		s.frozenPanic("SubstituteIDs")
+	}
 	if len(subs) == 0 {
 		return 0
 	}
@@ -756,7 +882,9 @@ func (s *Store) EachRow(fn func(rel string, ids []value.ID) bool) {
 // Clone returns a deep copy of the relation structure sharing the
 // interner. Columns and the validity bitmap are copied (the clone can be
 // substituted independently); decoded tuples are shared (they are
-// immutable); indexes are rebuilt lazily.
+// immutable); indexes are rebuilt lazily. The clone is always mutable,
+// even when the receiver is frozen — Clone is how a frozen published
+// store spawns a rewritable descendant.
 func (s *Store) Clone() *Store {
 	out := NewStoreWith(s.interner())
 	for name, r := range s.rels {

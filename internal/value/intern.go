@@ -63,6 +63,39 @@ func NewInterner() *Interner {
 	}
 }
 
+// NewInternerFrom returns a new interner pre-seeded with every value
+// base has interned, issuing identical IDs for them; values interned
+// afterwards get fresh IDs independent of base. base is read-locked
+// during the copy and never mutated. This is the per-run interner
+// pattern: a long-lived exchange keeps a frozen compile-time interner
+// holding just its mapping domain and clones it per run, so per-run
+// values are released with the run instead of accumulating forever.
+func NewInternerFrom(base *Interner) *Interner {
+	base.mu.RLock()
+	defer base.mu.RUnlock()
+	in := &Interner{
+		consts: make(map[string]ID, len(base.consts)+16),
+		nulls:  make(map[nullKey]ID, len(base.nulls)+8),
+		anns:   make(map[annKey]ID, len(base.anns)+16),
+		ivs:    make(map[interval.Interval]ID, len(base.ivs)+16),
+		vals:   append(make([]Value, 0, len(base.vals)+32), base.vals...),
+		kinds:  append(make([]Kind, 0, len(base.kinds)+32), base.kinds...),
+	}
+	for k, v := range base.consts {
+		in.consts[k] = v
+	}
+	for k, v := range base.nulls {
+		in.nulls[k] = v
+	}
+	for k, v := range base.anns {
+		in.anns[k] = v
+	}
+	for k, v := range base.ivs {
+		in.ivs[k] = v
+	}
+	return in
+}
+
 // lookupLocked finds v's ID; the caller holds mu (read or write).
 func (in *Interner) lookupLocked(v Value) (ID, bool) {
 	switch v.K {

@@ -27,6 +27,47 @@ func randValue(r *rand.Rand) Value {
 	}
 }
 
+// TestNewInternerFrom asserts the seeding contract: the clone answers
+// identically for every seeded value, diverges independently afterwards,
+// and never writes back into its base.
+func TestNewInternerFrom(t *testing.T) {
+	base := NewInterner()
+	r := rand.New(rand.NewSource(7))
+	var seeded []Value
+	for i := 0; i < 500; i++ {
+		v := randValue(r)
+		base.Intern(v)
+		seeded = append(seeded, v)
+	}
+	baseLen := base.Len()
+	cl := NewInternerFrom(base)
+	if cl.Len() != baseLen {
+		t.Fatalf("clone has %d values, base %d", cl.Len(), baseLen)
+	}
+	for _, v := range seeded {
+		want, _ := base.Lookup(v)
+		got, ok := cl.Lookup(v)
+		if !ok || got != want {
+			t.Fatalf("clone lookup(%v) = %v/%v, base has %v", v, got, ok, want)
+		}
+		if cl.Resolve(got) != v {
+			t.Fatalf("clone resolve(%v) != %v", got, v)
+		}
+	}
+	// Divergence: new values in the clone do not leak into the base.
+	fresh := NewConst("only-in-clone-after-seeding")
+	if _, ok := base.Lookup(fresh); ok {
+		t.Fatal("test value already in base")
+	}
+	cl.Intern(fresh)
+	if _, ok := base.Lookup(fresh); ok {
+		t.Fatal("interning into the clone mutated the base")
+	}
+	if base.Len() != baseLen {
+		t.Fatalf("base grew %d -> %d", baseLen, base.Len())
+	}
+}
+
 func TestInternRoundTrip(t *testing.T) {
 	in := NewInterner()
 	r := rand.New(rand.NewSource(5))

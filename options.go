@@ -2,6 +2,7 @@ package tdx
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/chase"
 	"repro/internal/normalize"
@@ -94,6 +95,7 @@ type config struct {
 	coalesce    bool
 	trace       func(Event)
 	parallelism int
+	runInterner bool
 }
 
 // Option configures an Exchange at Compile time; the executing methods
@@ -117,13 +119,45 @@ func WithCoalesce(on bool) Option { return func(c *config) { c.coalesce = on } }
 // (normalization passes, tgd firings, egd merges, failures). Nil removes
 // a previously installed hook. The hook is invoked synchronously from
 // the chase; when an Exchange is shared across goroutines the hook must
-// be safe for concurrent use.
+// be safe for concurrent use. Event order and count are deterministic at
+// any worker setting, but the detail text of tgd-fire events is
+// abbreviated on the parallel path (solutions stay byte-identical; only
+// the debug trace wording differs) — pass WithParallelism(1) when
+// diffing traces across machines.
 func WithTrace(fn func(Event)) Option { return func(c *config) { c.trace = fn } }
 
-// WithParallelism sets the worker count used by the parallel paths
-// (RunAbstract's segment-level fan-out). 0 or negative selects
-// GOMAXPROCS.
+// WithParallelism sets the worker count used by the parallel paths: the
+// concrete chase behind Run and Answer (the s-t tgd phase partitions the
+// frozen normalized source across workers, byte-identical to the
+// sequential chase) and RunAbstract's segment-level fan-out. 0 or
+// negative selects GOMAXPROCS — the default, so Run is parallel out of
+// the box on multi-core hosts; pass 1 to force the sequential path.
+// Tiny inputs, the egd phase, and temporal (§7) mappings always run
+// sequentially.
 func WithParallelism(workers int) Option { return func(c *config) { c.parallelism = workers } }
+
+// WithRunInterner gives every Run (and Answer) its own value interner,
+// seeded from the exchange's frozen compile-time mapping-domain interner
+// instead of the shared exchange-wide one.
+//
+// The trade-off: the default shared interner amortizes interning of
+// values that recur across runs but never evicts, so a long-lived
+// exchange serving unbounded distinct inputs grows with every value it
+// has ever seen. With this option each run pays a small copy of the
+// mapping-domain seed and loses cross-run amortization, but everything a
+// run interns is released with its Solution — the right choice for
+// long-lived server exchanges over high-cardinality input streams. Keep
+// the default for repeated runs over a bounded value domain.
+func WithRunInterner() Option { return func(c *config) { c.runInterner = true } }
+
+// chaseWorkers resolves the configured parallelism to a concrete worker
+// count: 0 or negative means GOMAXPROCS.
+func (c config) chaseWorkers() int {
+	if c.parallelism > 0 {
+		return c.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // chaseNorm translates the public strategy to the internal one.
 func (c config) chaseNorm() normalize.Strategy {

@@ -37,13 +37,33 @@ type Stats = chase.Stats
 // support the semantic operations of the paper — snapshots, coalescing,
 // and temporal difference.
 //
-// An Instance is not safe for concurrent mutation, and the engine builds
-// lazy per-relation indexes during matching: do not share one Instance
-// between concurrent Run calls — parse (or Clone) one per goroutine. The
-// compiled Exchange, by contrast, is freely shareable.
+// An Instance is mutable-until-frozen. While mutable it is
+// single-goroutine: matching, rendering, and membership checks fill lazy
+// caches, so even read-only sharing races. Freeze (called automatically
+// by Exchange.Run on its source and its solution) builds every lazy
+// structure eagerly and flips the instance to immutable — a frozen
+// instance is safe for any number of concurrent readers and any number
+// of concurrent Runs, while writes to it panic. Clone returns a mutable
+// copy. The compiled Exchange is freely shareable in all states.
 type Instance struct {
 	c *instance.Concrete
 }
+
+// Freeze publishes the instance for concurrent use: every lazy structure
+// reads consult (posting-list indexes, decoded tuples) is built
+// eagerly and the instance becomes immutable — afterwards any number of
+// goroutines may run exchanges on it, query it, snapshot it, render it,
+// or clone it concurrently, and any write to it panics. Freeze is
+// idempotent and returns the same instance for chaining. Exchange.Run
+// freezes its source and its solution automatically; call Freeze
+// yourself to publish a parsed instance before fanning out.
+func (i *Instance) Freeze() *Instance {
+	i.c.Freeze()
+	return i
+}
+
+// Frozen reports whether the instance has been frozen.
+func (i *Instance) Frozen() bool { return i.c.Frozen() }
 
 // NewInstance wraps an existing concrete instance for use with the tdx
 // API. This is the bridge for module-internal callers (generators,
@@ -122,7 +142,9 @@ func DecodeJSON(data []byte) (*Instance, error) {
 // concrete solution Jc (whose semantics ⟦Jc⟧ is a universal solution for
 // the source, Theorem 19) together with the run's statistics. It embeds
 // Instance, so all rendering, coalescing, snapshot, and diff operations
-// apply directly.
+// apply directly. Solutions come back frozen from Run: all read
+// accessors (Facts, Table, JSON, Snapshot, Query, Diff, Stats) are safe
+// for any number of concurrent goroutines.
 type Solution struct {
 	Instance
 	stats Stats

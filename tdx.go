@@ -16,12 +16,22 @@
 //	ans, err := ex.Query(ctx, sol, "q")   // certain answers
 //	db  := sol.Snapshot(2013)             // the abstract view at a point
 //
-// An Exchange is immutable after Compile and safe for concurrent use:
-// one compiled mapping serves any number of goroutines, each running its
-// own source instances (an Instance itself must not be shared between
-// concurrent runs). Behavior is configured with functional options at
-// Compile time and overridable per call — WithNorm, WithEgdStrategy,
-// WithCoalesce, WithTrace, WithParallelism.
+// Concurrency contract. An Exchange is immutable after Compile and safe
+// for concurrent use: one compiled mapping serves any number of
+// goroutines. An Instance is mutable-until-frozen: while mutable it is
+// single-goroutine (even reads fill lazy caches); Instance.Freeze —
+// called automatically by Run on its source — builds every lazy
+// structure and flips it immutable, after which one instance may feed
+// any number of concurrent Runs and concurrent reads, and writes to it
+// panic. Solutions come back frozen, so Query, Snapshot, Answer, and
+// every rendering accessor are safe from many goroutines against one
+// Solution. The chase itself is parallel by default: WithParallelism
+// sizes the worker pool that partitions the concrete chase's tgd phase
+// (byte-identical to the sequential chase at any worker count), as well
+// as RunAbstract's segment fan-out. Behavior is configured with
+// functional options at Compile time and overridable per call —
+// WithNorm, WithEgdStrategy, WithCoalesce, WithTrace, WithParallelism,
+// WithRunInterner.
 //
 // All executing methods take a context.Context, checked throughout the
 // chase loops (normalization passes, tgd rounds, egd iterations): a
@@ -81,13 +91,19 @@ type Exchange struct {
 	target  *schema.Schema
 	queries []query.UCQ
 	byName  map[string]query.UCQ
-	// in is the exchange-wide interner: every run's target instances
-	// intern into it (it is thread-safe), so values recurring across runs
-	// — the mapping-domain constants, shared dimension values — are
-	// interned once instead of once per run. It accumulates every
+	// base is the frozen compile-time interner: it holds exactly the
+	// mapping-domain values (dependency and query literals), is never
+	// interned into after Compile, and seeds per-run interners when
+	// WithRunInterner is set.
+	base *value.Interner
+	// in is the exchange-wide interner: by default every run's target
+	// instances intern into it (it is thread-safe), so values recurring
+	// across runs — the mapping-domain constants, shared dimension values
+	// — are interned once instead of once per run. It accumulates every
 	// distinct value the runs ever intern and has no eviction, so an
-	// Exchange serving unbounded distinct inputs grows with them (see
-	// ROADMAP: per-exchange interner eviction for server deployments).
+	// Exchange serving unbounded distinct inputs grows with them; the
+	// WithRunInterner option trades the amortization for bounded growth
+	// by giving each run a fresh clone of base instead.
 	in *value.Interner
 	// normBodies are the concrete tgd bodies the source is normalized
 	// against (derived from tm for temporal mappings).
@@ -147,7 +163,6 @@ func fromMapping(m *dependency.Mapping, queries []query.UCQ, opts []Option) (*Ex
 		cm:         cm,
 		source:     m.Source,
 		target:     m.Target,
-		in:         value.NewInterner(),
 		normBodies: cm.TGDBodies(),
 	}
 	return ex.withQueries(queries)
@@ -170,13 +185,14 @@ func fromTemporal(m *temporal.Mapping, queries []query.UCQ, opts []Option) (*Exc
 		tcm:        tcm,
 		source:     m.Source,
 		target:     m.Target,
-		in:         value.NewInterner(),
 		normBodies: tcm.Bodies(),
 	}
 	return ex.withQueries(queries)
 }
 
-// withQueries validates and indexes the declared queries.
+// withQueries validates and indexes the declared queries, then seeds the
+// exchange's interners (queries contribute literals to the mapping
+// domain, so seeding runs after they are known).
 func (ex *Exchange) withQueries(queries []query.UCQ) (*Exchange, error) {
 	ex.queries = queries
 	ex.byName = make(map[string]query.UCQ, len(queries))
@@ -189,7 +205,51 @@ func (ex *Exchange) withQueries(queries []query.UCQ) (*Exchange, error) {
 		}
 		ex.byName[u.Name] = u
 	}
+	ex.base = value.NewInterner()
+	ex.seedDomain(ex.base)
+	ex.in = value.NewInternerFrom(ex.base)
 	return ex, nil
+}
+
+// seedDomain interns every literal of the mapping's dependencies and
+// declared queries — the value domain every run re-encounters — into in.
+// This is what makes the frozen base interner a useful per-run seed.
+func (ex *Exchange) seedDomain(in *value.Interner) {
+	conj := func(c logic.Conjunction) {
+		for _, a := range c {
+			for _, t := range a.Terms {
+				if !t.IsVar {
+					in.Intern(t.Val)
+				}
+			}
+		}
+	}
+	if ex.cm != nil {
+		m := ex.cm.Mapping()
+		for _, d := range m.TGDs {
+			conj(d.Body)
+			conj(d.Head)
+		}
+		for _, d := range m.EGDs {
+			conj(d.Body)
+		}
+	}
+	if ex.tm != nil {
+		for _, d := range ex.tm.TGDs {
+			conj(d.Body)
+			for _, ha := range d.Head {
+				conj(logic.Conjunction{ha.Atom})
+			}
+		}
+		for _, d := range ex.tm.EGDs {
+			conj(d.Body)
+		}
+	}
+	for _, u := range ex.queries {
+		for _, q := range u.Disjuncts {
+			conj(q.Body)
+		}
+	}
 }
 
 // Info summarizes a compiled exchange, for validation surfaces.
@@ -243,8 +303,10 @@ func (ex *Exchange) Mapping() *dependency.Mapping {
 func (ex *Exchange) Temporal() *temporal.Mapping { return ex.tm }
 
 // ParseSource parses a TDX facts file into a source instance validated
-// against the mapping's source schema. Each concurrent Run should get
-// its own parsed (or Cloned) instance.
+// against the mapping's source schema. The instance is mutable (extend
+// it with Concrete().Insert before running); Run freezes it, after
+// which one instance may feed any number of concurrent Runs — no
+// per-goroutine copies needed.
 func (ex *Exchange) ParseSource(facts string) (*Instance, error) {
 	c, err := parser.ParseFacts(facts, ex.source)
 	if err != nil {
@@ -254,13 +316,20 @@ func (ex *Exchange) ParseSource(facts string) (*Instance, error) {
 }
 
 // chaseOptions builds one run's chase options: fresh per run (the null
-// generator must be private), sharing the exchange-wide interner.
+// generator must be private), sharing the exchange-wide interner — or a
+// per-run clone of the frozen compile-time interner under
+// WithRunInterner.
 func (ex *Exchange) chaseOptions(ctx context.Context, cfg config) *chase.Options {
+	in := ex.in
+	if cfg.runInterner {
+		in = value.NewInternerFrom(ex.base)
+	}
 	return &chase.Options{
 		Norm:     cfg.chaseNorm(),
 		Egd:      cfg.chaseEgd(),
 		Trace:    cfg.chaseTrace(),
-		Interner: ex.in,
+		Interner: in,
+		Workers:  cfg.chaseWorkers(),
 		Ctx:      ctx,
 	}
 }
@@ -275,13 +344,22 @@ func ctxOrBackground(ctx context.Context) context.Context {
 
 // Run materializes a concrete universal solution for the source instance
 // with the c-chase (§4.3) — or the temporal chase for §7 modal mappings.
-// src is never mutated. The error wraps ErrNoSolution when the setting
-// admits no solution, and ctx's error when the run is canceled or its
-// deadline expires. Options override the exchange defaults for this run
-// only.
+// The chase is parallel by default (see WithParallelism) and
+// byte-identical to the sequential chase at any worker count. The error
+// wraps ErrNoSolution when the setting admits no solution, and ctx's
+// error when the run is canceled or its deadline expires. Options
+// override the exchange defaults for this run only.
+//
+// Run freezes src on entry (Run never writes to it; freezing makes that
+// contract structural): afterwards src is immutable — writes to it panic
+// — and may be shared by any number of concurrent Runs, which is how a
+// server shares one parsed source across requests. The returned Solution
+// is frozen too, so Facts, Table, JSON, Snapshot, Query, and Diff on it
+// are safe from any number of goroutines.
 func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*Solution, error) {
 	ctx = ctxOrBackground(ctx)
 	cfg := ex.cfg.apply(opts)
+	src.Freeze()
 	copts := ex.chaseOptions(ctx, cfg)
 	var (
 		jc    *instance.Concrete
@@ -299,6 +377,7 @@ func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*So
 	if cfg.coalesce {
 		jc = jc.Coalesce()
 	}
+	jc.Freeze() // publish: Solution reads are concurrently safe
 	return &Solution{Instance: Instance{c: jc}, stats: stats}, nil
 }
 
