@@ -25,6 +25,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -136,6 +138,23 @@ func (c *commonFlags) context(ctx context.Context) (context.Context, context.Can
 	return context.WithCancel(ctx)
 }
 
+// finishErr rewrites a run's context errors into actionable CLI
+// messages: a deadline produced by -timeout names the flag and the
+// budget (main prints the message and exits non-zero), and Ctrl-C reads
+// as an interrupt rather than a bare "context canceled". The original
+// error stays wrapped, so errors.Is checks keep working.
+func (c *commonFlags) finishErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded) && c.timeout > 0:
+		return fmt.Errorf("run exceeded the -timeout budget of %v: %w", c.timeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("run interrupted: %w", err)
+	}
+	return err
+}
+
 // compile compiles the mapping file into an exchange.
 func (c *commonFlags) compile(opts ...tdx.Option) (*tdx.Exchange, error) {
 	if c.mapping == "" {
@@ -213,7 +232,7 @@ func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 	defer cancel()
 	sol, err := ex.Run(ctx, src)
 	if err != nil {
-		return err
+		return cf.finishErr(err)
 	}
 	if *asJSON {
 		data, err := sol.JSON()
@@ -225,7 +244,17 @@ func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 		printInstance(w, &sol.Instance, cf.table)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%+v\n", sol.Stats())
+		if *asJSON {
+			// Share one stats encoding with tdxd run responses: the
+			// lowerCamel JSON form of chase.Stats.
+			data, err := json.Marshal(sol.Stats())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, string(data))
+		} else {
+			fmt.Fprintf(os.Stderr, "%+v\n", sol.Stats())
+		}
 	}
 	return nil
 }
@@ -249,7 +278,7 @@ func cmdCore(ctx context.Context, args []string, w io.Writer) error {
 	defer cancel()
 	sol, err := ex.Run(ctx, src)
 	if err != nil {
-		return err
+		return cf.finishErr(err)
 	}
 	printInstance(w, &sol.Core().Instance, cf.table)
 	return nil
@@ -274,7 +303,7 @@ func cmdNormalize(ctx context.Context, args []string, w io.Writer) error {
 	defer cancel()
 	normed, err := ex.Normalize(ctx, src)
 	if err != nil {
-		return err
+		return cf.finishErr(err)
 	}
 	printInstance(w, normed, cf.table)
 	return nil
@@ -306,7 +335,7 @@ func cmdQuery(ctx context.Context, args []string, w io.Writer) error {
 	defer cancel()
 	ans, err := ex.Answer(ctx, src, q)
 	if err != nil {
-		return err
+		return cf.finishErr(err)
 	}
 	printInstance(w, ans, cf.table)
 	return nil
@@ -342,11 +371,11 @@ func cmdSnapshot(ctx context.Context, args []string, w io.Writer) error {
 	if *target {
 		sol, err := ex.Run(ctx, src)
 		if err != nil {
-			return err
+			return cf.finishErr(err)
 		}
 		snap, err = ex.Snapshot(ctx, sol, tp)
 		if err != nil {
-			return err
+			return cf.finishErr(err)
 		}
 	} else {
 		snap = src.Snapshot(tp)

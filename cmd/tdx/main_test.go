@@ -1,13 +1,28 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain doubles the test binary as the tdx CLI when TDX_TEST_MAIN is
+// set: the exec-level tests re-run themselves with the variable set to
+// observe real exit codes and stderr — main() itself, not the run()
+// seam.
+func TestMain(m *testing.M) {
+	if os.Getenv("TDX_TEST_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
 
 func testdata(name string) string {
 	return filepath.Join("..", "..", "testdata", name)
@@ -219,5 +234,102 @@ func TestQueryFlagPrecedence(t *testing.T) {
 		"-q", `query who(n) :- Emp(n, "IBM", s)`, "-name", "q"}, &b)
 	if err != nil || !strings.Contains(b.String(), "who(Ada)") || strings.Contains(b.String(), "q(Ada") {
 		t.Fatalf("precedence: %v\n%s", err, b.String())
+	}
+}
+
+// TestTimeoutExitCode is the CLI-level contract for an exhausted
+// -timeout: the process exits non-zero (1, not a panic or a flag-error
+// 2) and stderr names the -timeout flag and its budget — re-exec'ing the
+// test binary as the real CLI (see TestMain).
+func TestTimeoutExitCode(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "chase",
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-timeout", "1ns")
+	cmd.Env = append(os.Environ(), "TDX_TEST_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("expected a non-zero exit, got err=%v stderr=%s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "-timeout") || !strings.Contains(msg, "1ns") {
+		t.Fatalf("stderr does not name the -timeout budget: %q", msg)
+	}
+	if !strings.Contains(msg, "deadline") {
+		t.Fatalf("stderr does not surface the underlying context error: %q", msg)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("a failed run wrote to stdout: %q", stdout.String())
+	}
+
+	// Control: the same invocation with a generous budget exits zero.
+	ok := exec.Command(exe, "chase",
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-timeout", "1m")
+	ok.Env = append(os.Environ(), "TDX_TEST_MAIN=1")
+	var okOut bytes.Buffer
+	ok.Stdout = &okOut
+	if err := ok.Run(); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	if !strings.Contains(okOut.String(), "Emp(") {
+		t.Fatalf("generous budget output: %q", okOut.String())
+	}
+}
+
+// TestDeadlineErrorMessage covers the in-process seam too: run()'s error
+// wraps context.DeadlineExceeded (so main exits 1) and reads like a
+// -timeout diagnosis, not a bare context error.
+func TestDeadlineErrorMessage(t *testing.T) {
+	var b strings.Builder
+	err := run(context.Background(), "chase", []string{
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-timeout", "1ns"}, &b)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "-timeout") {
+		t.Fatalf("error does not name -timeout: %v", err)
+	}
+}
+
+// TestChaseJSONStats: -json -stats shares the lowerCamel chase.Stats
+// encoding with tdxd run responses (stderr carries the stats document).
+func TestChaseJSONStats(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "chase",
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"),
+		"-json", "-stats")
+	cmd.Env = append(os.Environ(), "TDX_TEST_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("chase -json -stats: %v\n%s", err, stderr.String())
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(stderr.Bytes(), &stats); err != nil {
+		t.Fatalf("stderr is not one JSON stats document: %v\n%q", err, stderr.String())
+	}
+	for _, key := range []string{"normalizedSourceFacts", "tgdFires", "egdMerges", "tgdWorkers"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %s", key, stderr.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), `"rel": "Emp"`) {
+		t.Fatalf("stdout is not the solution JSON: %q", stdout.String())
 	}
 }

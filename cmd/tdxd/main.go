@@ -1,0 +1,104 @@
+// Command tdxd is the temporal data exchange daemon: an HTTP server
+// holding a registry of compiled exchanges (mapping-hash keyed,
+// LRU-bounded, singleflight-deduplicated compilation) and running data
+// exchange against them with request-scoped sources. The mapping is
+// compiled once and amortized over every request; each run is bounded by
+// a per-request deadline and uses a per-run value interner, so a
+// long-lived daemon's memory tracks the registered mappings, not the
+// request traffic.
+//
+// Usage:
+//
+//	tdxd [-addr :8080] [-max-mappings 64] [-max-timeout 60s] [-parallel 0]
+//
+// Endpoints (see package repro/internal/server and the README for the
+// full API):
+//
+//	POST /v1/mappings                  register (compile) a mapping → hash
+//	GET  /v1/mappings                  list registered mappings
+//	POST /v1/exchanges/{hash}/run      chase the body source → solution + stats
+//	POST /v1/exchanges/{hash}/answer   certain answers (?query=)
+//	POST /v1/exchanges/{hash}/snapshot abstract snapshot (?at=)
+//	GET  /healthz                      liveness + registry counters
+//
+// Shutdown is graceful: on SIGTERM or SIGINT the listener closes, then
+// in-flight runs get a drain window to finish; runs still going when it
+// lapses are canceled through the engine's context plumbing, so the
+// process exits promptly with no goroutine left chasing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxMappings := flag.Int("max-mappings", server.DefaultCapacity, "registry capacity: compiled exchanges kept resident (LRU eviction beyond it)")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "per-request run budget cap (and default when a request names none)")
+	parallel := flag.Int("parallel", 0, "default chase worker count per run; 0 uses all CPUs")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxMappings: *maxMappings,
+		MaxTimeout:  *maxTimeout,
+		Parallelism: *parallel,
+	})
+
+	// baseCtx underlies every request context: canceling it aborts
+	// in-flight chases through the engine's context plumbing — the
+	// hard-stop half of graceful shutdown.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tdxd listening on %s (registry capacity %d, max timeout %v)", *addr, *maxMappings, *maxTimeout)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal (port in use, ...).
+		log.Fatalf("tdxd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("tdxd: shutting down (draining up to %v)", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		// The drain window lapsed with runs still in flight: cancel them
+		// through their contexts and close the remaining connections.
+		log.Printf("tdxd: drain window lapsed, canceling in-flight runs: %v", err)
+		baseCancel()
+		if err := hs.Close(); err != nil {
+			log.Printf("tdxd: close: %v", err)
+		}
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tdxd: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "tdxd: bye")
+}

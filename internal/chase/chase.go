@@ -183,18 +183,21 @@ func ctxErr(ctx context.Context) error {
 // in the microseconds while adding nothing measurable to the loops.
 const ctxCheckMask = 63
 
-// Stats reports what a chase run did, for the experiment harness.
+// Stats reports what a chase run did, for the experiment harness. The
+// JSON encoding uses stable lowerCamel field names — it is the wire form
+// shared by tdxd run responses and the CLI's -json -stats output, so the
+// names are a compatibility surface: add fields freely, never rename.
 type Stats struct {
-	NormalizedSourceFacts int // source facts after normalization
-	TGDHoms               int // homomorphisms found for s-t tgd bodies
-	TGDFires              int // tgd chase steps that actually fired
-	FactsCreated          int // target facts added by tgd steps
-	NullsCreated          int // fresh interval-annotated nulls
-	EgdRounds             int // egd rounds (normalize + merge + rewrite)
-	EgdMerges             int // value identifications applied
-	NormalizeRuns         int // normalization passes over the target
-	RowsRewritten         int // rows touched by incremental egd rewrites
-	TGDWorkers            int // workers the tgd phase used (1 = sequential)
+	NormalizedSourceFacts int `json:"normalizedSourceFacts"` // source facts after normalization
+	TGDHoms               int `json:"tgdHoms"`               // homomorphisms found for s-t tgd bodies
+	TGDFires              int `json:"tgdFires"`              // tgd chase steps that actually fired
+	FactsCreated          int `json:"factsCreated"`          // target facts added by tgd steps
+	NullsCreated          int `json:"nullsCreated"`          // fresh interval-annotated nulls
+	EgdRounds             int `json:"egdRounds"`             // egd rounds (normalize + merge + rewrite)
+	EgdMerges             int `json:"egdMerges"`             // value identifications applied
+	NormalizeRuns         int `json:"normalizeRuns"`         // normalization passes over the target
+	RowsRewritten         int `json:"rowsRewritten"`         // rows touched by incremental egd rewrites
+	TGDWorkers            int `json:"tgdWorkers"`            // workers the tgd phase used (1 = sequential)
 }
 
 // valueUF is an integer union-find over interned value IDs with constant

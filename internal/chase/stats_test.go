@@ -1,0 +1,77 @@
+package chase
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestStatsJSONRoundTrip pins the Stats wire encoding: every exported
+// field carries a stable lowerCamel json tag, the tags are pairwise
+// distinct, and marshal→unmarshal reproduces the struct exactly. Filling
+// each field with a distinct value catches two fields accidentally
+// sharing a tag (the duplicate would survive marshaling but clobber on
+// unmarshal).
+func TestStatsJSONRoundTrip(t *testing.T) {
+	var s Stats
+	rv := reflect.ValueOf(&s).Elem()
+	rt := rv.Type()
+	tags := make(map[string]bool, rt.NumField())
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Fatalf("Stats.%s has no json tag; the wire encoding must name every field", f.Name)
+		}
+		name := strings.Split(tag, ",")[0]
+		if name == "" || !unicode.IsLower(rune(name[0])) {
+			t.Fatalf("Stats.%s json tag %q is not lowerCamel", f.Name, tag)
+		}
+		if tags[name] {
+			t.Fatalf("duplicate json tag %q", name)
+		}
+		tags[name] = true
+		if f.Type.Kind() != reflect.Int {
+			t.Fatalf("Stats.%s is %v; extend this test before adding non-int fields", f.Name, f.Type)
+		}
+		rv.Field(i).SetInt(int64(100 + i))
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range tags {
+		if !strings.Contains(string(data), `"`+name+`"`) {
+			t.Fatalf("encoded stats missing field %q:\n%s", name, data)
+		}
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed stats:\n%+v\nvs\n%+v", back, s)
+	}
+}
+
+// TestStatsJSONFieldNames pins the exact published names: renaming one is
+// a wire-compatibility break for tdxd clients, so it must be a conscious
+// test edit, not a refactor side effect.
+func TestStatsJSONFieldNames(t *testing.T) {
+	data, err := json.Marshal(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"normalizedSourceFacts", "tgdHoms", "tgdFires", "factsCreated",
+		"nullsCreated", "egdRounds", "egdMerges", "normalizeRuns",
+		"rowsRewritten", "tgdWorkers",
+	} {
+		if !strings.Contains(string(data), `"`+want+`"`) {
+			t.Fatalf("published field %q missing from encoding:\n%s", want, data)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package jsonio
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"repro/internal/fact"
 	"repro/internal/instance"
@@ -67,34 +68,193 @@ func Decode(data []byte) (*instance.Concrete, error) {
 	}
 	var sch *schema.Schema
 	if len(in.Schema) > 0 {
-		sch, _ = schema.New()
-		for _, r := range in.Schema {
-			rel, err := schema.NewRelation(r.Name, r.Attrs...)
-			if err != nil {
-				return nil, fmt.Errorf("jsonio: %w", err)
-			}
-			if err := sch.Add(rel); err != nil {
-				return nil, fmt.Errorf("jsonio: %w", err)
-			}
+		var err error
+		if sch, err = buildSchema(in.Schema); err != nil {
+			return nil, err
 		}
 	}
 	out := instance.NewConcrete(sch)
 	for i, fj := range in.Facts {
-		iv, err := interval.Parse(fj.Interval)
-		if err != nil {
-			return nil, fmt.Errorf("jsonio: fact %d: %w", i, err)
-		}
-		args := make([]value.Value, len(fj.Args))
-		for j, s := range fj.Args {
-			v, err := value.Parse(s)
-			if err != nil {
-				return nil, fmt.Errorf("jsonio: fact %d arg %d: %w", i, j, err)
-			}
-			args[j] = v
-		}
-		if _, err := out.Insert(fact.NewC(fj.Rel, iv, args...)); err != nil {
-			return nil, fmt.Errorf("jsonio: fact %d: %w", i, err)
+		if err := insertFact(out, i, fj); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// DecodeReader decodes an instance from a JSON stream without
+// materializing the document: the facts array is consumed one element at
+// a time with a streaming json.Decoder and inserted as it is read, so a
+// request body carrying millions of facts costs one fact of decode
+// buffer, not one document. This is the path tdxd feeds request bodies
+// through.
+//
+// When expect is non-nil the instance is built against it and every fact
+// validates on insert; a schema section in the document is then only
+// cross-checked (each declared relation must exist in expect with the
+// same arity). When expect is nil the document's schema section governs,
+// as in Decode — but it must precede the facts array in the stream
+// (Encode always writes it first); a schema arriving after facts have
+// begun is an error rather than a silent re-validation gap.
+func DecodeReader(r io.Reader, expect *schema.Schema) (*instance.Concrete, error) {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	var out *instance.Concrete
+	// ensure creates the instance lazily: under an expected schema it can
+	// exist before any key is seen; schemaless, creation waits for the
+	// facts key so a preceding schema section can govern.
+	ensure := func(sch *schema.Schema) *instance.Concrete {
+		if out == nil {
+			out = instance.NewConcrete(sch)
+		}
+		return out
+	}
+	if expect != nil {
+		ensure(expect)
+	}
+	factsSeen := false
+	schemaSeen := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("jsonio: %w", err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "schema":
+			// Duplicate sections are rejected rather than matched to
+			// encoding/json's silent last-wins: in a streaming decode the
+			// earlier section's facts are already inserted, so any merge
+			// semantics would silently diverge from Decode.
+			if schemaSeen {
+				return nil, fmt.Errorf("jsonio: duplicate schema section")
+			}
+			schemaSeen = true
+			var rels []relJSON
+			if err := dec.Decode(&rels); err != nil {
+				return nil, fmt.Errorf("jsonio: schema: %w", err)
+			}
+			if expect != nil {
+				if err := checkSchema(rels, expect); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if factsSeen {
+				return nil, fmt.Errorf("jsonio: schema section after facts in a streaming decode; write the schema first (Encode does)")
+			}
+			sch, err := buildSchema(rels)
+			if err != nil {
+				return nil, err
+			}
+			ensure(sch)
+		case "facts":
+			if factsSeen {
+				return nil, fmt.Errorf("jsonio: duplicate facts section")
+			}
+			factsSeen = true
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, err
+			}
+			inst := ensure(nil)
+			for i := 0; dec.More(); i++ {
+				var fj factJSON
+				if err := dec.Decode(&fj); err != nil {
+					return nil, fmt.Errorf("jsonio: fact %d: %w", i, err)
+				}
+				if err := insertFact(inst, i, fj); err != nil {
+					return nil, err
+				}
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown keys are skipped, mirroring encoding/json's
+			// tolerance in Decode.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("jsonio: %w", err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, err
+	}
+	// Reject trailing data, matching Decode (json.Unmarshal fails on it):
+	// a concatenated second document or garbage after the closing brace
+	// must error, not silently truncate the source to the first document.
+	if tok, err := dec.Token(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("jsonio: after document: %w", err)
+		}
+		return nil, fmt.Errorf("jsonio: trailing data after document (%v)", tok)
+	}
+	return ensure(nil), nil
+}
+
+// expectDelim consumes one token and requires it to be the delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("jsonio: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("jsonio: expected %q, found %v", want.String(), tok)
+	}
+	return nil
+}
+
+// buildSchema constructs a schema from its wire form.
+func buildSchema(rels []relJSON) (*schema.Schema, error) {
+	sch, _ := schema.New()
+	for _, r := range rels {
+		rel, err := schema.NewRelation(r.Name, r.Attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("jsonio: %w", err)
+		}
+		if err := sch.Add(rel); err != nil {
+			return nil, fmt.Errorf("jsonio: %w", err)
+		}
+	}
+	return sch, nil
+}
+
+// checkSchema cross-checks a document's schema section against the
+// expected schema: every declared relation must exist with the same
+// arity. (expect may declare more relations than the document uses.)
+func checkSchema(rels []relJSON, expect *schema.Schema) error {
+	for _, r := range rels {
+		rel, ok := expect.Relation(r.Name)
+		if !ok {
+			return fmt.Errorf("jsonio: document schema declares %s, not in the expected schema", r.Name)
+		}
+		if len(rel.Attrs) != len(r.Attrs) {
+			return fmt.Errorf("jsonio: document schema declares %s/%d, expected schema has arity %d", r.Name, len(r.Attrs), len(rel.Attrs))
+		}
+	}
+	return nil
+}
+
+// insertFact parses one wire fact and inserts it, with positional error
+// context.
+func insertFact(out *instance.Concrete, i int, fj factJSON) error {
+	iv, err := interval.Parse(fj.Interval)
+	if err != nil {
+		return fmt.Errorf("jsonio: fact %d: %w", i, err)
+	}
+	args := make([]value.Value, len(fj.Args))
+	for j, s := range fj.Args {
+		v, err := value.Parse(s)
+		if err != nil {
+			return fmt.Errorf("jsonio: fact %d arg %d: %w", i, j, err)
+		}
+		args[j] = v
+	}
+	if _, err := out.Insert(fact.NewC(fj.Rel, iv, args...)); err != nil {
+		return fmt.Errorf("jsonio: fact %d: %w", i, err)
+	}
+	return nil
 }

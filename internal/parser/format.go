@@ -10,6 +10,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/temporal"
 )
 
 // FormatMapping renders a mapping (and optional queries) back into the
@@ -18,16 +19,7 @@ import (
 // declaration order.
 func FormatMapping(m *dependency.Mapping, queries []query.UCQ) string {
 	var b strings.Builder
-	writeSchema := func(kw string, sch *schema.Schema) {
-		fmt.Fprintf(&b, "%s schema {\n", kw)
-		for _, name := range sch.Names() {
-			r, _ := sch.Relation(name)
-			fmt.Fprintf(&b, "    %s(%s)\n", r.Name, strings.Join(r.Attrs, ", "))
-		}
-		b.WriteString("}\n")
-	}
-	writeSchema("source", m.Source)
-	writeSchema("target", m.Target)
+	writeSchemas(&b, m.Source, m.Target)
 	for _, d := range m.TGDs {
 		b.WriteString("tgd")
 		if d.Name != "" {
@@ -41,19 +33,96 @@ func FormatMapping(m *dependency.Mapping, queries []query.UCQ) string {
 		}
 		b.WriteString(formatConjunction(d.Head) + "\n")
 	}
-	for _, d := range m.EGDs {
+	writeEGDs(&b, m.EGDs)
+	writeQueries(&b, queries)
+	return b.String()
+}
+
+// writeSchemas renders the source and target schema blocks.
+func writeSchemas(b *strings.Builder, src, tgt *schema.Schema) {
+	writeSchema := func(kw string, sch *schema.Schema) {
+		fmt.Fprintf(b, "%s schema {\n", kw)
+		for _, name := range sch.Names() {
+			r, _ := sch.Relation(name)
+			fmt.Fprintf(b, "    %s(%s)\n", r.Name, strings.Join(r.Attrs, ", "))
+		}
+		b.WriteString("}\n")
+	}
+	writeSchema("source", src)
+	writeSchema("target", tgt)
+}
+
+// writeEGDs renders egd declarations in declaration order.
+func writeEGDs(b *strings.Builder, egds []dependency.EGD) {
+	for _, d := range egds {
 		b.WriteString("egd")
 		if d.Name != "" {
 			b.WriteString(" " + d.Name)
 		}
-		fmt.Fprintf(&b, ": %s -> %s = %s\n", formatConjunction(d.Body), d.X1, d.X2)
+		fmt.Fprintf(b, ": %s -> %s = %s\n", formatConjunction(d.Body), d.X1, d.X2)
 	}
+}
+
+// writeQueries renders query declarations in declaration order.
+func writeQueries(b *strings.Builder, queries []query.UCQ) {
 	for _, u := range queries {
 		for _, q := range u.Disjuncts {
-			fmt.Fprintf(&b, "query %s(%s) :- %s\n", q.Name, strings.Join(q.Head, ", "), formatConjunction(q.Body))
+			fmt.Fprintf(b, "query %s(%s) :- %s\n", q.Name, strings.Join(q.Head, ", "), formatConjunction(q.Body))
 		}
 	}
+}
+
+// FormatTemporalMapping renders a §7 modal mapping (and optional
+// queries) back into the TDX language, such that
+// ParseMapping(FormatTemporalMapping(m)) reproduces it. Like
+// FormatMapping it is canonical up to whitespace and comments: two
+// mapping texts that parse to the same temporal mapping format
+// identically, which is what makes it a fit content-hash input
+// (tdx.Exchange.Fingerprint).
+func FormatTemporalMapping(m *temporal.Mapping, queries []query.UCQ) string {
+	var b strings.Builder
+	writeSchemas(&b, m.Source, m.Target)
+	for _, d := range m.TGDs {
+		b.WriteString("tgd")
+		if d.Name != "" {
+			b.WriteString(" " + d.Name)
+		}
+		b.WriteString(": " + formatConjunction(d.Body) + " -> ")
+		if ex := d.Existentials(); len(ex) > 0 {
+			sorted := append([]string(nil), ex...)
+			sort.Strings(sorted)
+			b.WriteString("exists " + strings.Join(sorted, ", ") + " . ")
+		}
+		heads := make([]string, len(d.Head))
+		for i, h := range d.Head {
+			if kw := modalKeyword(h.Ref); kw != "" {
+				heads[i] = kw + " " + formatAtom(h.Atom)
+			} else {
+				heads[i] = formatAtom(h.Atom)
+			}
+		}
+		b.WriteString(strings.Join(heads, ", ") + "\n")
+	}
+	writeEGDs(&b, m.EGDs)
+	writeQueries(&b, queries)
 	return b.String()
+}
+
+// modalKeyword returns the surface keyword of a temporal reference ("",
+// "past", "future", "always past", "always future").
+func modalKeyword(r temporal.Ref) string {
+	switch r {
+	case temporal.SometimePast:
+		return "past"
+	case temporal.SometimeFut:
+		return "future"
+	case temporal.AlwaysPast:
+		return "always past"
+	case temporal.AlwaysFut:
+		return "always future"
+	default:
+		return ""
+	}
 }
 
 // formatConjunction renders atoms in parseable form: variables bare,
@@ -61,17 +130,22 @@ func FormatMapping(m *dependency.Mapping, queries []query.UCQ) string {
 func formatConjunction(c logic.Conjunction) string {
 	atoms := make([]string, len(c))
 	for i, a := range c {
-		terms := make([]string, len(a.Terms))
-		for j, t := range a.Terms {
-			if t.IsVar {
-				terms[j] = t.Name
-			} else {
-				terms[j] = fmt.Sprintf("%q", t.Val.Str)
-			}
-		}
-		atoms[i] = a.Rel + "(" + strings.Join(terms, ", ") + ")"
+		atoms[i] = formatAtom(a)
 	}
 	return strings.Join(atoms, ", ")
+}
+
+// formatAtom renders one atom in parseable form.
+func formatAtom(a logic.Atom) string {
+	terms := make([]string, len(a.Terms))
+	for j, t := range a.Terms {
+		if t.IsVar {
+			terms[j] = t.Name
+		} else {
+			terms[j] = fmt.Sprintf("%q", t.Val.Str)
+		}
+	}
+	return a.Rel + "(" + strings.Join(terms, ", ") + ")"
 }
 
 // FormatFacts renders a concrete instance as a TDX fact file, such that

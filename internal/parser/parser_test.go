@@ -304,6 +304,61 @@ func TestFormatMappingRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFormatTemporalMappingRoundTrip(t *testing.T) {
+	// Every modal marker in one mapping: the formatted text must reparse
+	// to the same temporal mapping, and formatting must be a fixed point
+	// (format(parse(format(m))) == format(m)) — the property Fingerprint
+	// hashing relies on.
+	const text = `
+source schema { P(n) }
+target schema {
+    A(n, u)
+    B(n)
+}
+tgd t1: P(n) -> exists u . past A(n, u), B(n)
+tgd t2: P(n) -> future B(n)
+tgd t3: P(n) -> always past B(n)
+tgd t4: P(n) -> exists u . always future A(n, u)
+egd k: A(n, u), A(n, u2) -> u = u2
+query q(n) :- B(n)
+`
+	f, err := ParseMapping(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Temporal == nil {
+		t.Fatal("mapping did not parse as temporal")
+	}
+	formatted := FormatTemporalMapping(f.Temporal, f.Queries)
+	back, err := ParseMapping(formatted)
+	if err != nil {
+		t.Fatalf("formatted temporal mapping does not reparse: %v\n%s", err, formatted)
+	}
+	if back.Temporal == nil {
+		t.Fatalf("reparse lost temporal markers:\n%s", formatted)
+	}
+	if len(back.Temporal.TGDs) != len(f.Temporal.TGDs) || len(back.Temporal.EGDs) != len(f.Temporal.EGDs) {
+		t.Fatal("dependency count changed")
+	}
+	for i, d := range f.Temporal.TGDs {
+		got := back.Temporal.TGDs[i]
+		if got.Name != d.Name || len(got.Head) != len(d.Head) {
+			t.Fatalf("tgd %d changed: %+v vs %+v", i, got, d)
+		}
+		for j := range d.Head {
+			if got.Head[j].Ref != d.Head[j].Ref {
+				t.Fatalf("tgd %d head %d ref changed: %v vs %v", i, j, got.Head[j].Ref, d.Head[j].Ref)
+			}
+		}
+	}
+	if again := FormatTemporalMapping(back.Temporal, back.Queries); again != formatted {
+		t.Fatalf("format not a fixed point:\n%s\nvs\n%s", formatted, again)
+	}
+	if len(back.Queries) != len(f.Queries) {
+		t.Fatal("query count changed")
+	}
+}
+
 func TestFormatFactsRoundTrip(t *testing.T) {
 	// Chase output (with annotated nulls) and tricky constants both
 	// survive the format → parse round trip.

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServerRun measures one exchange request against a warm
+// registry entry — the daemon's steady-state unit of work: resolve the
+// hash, decode the request-scoped source, chase it with a per-run
+// interner, and encode solution + stats. ServeHTTP is driven directly
+// (no sockets), so the number is the server-path cost on top of the
+// engine, not the kernel's.
+func BenchmarkServerRun(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	hash := register(b, h, readTestdata(b, "employment.tdx"))
+	facts := readTestdata(b, "employment.facts")
+	target := "/v1/exchanges/" + hash + "/run"
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := do(h, "POST", target, "", facts)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+
+	// The shared-exchange contract under load: many goroutines, one
+	// compiled entry, per-run interners.
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest("POST", target, strings.NewReader(facts))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkServerRegisterCached measures the raw-key cache hit: the
+// by-far common case of a client re-sending a known mapping.
+func BenchmarkServerRegisterCached(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	text := readTestdata(b, "employment.tdx")
+	register(b, h, text)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := do(h, "POST", "/v1/mappings", "", text)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

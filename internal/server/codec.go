@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	tdx "repro"
+	"repro/internal/chase"
+	"repro/internal/instance"
+)
+
+// The wire types of the tdxd HTTP API. Field names are lowerCamel and
+// stable: they are a compatibility surface, like chase.Stats's JSON
+// form. Responses are written compact (one line), so shell pipelines can
+// grep and sed them; the embedded solution document keeps the jsonio
+// rendering.
+
+// registerRequest is the JSON body of POST /v1/mappings. A non-JSON
+// body is treated as the raw mapping text with default options instead.
+type registerRequest struct {
+	// Mapping is the TDX mapping text.
+	Mapping string `json:"mapping"`
+	// Options are the compile-time defaults baked into the registered
+	// exchange.
+	Options requestOptions `json:"options"`
+}
+
+// requestOptions maps request-level option names onto the engine's
+// functional options. All fields are optional; zero values mean the
+// engine defaults.
+type requestOptions struct {
+	Norm     string `json:"norm,omitempty"`     // "smart" | "naive"
+	Egd      string `json:"egd,omitempty"`      // "batch" | "stepwise"
+	Coalesce bool   `json:"coalesce,omitempty"` // coalesce solutions
+}
+
+// engineOptions translates the named options, rejecting unknown names.
+func (o requestOptions) engineOptions() ([]tdx.Option, error) {
+	norm, err := tdx.ParseNorm(o.Norm)
+	if err != nil {
+		return nil, err
+	}
+	egd, err := tdx.ParseEgdStrategy(o.Egd)
+	if err != nil {
+		return nil, err
+	}
+	return []tdx.Option{tdx.WithNorm(norm), tdx.WithEgdStrategy(egd), tdx.WithCoalesce(o.Coalesce)}, nil
+}
+
+// infoJSON is the wire form of tdx.Info.
+type infoJSON struct {
+	SourceRelations int  `json:"sourceRelations"`
+	TargetRelations int  `json:"targetRelations"`
+	TGDs            int  `json:"tgds"`
+	EGDs            int  `json:"egds"`
+	Queries         int  `json:"queries"`
+	Temporal        bool `json:"temporal"`
+}
+
+func infoWire(i tdx.Info) infoJSON {
+	return infoJSON{
+		SourceRelations: i.SourceRelations,
+		TargetRelations: i.TargetRelations,
+		TGDs:            i.TGDs,
+		EGDs:            i.EGDs,
+		Queries:         i.Queries,
+		Temporal:        i.Temporal,
+	}
+}
+
+// registerResponse answers POST /v1/mappings.
+type registerResponse struct {
+	Hash   string   `json:"hash"`
+	Cached bool     `json:"cached"` // an already-registered entry served the call
+	Info   infoJSON `json:"info"`
+}
+
+// mappingSummary is one row of GET /v1/mappings.
+type mappingSummary struct {
+	Hash         string   `json:"hash"`
+	Info         infoJSON `json:"info"`
+	RegisteredAt string   `json:"registeredAt"` // RFC 3339
+}
+
+// listResponse answers GET /v1/mappings, most recently used first.
+type listResponse struct {
+	Mappings []mappingSummary `json:"mappings"`
+	Capacity int              `json:"capacity"`
+}
+
+// runResponse answers POST /v1/exchanges/{hash}/run. Solution is the
+// jsonio document of the materialized solution — byte-identical (after
+// JSON whitespace normalization) to tdx.Solution.JSON on a direct run —
+// and Stats is the run's chase.Stats in its canonical encoding. Answers
+// is present when ?query= asked for certain answers over the solution.
+type runResponse struct {
+	Hash      string          `json:"hash"`
+	Stats     chase.Stats     `json:"stats"`
+	ElapsedMs float64         `json:"elapsedMs"`
+	Solution  json.RawMessage `json:"solution"`
+	Answers   json.RawMessage `json:"answers,omitempty"`
+}
+
+// answerResponse answers POST /v1/exchanges/{hash}/answer: the certain
+// answers of the query, plus the stats of the run that produced the
+// intermediate solution.
+type answerResponse struct {
+	Hash      string          `json:"hash"`
+	Query     string          `json:"query"`
+	Stats     chase.Stats     `json:"stats"`
+	ElapsedMs float64         `json:"elapsedMs"`
+	Answers   json.RawMessage `json:"answers"`
+}
+
+// snapshotFact is one fact of an abstract snapshot: atemporal, over
+// constants and per-snapshot labeled nulls.
+type snapshotFact struct {
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+}
+
+// snapshotResponse answers POST /v1/exchanges/{hash}/snapshot: the
+// abstract snapshot db_at of the solution, facts in deterministic order,
+// plus the paper's {f1, f2, ...} rendering.
+type snapshotResponse struct {
+	Hash      string         `json:"hash"`
+	At        string         `json:"at"`
+	Stats     chase.Stats    `json:"stats"`
+	ElapsedMs float64        `json:"elapsedMs"`
+	Facts     []snapshotFact `json:"facts"`
+	Rendering string         `json:"rendering"`
+}
+
+// snapshotWire flattens a snapshot into wire facts (already in
+// deterministic order).
+func snapshotWire(s *instance.Snapshot) []snapshotFact {
+	fs := s.Facts()
+	out := make([]snapshotFact, len(fs))
+	for i, f := range fs {
+		args := make([]string, len(f.Args))
+		for j, a := range f.Args {
+			args[j] = a.String()
+		}
+		out[i] = snapshotFact{Rel: f.Rel, Args: args}
+	}
+	return out
+}
+
+// healthResponse answers GET /healthz.
+type healthResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptimeSeconds"`
+	Mappings      int    `json:"mappings"`
+	Compiles      int64  `json:"compiles"`
+	Evictions     int64  `json:"evictions"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for
+// "the client canceled before the response": no RFC number exists for
+// it, and 504 would wrongly blame the server's budget.
+const statusClientClosedRequest = 499
+
+// runStatus maps an engine error to its HTTP status: an exhausted
+// per-request budget is a gateway timeout, a client disconnect is the
+// client's cancellation, a chase failure (no solution / no witness) is a
+// semantically invalid input rather than a server fault, and anything
+// else is a 500.
+func runStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, tdx.ErrNoSolution), errors.Is(err, tdx.ErrNoWitness):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes one compact JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode appends a newline — exactly one document per line. A write
+	// error here means the client went away mid-response; the status
+	// line is gone, so there is nothing left to report to them.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Status: status})
+}
+
+// elapsedMs converts a duration to the wire's float milliseconds.
+func elapsedMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// bodyErrStatus maps a request-body read/decode failure: a body over
+// the MaxBodyBytes bound is 413 (the client must shrink it), a read
+// that outlived the request budget is 504 (the connection read
+// deadline and the ctx wrapper both surface deadline errors), a client
+// disconnect is 499, and anything else is the client's malformed
+// content, 400.
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, os.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// badParam builds the 400 error for an unparsable query parameter.
+func badParam(name string, err error) error {
+	return fmt.Errorf("query parameter %s: %w", name, err)
+}
+
+// newStrictDecoder decodes a JSON request envelope, rejecting unknown
+// fields so a typoed option name fails loudly instead of silently
+// meaning the default.
+func newStrictDecoder(r io.Reader) *json.Decoder {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec
+}

@@ -1,0 +1,508 @@
+// Package server is tdxd's HTTP front end over the public tdx engine
+// API: a daemon holding a registry of compiled exchanges and serving
+// data exchange over HTTP. The mapping is the fixed artifact, so it is
+// compiled once — POST /v1/mappings registers a mapping text and returns
+// the content hash identifying its compiled exchange — and every
+// subsequent request addresses the compiled exchange by hash with a
+// request-scoped source instance in the body:
+//
+//	POST /v1/mappings                      register (compile) a mapping → hash
+//	GET  /v1/mappings                      list registered mappings, MRU first
+//	POST /v1/exchanges/{hash}/run          chase the body source → solution + stats
+//	POST /v1/exchanges/{hash}/answer       certain answers of ?query= over the solution
+//	POST /v1/exchanges/{hash}/snapshot     abstract snapshot db_at of the solution (?at=)
+//	GET  /healthz                          liveness + registry counters
+//
+// Request bodies are either the TDX JSON instance format (Content-Type
+// application/json; decoded with the streaming decoder, so large bodies
+// never materialize) or the TDX fact text format (any other content
+// type). Per-request query parameters ride the engine's functional
+// options: ?timeout= bounds the run through the existing context
+// plumbing (capped by the server's MaxTimeout), ?parallel= sizes the
+// chase worker pool, ?norm=, ?egd=, and ?coalesce= override the
+// exchange's compile-time defaults for that run only.
+//
+// Memory bounding is structural: the registry is LRU-bounded
+// (MaxMappings), compilation of concurrent duplicate registrations is
+// singleflight-deduplicated, and every run uses tdx.WithRunInterner, so
+// a long-lived registry entry's interner holds exactly the mapping
+// domain and never grows with request traffic.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	tdx "repro"
+)
+
+// Config parameterizes a Server. The zero value serves with the
+// defaults noted per field.
+type Config struct {
+	// MaxMappings bounds the registry (LRU eviction beyond it).
+	// <= 0 means DefaultCapacity.
+	MaxMappings int
+	// MaxTimeout caps — and, when a request names no ?timeout=, sets —
+	// the per-request run budget. <= 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// Parallelism is the default chase worker count for runs that pass
+	// no ?parallel= (0 = GOMAXPROCS, the engine default).
+	Parallelism int
+	// MaxBodyBytes bounds request bodies. <= 0 means DefaultMaxBody.
+	MaxBodyBytes int64
+	// Compile replaces tdx.Compile — a test seam for counting or faking
+	// compilations. nil means tdx.Compile.
+	Compile CompileFunc
+}
+
+// DefaultMaxTimeout is the per-request run budget when the configuration
+// does not set one.
+const DefaultMaxTimeout = 60 * time.Second
+
+// DefaultMaxBody bounds request bodies when the configuration does not.
+const DefaultMaxBody int64 = 64 << 20
+
+// Server implements the tdxd HTTP API over a compiled-exchange
+// registry. Create with New, mount with Handler; safe for concurrent
+// use.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	start time.Time
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	return &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.MaxMappings, cfg.Compile),
+		start: time.Now(),
+	}
+}
+
+// Registry exposes the compiled-exchange registry (tests, metrics).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/mappings", s.handleRegister)
+	mux.HandleFunc("GET /v1/mappings", s.handleList)
+	mux.HandleFunc("POST /v1/exchanges/{hash}/run", s.handleRun)
+	mux.HandleFunc("POST /v1/exchanges/{hash}/answer", s.handleAnswer)
+	mux.HandleFunc("POST /v1/exchanges/{hash}/snapshot", s.handleSnapshot)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Mappings:      s.reg.Len(),
+		Compiles:      s.reg.Compiles(),
+		Evictions:     s.reg.Evicted(),
+	})
+}
+
+// handleRegister compiles and registers a mapping. A JSON body is the
+// registerRequest envelope; any other body is the raw mapping text with
+// default options — so `curl --data-binary @mapping.tdx` just works.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	// Registration is budget-bounded like every other endpoint — the
+	// body read included: the handler gives up (504) when the budget
+	// lapses, while an in-flight compile finishes detached and is cached
+	// for the retry.
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	s.boundBody(ctx, w, r)
+	var req registerRequest
+	if isJSON(r) {
+		dec := newStrictDecoder(r.Body)
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, bodyErrStatus(err), fmt.Errorf("register body: %w", err))
+			return
+		}
+		// Reject trailing data (a concatenated second envelope would be
+		// silently dropped otherwise), matching the source-body decoder.
+		if tok, err := dec.Token(); err != io.EOF {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("register body: trailing data after envelope (%v)", tok))
+			return
+		}
+	} else {
+		text, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, bodyErrStatus(err), fmt.Errorf("register body: %w", err))
+			return
+		}
+		req.Mapping = string(text)
+	}
+	if strings.TrimSpace(req.Mapping) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("register body carries no mapping text"))
+		return
+	}
+	opts, err := req.Options.engineOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Every run of a registered exchange gets a per-run interner seeded
+	// from the frozen mapping domain: a registry entry serving unbounded
+	// distinct inputs must not grow with them.
+	opts = append(opts, tdx.WithRunInterner())
+	entry, cached, err := s.reg.Register(ctx, req.Mapping, opts...)
+	if err != nil {
+		// Compilation failures are the client's mapping (400); an
+		// exhausted budget or client disconnect maps like any run error.
+		writeError(w, answerStatus(err), err)
+		return
+	}
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, registerResponse{Hash: entry.Hash, Cached: cached, Info: infoWire(entry.Info)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	out := listResponse{Mappings: make([]mappingSummary, len(entries)), Capacity: s.reg.Capacity()}
+	for i, e := range entries {
+		out.Mappings[i] = mappingSummary{
+			Hash:         e.Hash,
+			Info:         infoWire(e.Info),
+			RegisteredAt: e.Registered.UTC().Format(time.RFC3339),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolve looks up the {hash} path segment in the registry.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	hash := r.PathValue("hash")
+	entry, ok := s.reg.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no exchange with hash %q is registered", hash))
+		return nil, false
+	}
+	return entry, true
+}
+
+// budgetContext bounds the request context by the per-request run
+// budget. The returned context covers the whole pipeline — decode, run,
+// and any query evaluation or snapshot over the solution — so ?timeout=
+// (and the MaxTimeout cap) bound everything a request can make the
+// engine do, not just the chase.
+func (s *Server) budgetContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	budget, err := s.runBudget(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	return ctx, cancel, nil
+}
+
+// boundBody bounds the request body by the size cap and the budget: a
+// connection read deadline (when the ResponseWriter supports it — test
+// recorders don't, so it is best-effort) unblocks a stalled network
+// read so a trickling client cannot hold the handler past its budget,
+// and the ctx-checking wrapper classifies post-budget reads as the
+// budget's deadline error rather than a bare i/o error.
+func (s *Server) boundBody(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	if d, ok := ctx.Deadline(); ok {
+		_ = http.NewResponseController(w).SetReadDeadline(d)
+	}
+	r.Body = ctxReadCloser{ctx: ctx, rc: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+}
+
+// ctxReadCloser fails reads once ctx is done, passing inner errors
+// (including *http.MaxBytesError) through untouched.
+type ctxReadCloser struct {
+	ctx context.Context
+	rc  io.ReadCloser
+}
+
+func (c ctxReadCloser) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.rc.Read(p)
+}
+
+func (c ctxReadCloser) Close() error { return c.rc.Close() }
+
+// runExchange is the shared run pipeline of the three exchange
+// endpoints: decode the request-scoped source from the body and chase
+// it on the entry's compiled exchange with the per-request options,
+// under the request's budget context.
+func (s *Server) runExchange(ctx context.Context, w http.ResponseWriter, r *http.Request, entry *Entry) (*tdx.Solution, time.Duration, bool) {
+	opts, err := s.runOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, 0, false
+	}
+	s.boundBody(ctx, w, r)
+	src, err := s.decodeSource(r, entry.Exchange)
+	if err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return nil, 0, false
+	}
+	started := time.Now()
+	sol, err := entry.Exchange.Run(ctx, src, opts...)
+	if err != nil {
+		writeError(w, runStatus(err), err)
+		return nil, 0, false
+	}
+	return sol, time.Since(started), true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	// Resolve the query first: a bad query must not cost a chase.
+	q := r.URL.Query().Get("query")
+	if q != "" {
+		if err := entry.Exchange.ValidateQuery(q); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sol, elapsed, ok := s.runExchange(ctx, w, r, entry)
+	if !ok {
+		return
+	}
+	solJSON, err := sol.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := runResponse{
+		Hash:      entry.Hash,
+		Stats:     sol.Stats(),
+		ElapsedMs: elapsedMs(elapsed),
+		Solution:  solJSON,
+	}
+	// ?query= also computes certain answers over the fresh solution, so
+	// one request can carry both artifacts home.
+	if q != "" {
+		ans, err := entry.Exchange.Query(ctx, sol, q)
+		if err != nil {
+			writeError(w, answerStatus(err), err)
+			return
+		}
+		if resp.Answers, err = ans.JSON(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	// Resolve the query first: a bad query must not cost a chase ("" is
+	// valid exactly when the mapping declares one query).
+	q := r.URL.Query().Get("query")
+	if err := entry.Exchange.ValidateQuery(q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sol, elapsed, ok := s.runExchange(ctx, w, r, entry)
+	if !ok {
+		return
+	}
+	ans, err := entry.Exchange.Query(ctx, sol, q)
+	if err != nil {
+		writeError(w, answerStatus(err), err)
+		return
+	}
+	ansJSON, err := ans.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, answerResponse{
+		Hash:      entry.Hash,
+		Query:     q,
+		Stats:     sol.Stats(),
+		ElapsedMs: elapsedMs(elapsed),
+		Answers:   ansJSON,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	atParam := r.URL.Query().Get("at")
+	if atParam == "" {
+		writeError(w, http.StatusBadRequest, errors.New("?at= time point is required"))
+		return
+	}
+	at, err := tdx.ParseTime(atParam)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, badParam("at", err))
+		return
+	}
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sol, elapsed, ok := s.runExchange(ctx, w, r, entry)
+	if !ok {
+		return
+	}
+	snap, err := entry.Exchange.Snapshot(ctx, sol, at)
+	if err != nil {
+		writeError(w, runStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Hash:      entry.Hash,
+		At:        atParam,
+		Stats:     sol.Stats(),
+		ElapsedMs: elapsedMs(elapsed),
+		Facts:     snapshotWire(snap),
+		Rendering: snap.String(),
+	})
+}
+
+// answerStatus maps a query-evaluation error: a bad query is the
+// client's, a context error maps like any run error.
+func answerStatus(err error) int {
+	if st := runStatus(err); st != http.StatusInternalServerError {
+		return st
+	}
+	return http.StatusBadRequest
+}
+
+// runOptions translates per-request query parameters into per-run
+// engine options layered over the server and exchange defaults.
+func (s *Server) runOptions(r *http.Request) ([]tdx.Option, error) {
+	q := r.URL.Query()
+	opts := []tdx.Option{tdx.WithParallelism(s.cfg.Parallelism), tdx.WithRunInterner()}
+	if v := q.Get("parallel"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, badParam("parallel", err)
+		}
+		opts = append(opts, tdx.WithParallelism(n))
+	}
+	if v := q.Get("norm"); v != "" {
+		norm, err := tdx.ParseNorm(v)
+		if err != nil {
+			return nil, badParam("norm", err)
+		}
+		opts = append(opts, tdx.WithNorm(norm))
+	}
+	if v := q.Get("egd"); v != "" {
+		egd, err := tdx.ParseEgdStrategy(v)
+		if err != nil {
+			return nil, badParam("egd", err)
+		}
+		opts = append(opts, tdx.WithEgdStrategy(egd))
+	}
+	if v := q.Get("coalesce"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, badParam("coalesce", err)
+		}
+		opts = append(opts, tdx.WithCoalesce(on))
+	}
+	return opts, nil
+}
+
+// runBudget resolves the per-request run budget: ?timeout= when given
+// (capped by MaxTimeout), MaxTimeout otherwise.
+func (s *Server) runBudget(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("timeout")
+	if v == "" {
+		return s.cfg.MaxTimeout, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, badParam("timeout", err)
+	}
+	if d <= 0 {
+		return 0, badParam("timeout", fmt.Errorf("must be positive, got %v", d))
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// decodeSource turns the request body into a request-scoped source
+// instance: the TDX JSON format (streamed) for JSON content types, the
+// TDX fact text format otherwise.
+func (s *Server) decodeSource(r *http.Request, ex *tdx.Exchange) (*tdx.Instance, error) {
+	if isJSON(r) {
+		src, err := ex.DecodeSourceJSON(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("source body: %w", err)
+		}
+		return src, nil
+	}
+	text, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("source body: %w", err)
+	}
+	if strings.TrimSpace(string(text)) == "" {
+		return nil, errors.New("source body is empty; send TDX fact text or the TDX JSON instance format")
+	}
+	src, err := ex.ParseSource(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("source body: %w", err)
+	}
+	return src, nil
+}
+
+// isJSON reports whether the request declares a JSON body.
+func isJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+}

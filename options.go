@@ -150,6 +150,28 @@ func WithParallelism(workers int) Option { return func(c *config) { c.parallelis
 // the default for repeated runs over a bounded value domain.
 func WithRunInterner() Option { return func(c *config) { c.runInterner = true } }
 
+// fingerprint renders the output-affecting option values into a stable
+// string. Normalization strategy, egd strategy, and coalescing change
+// the solution an exchange produces, so they are part of an exchange's
+// identity. Parallelism and the interner policy are excluded — solutions
+// are byte-identical at any worker count and under either interner
+// policy — and trace hooks are debug-only.
+func (c config) fingerprint() string {
+	return fmt.Sprintf("norm=%s egd=%s coalesce=%t", c.norm, c.egd, c.coalesce)
+}
+
+// OptionsFingerprint renders the output-affecting options (normalization
+// strategy, egd strategy, coalescing) into the stable string that
+// Exchange.Fingerprint folds into its hash. Two option lists with equal
+// fingerprints compile mappings into exchanges producing byte-identical
+// solutions; options that cannot change solutions (WithParallelism,
+// WithRunInterner, WithTrace) are excluded. Registries deduplicating
+// compilation key their pre-compile lookups on this plus the mapping
+// text.
+func OptionsFingerprint(opts ...Option) string {
+	return config{}.apply(opts).fingerprint()
+}
+
 // chaseWorkers resolves the configured parallelism to a concrete worker
 // count: 0 or negative means GOMAXPROCS.
 func (c config) chaseWorkers() int {

@@ -53,13 +53,17 @@ package tdx
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/chase"
 	"repro/internal/dependency"
 	"repro/internal/instance"
+	"repro/internal/jsonio"
 	"repro/internal/logic"
 	"repro/internal/normalize"
 	"repro/internal/parser"
@@ -108,6 +112,8 @@ type Exchange struct {
 	// normBodies are the concrete tgd bodies the source is normalized
 	// against (derived from tm for temporal mappings).
 	normBodies []logic.Conjunction
+	// fp is the content hash identifying this exchange; see Fingerprint.
+	fp string
 }
 
 // Compile parses, validates, and compiles a TDX mapping file into a
@@ -208,8 +214,36 @@ func (ex *Exchange) withQueries(queries []query.UCQ) (*Exchange, error) {
 	ex.base = value.NewInterner()
 	ex.seedDomain(ex.base)
 	ex.in = value.NewInternerFrom(ex.base)
+	ex.fp = ex.fingerprint()
 	return ex, nil
 }
+
+// fingerprint computes the exchange's content hash: sha256 over the
+// canonical mapping rendering and the output-affecting option
+// fingerprint.
+func (ex *Exchange) fingerprint() string {
+	var canon string
+	if ex.tm != nil {
+		canon = parser.FormatTemporalMapping(ex.tm, ex.queries)
+	} else {
+		canon = parser.FormatMapping(ex.cm.Mapping(), ex.queries)
+	}
+	sum := sha256.Sum256([]byte(canon + "\x00" + ex.cfg.fingerprint()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint returns the stable content hash identifying this compiled
+// exchange: a hex sha256 over the canonical rendering of the mapping
+// (schemas, dependencies, and declared queries — two texts differing
+// only in whitespace or comments hash equal) combined with the
+// fingerprint of the compile-time options that affect solutions
+// (normalization strategy, egd strategy, coalescing; see
+// OptionsFingerprint). Exchanges with equal fingerprints produce
+// byte-identical solutions for every source instance, which is what
+// makes the fingerprint a safe registry key: tdxd's compiled-exchange
+// registry is keyed on it, and a client holding a fingerprint can
+// address the exchange without re-sending the mapping.
+func (ex *Exchange) Fingerprint() string { return ex.fp }
 
 // seedDomain interns every literal of the mapping's dependencies and
 // declared queries — the value domain every run re-encounters — into in.
@@ -309,6 +343,21 @@ func (ex *Exchange) Temporal() *temporal.Mapping { return ex.tm }
 // per-goroutine copies needed.
 func (ex *Exchange) ParseSource(facts string) (*Instance, error) {
 	c, err := parser.ParseFacts(facts, ex.source)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{c: c}, nil
+}
+
+// DecodeSourceJSON decodes a source instance from the TDX JSON format
+// (Instance.JSON / jsonio), streaming from r and validating against the
+// mapping's source schema: facts decode and insert one at a time, so a
+// large request body never materializes as a document — this is how tdxd
+// turns request bodies into request-scoped sources. A schema section in
+// the document is cross-checked against the mapping's source schema
+// (same relations, same arities) rather than trusted.
+func (ex *Exchange) DecodeSourceJSON(r io.Reader) (*Instance, error) {
+	c, err := jsonio.DecodeReader(r, ex.source)
 	if err != nil {
 		return nil, err
 	}
@@ -428,6 +477,17 @@ func (ex *Exchange) queryResolved(ctx context.Context, sol *Solution, u query.UC
 		return nil, err
 	}
 	return &Instance{c: ans}, nil
+}
+
+// ValidateQuery resolves and validates a query argument without running
+// anything: q is a declared query name, an inline query in rule syntax,
+// or empty when the mapping declares exactly one query — the same
+// resolution Query performs. Callers that pay for a chase before
+// evaluating (servers, pipelines) use it to reject a bad query before
+// the run instead of after.
+func (ex *Exchange) ValidateQuery(q string) error {
+	_, err := ex.lookupQuery(q)
+	return err
 }
 
 // Answer computes the certain answers of q for a source instance end to
