@@ -370,6 +370,56 @@ func BenchmarkCChaseParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEgdPhaseParallel isolates the sharded egd phase: the
+// tgd-phase target of the taxi scenario is built once, then each
+// iteration runs only the egd phase (renormalization + merge-candidate
+// scans + rewrites) at the given worker count. EgdPhase never mutates
+// its input, so iterations are independent. workers=1 is the sequential
+// baseline; on a single-CPU host the comparison shows only the
+// freeze/fan-out overhead.
+func BenchmarkEgdPhaseParallel(b *testing.B) {
+	m := workload.TaxiMapping()
+	ic := workload.Taxi(workload.TaxiConfig{Seed: 7, Drivers: 150, Cabs: 60, Span: 100})
+	tgdOnly := *m
+	tgdOnly.EGDs = nil
+	tgt, _, err := chase.Concrete(ic, &tgdOnly, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chase.EgdPhase(tgt, m, &chase.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForEgdPhase isolates the egd-round renormalization alone —
+// the dominant cost inside BenchmarkEgdPhaseParallel — over the same
+// tgd-phase target.
+func BenchmarkForEgdPhase(b *testing.B) {
+	m := workload.TaxiMapping()
+	ic := workload.Taxi(workload.TaxiConfig{Seed: 7, Drivers: 150, Cabs: 60, Span: 100})
+	tgdOnly := *m
+	tgdOnly.EGDs = nil
+	tgt, _, err := chase.Concrete(ic, &tgdOnly, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phis := m.EGDBodies()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if normalize.ForEgdPhase(tgt.Clone(), phis, normalize.StrategySmart).Len() == 0 {
+			b.Fatal("renormalization lost everything")
+		}
+	}
+}
+
 func BenchmarkAbstractChaseParallel(b *testing.B) {
 	m := paperex.EmploymentMapping()
 	ic := employment(150)

@@ -112,7 +112,7 @@ func (c *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.data, "d", "", "source facts file")
 	fs.StringVar(&c.norm, "norm", "smart", "normalization strategy: smart (Algorithm 1) or naive")
 	fs.StringVar(&c.egd, "egd", "batch", "egd application strategy: batch or stepwise")
-	fs.IntVar(&c.parallel, "parallel", 0, "chase worker count; 0 uses all CPUs, 1 forces the sequential path")
+	fs.IntVar(&c.parallel, "parallel", 0, "chase worker count (tgd and egd phases); 0 uses all CPUs, 1 forces the sequential path")
 	fs.BoolVar(&c.table, "table", false, "render output as per-relation tables instead of fact lines")
 	fs.DurationVar(&c.timeout, "timeout", 0, "bound the run (e.g. 30s); 0 means no limit")
 }

@@ -8,7 +8,9 @@
 //
 // Figures print the same rows as the paper; theorem checks run
 // randomized validation and report pass counts; perf-* sweeps print
-// timing/size tables.
+// timing/size tables. -cpuprofile and -memprofile write pprof profiles
+// covering the selected experiments, for digging into the perf-* sweeps
+// with go tool pprof.
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 )
 
@@ -51,6 +55,8 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
 	list := flag.Bool("list", false, "list experiments")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
 	if *list || *exp == "" {
 		ids := make([]string, 0, len(experiments))
@@ -68,27 +74,64 @@ func main() {
 		}
 		return
 	}
-	if *exp == "all" {
+
+	// Profiling brackets exactly the experiment work; the profile files
+	// are finalized before any error exit so a failing sweep still leaves
+	// usable profiles behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdxbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tdxbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runErr := runSelected(*exp)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdxbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the live set before snapshotting the heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tdxbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tdxbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "tdxbench: %v\n", runErr)
+		os.Exit(1)
+	}
+}
+
+// runSelected runs one experiment by id, or all of them.
+func runSelected(exp string) error {
+	if exp == "all" {
 		for _, e := range experiments {
 			fmt.Printf("==== %s — %s ====\n", e.id, e.title)
 			if err := e.run(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "tdxbench: %s: %v\n", e.id, err)
-				os.Exit(1)
+				return fmt.Errorf("%s: %w", e.id, err)
 			}
 			fmt.Println()
 		}
-		return
+		return nil
 	}
 	for _, e := range experiments {
-		if e.id == *exp {
+		if e.id == exp {
 			fmt.Printf("==== %s — %s ====\n", e.id, e.title)
-			if err := e.run(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "tdxbench: %v\n", err)
-				os.Exit(1)
-			}
-			return
+			return e.run(os.Stdout)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "tdxbench: unknown experiment %q (use -list)\n", *exp)
-	os.Exit(2)
+	return fmt.Errorf("unknown experiment %q (use -list)", exp)
 }

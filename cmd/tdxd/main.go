@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	tdxd [-addr :8080] [-max-mappings 64] [-max-timeout 60s] [-parallel 0]
+//	tdxd [-addr :8080] [-max-mappings 64] [-max-timeout 60s] [-parallel 0] [-pprof addr]
 //
 // Endpoints (see package repro/internal/server and the README for the
 // full API):
@@ -35,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // debug listener endpoints; see -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "per-request run budget cap (and default when a request names none)")
 	parallel := flag.Int("parallel", 0, "default chase worker count per run; 0 uses all CPUs")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -67,6 +69,20 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	// The profiling listener is opt-in and separate from the serving mux:
+	// the API handler above is a custom mux without the pprof routes, so
+	// enabling -pprof never exposes profiles on the public address. The
+	// pprof import registers its handlers on http.DefaultServeMux, which
+	// only this debug server uses.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("tdxd pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("tdxd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

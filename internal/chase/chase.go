@@ -74,13 +74,18 @@ type Options struct {
 	// its workers always intern into private shards (see AbstractParallel).
 	Interner *value.Interner
 	// Workers sets the worker count for the partitioned parallel concrete
-	// tgd phase: the homomorphism enumeration over the (frozen) normalized
-	// source is split into contiguous shards, one per worker, with
-	// per-worker private target stores merged in worker-rank order — the
-	// result is byte-identical to the sequential chase. 0 or 1 runs
-	// sequentially (the internal default; the tdx facade maps
-	// WithParallelism onto this field, resolving 0 to GOMAXPROCS there).
-	// Inputs below an internal cutoff, and the egd phase, always run
+	// chase: both phases shard their expensive enumerations into
+	// contiguous ranges, one per worker, over a frozen instance, and merge
+	// the shards in worker-rank order — the result is byte-identical to
+	// the sequential chase. In the tgd phase the homomorphism enumeration
+	// over the (frozen) normalized source fans out with per-worker private
+	// target stores; in the egd phase each round freezes the intermediate
+	// target, the match-set enumeration of the renormalization and the egd
+	// merge-candidate scans fan out, and the union-find replay plus the
+	// rewrite stay sequential (see eparallel.go). 0 or 1 runs sequentially
+	// (the internal default; the tdx facade maps WithParallelism onto this
+	// field, resolving 0 to GOMAXPROCS there). Inputs below an internal
+	// cutoff, and stepwise egd rounds (EgdStepwise), always run
 	// sequentially.
 	Workers int
 	// Trace, when set, receives one Event per chase action (normalization
@@ -144,8 +149,8 @@ func (o *Options) withInterner(in *value.Interner) *Options {
 	return &c
 }
 
-// workers returns the configured tgd-phase worker count; anything below
-// 2 means sequential.
+// workers returns the configured chase worker count (both phases);
+// anything below 2 means sequential.
 func (o *Options) workers() int {
 	if o == nil || o.Workers < 2 {
 		return 1
@@ -198,6 +203,7 @@ type Stats struct {
 	NormalizeRuns         int `json:"normalizeRuns"`         // normalization passes over the target
 	RowsRewritten         int `json:"rowsRewritten"`         // rows touched by incremental egd rewrites
 	TGDWorkers            int `json:"tgdWorkers"`            // workers the tgd phase used (1 = sequential)
+	EgdWorkers            int `json:"egdWorkers"`            // max workers any egd round used (1 = sequential)
 }
 
 // valueUF is an integer union-find over interned value IDs with constant

@@ -80,7 +80,9 @@ func ConcreteCompiled(ic *instance.Concrete, cm *Compiled, opts *Options) (*inst
 	}
 
 	// Steps 3–4: egd phase with renormalization. tgt was built here, so
-	// the egd loop owns it and may rewrite it in place.
+	// the egd loop owns it and may rewrite it in place — or freeze it for
+	// the partitioned parallel rounds (see eparallel.go), in which case
+	// the returned solution comes back frozen.
 	tgt, err = concreteEgds(tgt, cm, opts, &stats, true)
 	if err != nil {
 		return nil, stats, err
@@ -163,14 +165,21 @@ func fireTGD(tgt *instance.Concrete, d *compiledTGD, bind logic.Binding, t inter
 
 // concreteEgds normalizes the target and applies egd c-chase steps until
 // every egd is satisfied. owned reports whether tgt belongs to this
-// chase run: owned instances are rewritten in place, a caller-supplied
-// one is cloned before the first rewrite so the caller's instance is
-// never mutated.
+// chase run: owned instances are rewritten in place (or frozen for the
+// parallel scans), a caller-supplied one is cloned before the first
+// rewrite or freeze so the caller's instance is never mutated. With
+// Options.Workers ≥ 2 the renormalization's match-set enumeration and
+// the merge-candidate scans run partitioned over the frozen target (see
+// eparallel.go), byte-identical to the sequential rounds.
 func concreteEgds(tgt *instance.Concrete, cm *Compiled, opts *Options, stats *Stats, owned bool) (*instance.Concrete, error) {
 	if len(cm.egds) == 0 {
 		return tgt, nil
 	}
 	ctx := opts.ctx()
+	workers := opts.workers()
+	if stats.EgdWorkers == 0 {
+		stats.EgdWorkers = 1
+	}
 	naiveDone := false
 	for {
 		stats.EgdRounds++
@@ -191,7 +200,18 @@ func concreteEgds(tgt *instance.Concrete, cm *Compiled, opts *Options, stats *St
 				naiveDone = true
 			}
 		} else {
-			norm, err := normalize.ForEgdPhaseCtx(ctx, tgt, cm.egdBodies, normalize.StrategySmart)
+			normW := 1
+			if workers > 1 && tgt.Len() >= parallelCutoffFacts {
+				normW = workers
+				if !owned && !tgt.Frozen() {
+					// The parallel path freezes what it enumerates; clone a
+					// caller-supplied mutable target instead of publishing it
+					// out from under the caller.
+					tgt = tgt.Clone()
+					owned = true
+				}
+			}
+			norm, err := normalize.ForEgdPhaseWorkers(ctx, tgt, cm.egdBodies, normalize.StrategySmart, normW)
 			if err != nil {
 				return nil, err
 			}
@@ -200,52 +220,110 @@ func concreteEgds(tgt *instance.Concrete, cm *Compiled, opts *Options, stats *St
 			}
 			tgt = norm
 			stats.NormalizeRuns++
+			if normW > stats.EgdWorkers {
+				stats.EgdWorkers = normW
+			}
 			opts.emit(EventNormalize, "", "target normalized for egd round %d: %d facts", stats.EgdRounds, tgt.Len())
 		}
 
 		in := tgt.Interner()
 		uf := newValueUF(in)
-		var stepErr error
-		stop := false
-		seen := 0
-		for _, d := range cm.egds {
-			x1, x2 := d.d.X1, d.d.X2
-			logic.ForEachIDs(tgt.Store(), d.body, nil, func(h *logic.IDMatch) bool {
-				seen++
-				if seen&ctxCheckMask == 0 {
-					if stepErr = ctxErr(ctx); stepErr != nil {
-						return false
+		scanW := 1
+		if workers > 1 && opts.egd() != EgdStepwise && tgt.Len() >= parallelCutoffFacts {
+			scanW = workers
+		}
+		if scanW > 1 {
+			if !owned && !tgt.Frozen() {
+				tgt = tgt.Clone()
+				owned = true
+			}
+			tgt.Store().Freeze() // idempotent; renormalization usually froze it
+			if scanW > stats.EgdWorkers {
+				stats.EgdWorkers = scanW
+			}
+			specs := make([]egdScanSpec, len(cm.egds))
+			for i := range cm.egds {
+				specs[i] = egdScanSpec{body: cm.egds[i].body, x1: cm.egds[i].d.X1, x2: cm.egds[i].d.X2}
+			}
+			shards, err := collectEgdPairs(ctx, tgt.Store(), specs, scanW)
+			if err != nil {
+				return nil, err
+			}
+			// Replay in (egd, worker-rank) order — the sequential candidate
+			// stream — so the union-find sees the identical merge sequence.
+			seen := 0
+			for di := range cm.egds {
+				d := &cm.egds[di]
+				for w := 0; w < scanW; w++ {
+					pairs := shards[w].pairs[di]
+					for i := 0; i < len(pairs); i += 2 {
+						seen++
+						if seen&ctxCheckMask == 0 {
+							if err := ctxErr(ctx); err != nil {
+								return nil, err
+							}
+						}
+						v1, v2 := uf.canon(pairs[i]), uf.canon(pairs[i+1])
+						if v1 == v2 {
+							continue
+						}
+						if err := uf.union(v1, v2); err != nil {
+							opts.emit(EventEgdFail, d.d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
+							return nil, &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+						}
+						stats.EgdMerges++
+						if opts.tracing() {
+							opts.emit(EventEgdMerge, d.d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
+						}
 					}
 				}
-				b1, _ := h.ID(x1)
-				b2, _ := h.ID(x2)
-				v1, v2 := uf.canon(b1), uf.canon(b2)
-				if v1 == v2 {
-					return true
-				}
-				if err := uf.union(v1, v2); err != nil {
-					stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
-					opts.emit(EventEgdFail, d.d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
-					return false
-				}
-				stats.EgdMerges++
-				if opts.tracing() {
-					opts.emit(EventEgdMerge, d.d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
-				}
-				stop = opts.egd() == EgdStepwise
-				return !stop
-			})
-			if stepErr != nil {
-				return nil, stepErr
 			}
-			if stop {
-				break
+		} else {
+			var stepErr error
+			stop := false
+			seen := 0
+			for _, d := range cm.egds {
+				x1, x2 := d.d.X1, d.d.X2
+				logic.ForEachIDs(tgt.Store(), d.body, nil, func(h *logic.IDMatch) bool {
+					seen++
+					if seen&ctxCheckMask == 0 {
+						if stepErr = ctxErr(ctx); stepErr != nil {
+							return false
+						}
+					}
+					b1, _ := h.ID(x1)
+					b2, _ := h.ID(x2)
+					v1, v2 := uf.canon(b1), uf.canon(b2)
+					if v1 == v2 {
+						return true
+					}
+					if err := uf.union(v1, v2); err != nil {
+						stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+						opts.emit(EventEgdFail, d.d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
+						return false
+					}
+					stats.EgdMerges++
+					if opts.tracing() {
+						opts.emit(EventEgdMerge, d.d.Name, "%v = %v", in.Resolve(v1), in.Resolve(v2))
+					}
+					stop = opts.egd() == EgdStepwise
+					return !stop
+				})
+				if stepErr != nil {
+					return nil, stepErr
+				}
+				if stop {
+					break
+				}
 			}
 		}
 		if !uf.dirty() {
 			return tgt, nil
 		}
-		if !owned {
+		if !owned || tgt.Frozen() {
+			// A frozen target (published for the parallel scans) forbids
+			// substitution; Clone preserves the physical layout exactly, so
+			// rewriting the clone is byte-identical to rewriting in place.
 			tgt = tgt.Clone()
 			owned = true
 		}
@@ -287,5 +365,16 @@ func EgdPhase(tgt *instance.Concrete, m *dependency.Mapping, opts *Options) (*in
 func EgdPhaseCompiled(tgt *instance.Concrete, cm *Compiled, opts *Options) (*instance.Concrete, Stats, error) {
 	var stats Stats
 	out, err := concreteEgds(tgt, cm, opts, &stats, false)
+	return out, stats, err
+}
+
+// EgdPhaseCompiledOwned is EgdPhaseCompiled for a target the caller
+// hands over to the egd phase: tgt may be rewritten in place or frozen
+// (the parallel scans freeze what they enumerate), saving the defensive
+// clone EgdPhaseCompiled pays. The temporal (§7) chase builds its own
+// target and enters here.
+func EgdPhaseCompiledOwned(tgt *instance.Concrete, cm *Compiled, opts *Options) (*instance.Concrete, Stats, error) {
+	var stats Stats
+	out, err := concreteEgds(tgt, cm, opts, &stats, true)
 	return out, stats, err
 }

@@ -44,9 +44,11 @@ import (
 //     Exists check and the firing — fresh nulls included — sequentially
 //     in rank order, which reproduces the sequential pass exactly.
 //
-// The egd phase always runs sequentially (its rewrite rounds are
-// inherently global), as does the whole chase for inputs below
-// parallelCutoffFacts, where the freeze + fan-out overhead dominates.
+// The egd phase parallelizes with the same freeze-and-shard scheme — its
+// renormalization and merge-candidate scans fan out per round, with only
+// the union-find replay and the rewrite sequential (see eparallel.go).
+// Inputs below parallelCutoffFacts run sequentially throughout, where
+// the freeze + fan-out overhead dominates.
 
 // parallelCutoffFacts is the normalized-source size below which the tgd
 // phase ignores Options.Workers and runs sequentially: freezing the

@@ -11,10 +11,12 @@ import (
 	"repro/internal/workload"
 )
 
-// equalStats compares chase stats modulo the worker count (the one field
-// that legitimately differs between the sequential and parallel paths).
+// equalStats compares chase stats modulo the worker counts (the only
+// fields that legitimately differ between the sequential and parallel
+// paths).
 func equalStats(a, b Stats) bool {
 	a.TGDWorkers, b.TGDWorkers = 0, 0
+	a.EgdWorkers, b.EgdWorkers = 0, 0
 	return a == b
 }
 
@@ -148,6 +150,9 @@ func TestParallelCutoffFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	if stats.TGDWorkers != 1 {
-		t.Fatalf("tiny input used %d workers, want sequential fallback", stats.TGDWorkers)
+		t.Fatalf("tiny input used %d tgd workers, want sequential fallback", stats.TGDWorkers)
+	}
+	if stats.EgdWorkers > 1 {
+		t.Fatalf("tiny input used %d egd workers, want sequential fallback", stats.EgdWorkers)
 	}
 }

@@ -1,0 +1,115 @@
+package chase
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// The partitioned parallel egd phase.
+//
+// An egd round has three parts: renormalize the target w.r.t. the egd
+// bodies (Smart strategy), scan every egd body for merge candidates, and
+// rewrite the target through the union-find. The first two are
+// enumeration-heavy and read-only, so they parallelize the same way the
+// tgd phase does: the intermediate target is frozen (all lazy structures
+// built, reads mutation-free), each worker sweeps one contiguous shard of
+// every conjunction via logic.ForEachIDsPartMulti, and the shards
+// concatenate in worker-rank order to exactly the sequential enumeration
+// order.
+//
+// Byte-identical output to the sequential chase is preserved because the
+// order-sensitive state never leaves the merge step:
+//
+//   - Renormalization (normalize.ForEgdPhaseWorkers): workers collect
+//     candidate match sets per renamed conjunction; the merge replays the
+//     hash-dedup over the rank-ordered concatenation, reproducing the
+//     sequential set list, and fragmentation runs sequentially on it.
+//
+//   - Merge-candidate scan (collectEgdPairs below): workers record the
+//     raw (X1, X2) ID pairs of every match; the replay walks them in
+//     (egd, worker-rank, shard) order, applying canon/union against the
+//     round's union-find exactly as the sequential scan would during
+//     enumeration — same merge sequence, same canonical representatives,
+//     same first failure, same trace events.
+//
+//   - The rewrite (SubstituteIDs) stays sequential. A frozen store
+//     forbids substitution, so the round rewrites a Clone — Store.Clone
+//     preserves the physical layout (segments, row numbering, dedup
+//     state) exactly, which keeps the rewritten instance byte-identical
+//     to the sequential in-place rewrite.
+//
+// Stepwise egd application (EgdStepwise) re-searches after every single
+// merge, so its scans stay sequential — the parallel scan would
+// enumerate the whole round to apply one merge. Rounds over targets
+// below parallelCutoffFacts also stay sequential, where the freeze +
+// fan-out overhead dominates.
+
+// egdScanSpec describes one egd for the sharded merge-candidate scan:
+// the body to enumerate and the two equated variables to project out of
+// each match.
+type egdScanSpec struct {
+	body   logic.Conjunction
+	x1, x2 string
+}
+
+// egdShard is one worker's share of the merge-candidate scan: per egd,
+// the flat (b1, b2) ID pairs of shard w in enumeration order. Pairs with
+// b1 == b2 are dropped at the source — the replay's canon check would
+// skip them unconditionally.
+type egdShard struct {
+	pairs [][]value.ID
+	err   error
+}
+
+// collectEgdPairs fans the merge-candidate scan out over workers shards.
+// st must be frozen. The returned shards replay in (egd, worker-rank)
+// order to the sequential scan's candidate stream.
+func collectEgdPairs(ctx context.Context, st *storage.Store, specs []egdScanSpec, workers int) ([]egdShard, error) {
+	bodies := make([]logic.Conjunction, len(specs))
+	for i := range specs {
+		bodies[i] = specs[i].body
+	}
+	shards := make([]egdShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w] = enumerateEgdShard(ctx, st, specs, bodies, w, workers)
+		}(w)
+	}
+	wg.Wait()
+	for w := range shards {
+		if err := shards[w].err; err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// enumerateEgdShard runs one worker: shard w of every egd body against
+// the frozen target, recording the equated-variable ID pairs per match.
+func enumerateEgdShard(ctx context.Context, st *storage.Store, specs []egdScanSpec, bodies []logic.Conjunction, w, workers int) (out egdShard) {
+	out.pairs = make([][]value.ID, len(specs))
+	seen := 0
+	logic.ForEachIDsPartMulti(st, bodies, w, workers, func(ci int, m *logic.IDMatch) bool {
+		seen++
+		if seen&ctxCheckMask == 0 {
+			if out.err = ctxErr(ctx); out.err != nil {
+				return false
+			}
+		}
+		b1, _ := m.ID(specs[ci].x1)
+		b2, _ := m.ID(specs[ci].x2)
+		if b1 == b2 {
+			return true
+		}
+		out.pairs[ci] = append(out.pairs[ci], b1, b2)
+		return true
+	})
+	return out
+}

@@ -79,58 +79,111 @@ func snapshotCompiled(src *instance.Snapshot, cm *Compiled, freshNull func() val
 	out, egdStats, err := snapshotEgds(tgt, cm, opts)
 	stats.EgdRounds, stats.EgdMerges = egdStats.EgdRounds, egdStats.EgdMerges
 	stats.RowsRewritten = egdStats.RowsRewritten
+	stats.EgdWorkers = egdStats.EgdWorkers
 	return out, stats, err
 }
 
 // snapshotEgds applies the egds of the compiled mapping to the snapshot
 // until satisfied (the snapshot chase matches the plain, non-temporal
-// egd bodies).
+// egd bodies). The snapshot egd loop owns its target (Snapshot builds
+// it), so rounds rewrite in place; with Options.Workers ≥ 2 a round over
+// a large enough snapshot freezes it, fans the merge-candidate scan out
+// over worker shards, replays the pairs in rank order (byte-identical to
+// the sequential scan; see eparallel.go), and rewrites a layout-
+// preserving clone. The returned snapshot may come back frozen then.
 func snapshotEgds(tgt *instance.Snapshot, cm *Compiled, opts *Options) (*instance.Snapshot, Stats, error) {
 	var stats Stats
 	ctx := opts.ctx()
 	strat := opts.egd()
+	workers := opts.workers()
 	in := tgt.Interner()
+	stats.EgdWorkers = 1
 	for {
 		stats.EgdRounds++
 		if err := ctxErr(ctx); err != nil {
 			return nil, stats, err
 		}
 		uf := newValueUF(in)
-		stop := false
-		seen := 0
-		var stepErr error
-		for _, d := range cm.egds {
-			x1, x2 := d.d.X1, d.d.X2
-			logic.ForEachIDs(tgt.Store(), d.d.Body, nil, func(h *logic.IDMatch) bool {
-				seen++
-				if seen&ctxCheckMask == 0 {
-					if stepErr = ctxErr(ctx); stepErr != nil {
-						return false
+		scanW := 1
+		if workers > 1 && len(cm.egds) > 0 && strat != EgdStepwise && tgt.Len() >= parallelCutoffFacts {
+			scanW = workers
+		}
+		if scanW > 1 {
+			tgt.Store().Freeze()
+			if scanW > stats.EgdWorkers {
+				stats.EgdWorkers = scanW
+			}
+			specs := make([]egdScanSpec, len(cm.egds))
+			for i := range cm.egds {
+				specs[i] = egdScanSpec{body: cm.egds[i].d.Body, x1: cm.egds[i].d.X1, x2: cm.egds[i].d.X2}
+			}
+			shards, err := collectEgdPairs(ctx, tgt.Store(), specs, scanW)
+			if err != nil {
+				return nil, stats, err
+			}
+			seen := 0
+			for di := range cm.egds {
+				d := &cm.egds[di]
+				for w := 0; w < scanW; w++ {
+					pairs := shards[w].pairs[di]
+					for i := 0; i < len(pairs); i += 2 {
+						seen++
+						if seen&ctxCheckMask == 0 {
+							if err := ctxErr(ctx); err != nil {
+								return nil, stats, err
+							}
+						}
+						v1, v2 := uf.canon(pairs[i]), uf.canon(pairs[i+1])
+						if v1 == v2 {
+							continue
+						}
+						if err := uf.union(v1, v2); err != nil {
+							return nil, stats, &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+						}
+						stats.EgdMerges++
 					}
 				}
-				b1, _ := h.ID(x1)
-				b2, _ := h.ID(x2)
-				v1, v2 := uf.canon(b1), uf.canon(b2)
-				if v1 == v2 {
-					return true
-				}
-				if err := uf.union(v1, v2); err != nil {
-					stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
-					return false
-				}
-				stats.EgdMerges++
-				stop = strat == EgdStepwise // one merge per round
-				return !stop
-			})
-			if stepErr != nil {
-				return nil, stats, stepErr
 			}
-			if stop {
-				break
+		} else {
+			stop := false
+			seen := 0
+			var stepErr error
+			for _, d := range cm.egds {
+				x1, x2 := d.d.X1, d.d.X2
+				logic.ForEachIDs(tgt.Store(), d.d.Body, nil, func(h *logic.IDMatch) bool {
+					seen++
+					if seen&ctxCheckMask == 0 {
+						if stepErr = ctxErr(ctx); stepErr != nil {
+							return false
+						}
+					}
+					b1, _ := h.ID(x1)
+					b2, _ := h.ID(x2)
+					v1, v2 := uf.canon(b1), uf.canon(b2)
+					if v1 == v2 {
+						return true
+					}
+					if err := uf.union(v1, v2); err != nil {
+						stepErr = &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+						return false
+					}
+					stats.EgdMerges++
+					stop = strat == EgdStepwise // one merge per round
+					return !stop
+				})
+				if stepErr != nil {
+					return nil, stats, stepErr
+				}
+				if stop {
+					break
+				}
 			}
 		}
 		if !uf.dirty() {
 			return tgt, stats, nil
+		}
+		if tgt.Store().Frozen() {
+			tgt = tgt.Clone()
 		}
 		stats.RowsRewritten += rewriteSnapshot(tgt, uf)
 	}
@@ -140,7 +193,8 @@ func snapshotEgds(tgt *instance.Snapshot, cm *Compiled, opts *Options) (*instanc
 // place, touching only the rows that contain a merged ID (see
 // rewriteConcrete) and returning how many it rewrote. The snapshot egd
 // loop owns its target (Snapshot builds it), so no defensive copy is
-// needed.
+// needed — only a frozen target (published for a parallel scan) is
+// cloned, layout-preserving, before the rewrite.
 func rewriteSnapshot(s *instance.Snapshot, uf *valueUF) int {
 	return s.Store().SubstituteIDs(uf.substituted(), uf.canon)
 }

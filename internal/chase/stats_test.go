@@ -68,7 +68,7 @@ func TestStatsJSONFieldNames(t *testing.T) {
 	for _, want := range []string{
 		"normalizedSourceFacts", "tgdHoms", "tgdFires", "factsCreated",
 		"nullsCreated", "egdRounds", "egdMerges", "normalizeRuns",
-		"rowsRewritten", "tgdWorkers",
+		"rowsRewritten", "tgdWorkers", "egdWorkers",
 	} {
 		if !strings.Contains(string(data), `"`+want+`"`) {
 			t.Fatalf("published field %q missing from encoding:\n%s", want, data)

@@ -584,6 +584,32 @@ func ForEachIDsPart(st *storage.Store, conj Conjunction, initial Binding, part, 
 	run(p, fn)
 }
 
+// ForEachIDsPartMulti runs shard part of parts over every conjunction in
+// conjs, in order, invoking fn with the conjunction's index and the
+// match. It is the multi-conjunction form of ForEachIDsPart for workers
+// that own one shard of a whole phase — the egd phase enumerates all egd
+// bodies (and normalization all renamed conjunctions) per round, so a
+// worker sweeps its shard of each in sequence. Per conjunction, the
+// ForEachIDsPart concatenation property holds: concatenating the
+// (conjunction, shard 0), ..., (conjunction, shard parts-1) streams
+// reproduces the ForEachIDs enumeration of that conjunction in order.
+// fn returning false stops the whole sweep.
+func ForEachIDsPartMulti(st *storage.Store, conjs []Conjunction, part, parts int, fn func(ci int, m *IDMatch) bool) {
+	stopped := false
+	for ci := range conjs {
+		if stopped {
+			return
+		}
+		ForEachIDsPart(st, conjs[ci], nil, part, parts, func(m *IDMatch) bool {
+			if !fn(ci, m) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
 // ForEach enumerates homomorphisms from the conjunction into the store,
 // starting from the initial binding (which may pre-bind variables; pass
 // nil for none). It invokes fn for each match and stops early when fn

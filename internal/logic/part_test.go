@@ -76,6 +76,87 @@ func TestForEachIDsPartConcatenation(t *testing.T) {
 	}
 }
 
+// TestForEachIDsPartMultiConcatenation pins the multi-conjunction form:
+// per conjunction, concatenating a worker's shard streams across ranks
+// reproduces the unsharded per-conjunction enumeration exactly, and
+// each worker visits its shard of every conjunction in conjs order.
+func TestForEachIDsPartMultiConcatenation(t *testing.T) {
+	conjs := []Conjunction{
+		{NewAtom("A", Var("x"), Var("y")), NewAtom("B", Var("y"), Var("z"))},
+		{NewAtom("A", Var("x"), Var("y"))},
+		{NewAtom("B", Var("y"), Var("z")), NewAtom("C", Var("z"))},
+	}
+	collectMulti := func(st *storage.Store, part, parts int) ([][]string, []int) {
+		out := make([][]string, len(conjs))
+		var order []int
+		ForEachIDsPartMulti(st, conjs, part, parts, func(ci int, m *IDMatch) bool {
+			s := ""
+			for _, r := range m.Rows {
+				s += fmt.Sprintf("%s:%d|", r.Rel, r.Row)
+			}
+			for i, id := range m.Slots() {
+				s += fmt.Sprintf("%s=%d|", m.Vars()[i], id)
+			}
+			out[ci] = append(out[ci], s)
+			if n := len(order); n == 0 || order[n-1] != ci {
+				order = append(order, ci)
+			}
+			return true
+		})
+		return out, order
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		st := partStore(seed, 150)
+		full := make([][]string, len(conjs))
+		for ci, conj := range conjs {
+			full[ci] = collect(st, conj, 0, 1)
+		}
+		for _, parts := range []int{1, 2, 3, 5, 8, 64} {
+			concat := make([][]string, len(conjs))
+			for part := 0; part < parts; part++ {
+				shard, order := collectMulti(st, part, parts)
+				for i := 1; i < len(order); i++ {
+					if order[i] < order[i-1] {
+						t.Fatalf("seed=%d parts=%d part=%d: conjunctions visited out of order: %v", seed, parts, part, order)
+					}
+				}
+				for ci := range conjs {
+					concat[ci] = append(concat[ci], shard[ci]...)
+				}
+			}
+			for ci := range conjs {
+				if len(concat[ci]) != len(full[ci]) {
+					t.Fatalf("seed=%d parts=%d conj=%d: %d matches, want %d", seed, parts, ci, len(concat[ci]), len(full[ci]))
+				}
+				for i := range full[ci] {
+					if concat[ci][i] != full[ci][i] {
+						t.Fatalf("seed=%d parts=%d conj=%d: match %d differs:\n%s\nvs\n%s", seed, parts, ci, i, concat[ci][i], full[ci][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachIDsPartMultiStops asserts that fn returning false aborts
+// the whole sweep — remaining matches and remaining conjunctions
+// included.
+func TestForEachIDsPartMultiStops(t *testing.T) {
+	st := partStore(2, 100)
+	conjs := []Conjunction{
+		{NewAtom("A", Var("x"), Var("y"))},
+		{NewAtom("B", Var("y"), Var("z"))},
+	}
+	calls := 0
+	ForEachIDsPartMulti(st, conjs, 0, 1, func(ci int, m *IDMatch) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("sweep continued after fn returned false: %d calls", calls)
+	}
+}
+
 func TestForEachIDsPartEdges(t *testing.T) {
 	st := partStore(9, 40)
 	conj := Conjunction{NewAtom("A", Var("x"), Var("y"))}

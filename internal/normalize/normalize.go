@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/dependency"
 	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/interval"
 	"repro/internal/logic"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -139,6 +141,128 @@ func matchSets(ctx context.Context, ic *instance.Concrete, phis []logic.Conjunct
 	return out, nil
 }
 
+// parallelCutoffFacts is the instance size below which the egd-phase
+// normalization ignores its workers argument and enumerates match sets
+// sequentially: freezing the instance and spinning up workers costs more
+// than enumerating a few hundred facts outright. It mirrors the chase's
+// cutoff of the same name so the two phases flip together.
+const parallelCutoffFacts = 128
+
+// matchShard is one worker's share of the sharded match-set enumeration:
+// per renamed conjunction, the candidate Δ sets of shard w in enumeration
+// order. Sets are deduplicated only within the worker's own stream (that
+// drops later duplicates exclusively, so the merged stream still carries
+// each distinct set at its earliest position); the merge applies the
+// global cross-worker dedup.
+type matchShard struct {
+	sets [][][]factRef
+	err  error
+}
+
+// matchSetsParallel is matchSets with the enumeration split into workers
+// contiguous shards per renamed conjunction (logic.ForEachIDsPartMulti
+// over the frozen instance). Concatenating each conjunction's shards in
+// worker-rank order reproduces the sequential enumeration order, so after
+// the merge applies the global hash-dedup the returned set list is
+// identical to the sequential one. ic must be owned by the caller or
+// already frozen: it is frozen here to make concurrent enumeration
+// mutation-free.
+func matchSetsParallel(ctx context.Context, ic *instance.Concrete, phis []logic.Conjunction, workers int) ([][]factRef, error) {
+	ic.Freeze()
+	renamed := Renamed(phis)
+	st := ic.Store()
+	shards := make([]matchShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w] = enumerateMatchShard(ctx, ic, st, renamed, w, workers)
+		}(w)
+	}
+	wg.Wait()
+	for w := range shards {
+		if err := shards[w].err; err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge in (conjunction, worker-rank) order with the global dedup —
+	// exactly the order and the set semantics of the sequential pass.
+	seen := make(map[uint64][][]factRef)
+	var out [][]factRef
+	for pi := range renamed {
+		for w := range shards {
+		next:
+			for _, refs := range shards[w].sets[pi] {
+				h := hashRefs(refs)
+				for _, prev := range seen[h] {
+					if slices.Equal(prev, refs) {
+						continue next
+					}
+				}
+				seen[h] = append(seen[h], refs)
+				out = append(out, refs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// enumerateMatchShard runs one worker of matchSetsParallel: shard w of
+// every renamed conjunction, with the same per-match processing as the
+// sequential matchSets (row dedup, common-intersection filter) plus a
+// worker-local dedup bounding the buffered sets.
+func enumerateMatchShard(ctx context.Context, ic *instance.Concrete, st *storage.Store, renamed []logic.Conjunction, w, workers int) (out matchShard) {
+	out.sets = make([][][]factRef, len(renamed))
+	local := make(map[uint64][][]factRef)
+	matches := 0
+	logic.ForEachIDsPartMulti(st, renamed, w, workers, func(ci int, m *logic.IDMatch) bool {
+		matches++
+		if matches&63 == 0 {
+			if out.err = ctxErr(ctx); out.err != nil {
+				return false
+			}
+		}
+		refs := make([]factRef, 0, len(m.Rows))
+		for _, r := range m.Rows {
+			refs = append(refs, factRef{r.Rel, r.Row})
+		}
+		if len(refs) == 0 {
+			return true // empty conjunction: nothing to fragment
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].rel != refs[j].rel {
+				return refs[i].rel < refs[j].rel
+			}
+			return refs[i].row < refs[j].row
+		})
+		uniq := refs[:1]
+		for _, r := range refs[1:] {
+			if r != uniq[len(uniq)-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		ivs := make([]interval.Interval, len(uniq))
+		for i, r := range uniq {
+			ivs[i] = ic.FactAt(r.rel, r.row).T
+		}
+		if _, ok := interval.CommonIntersection(ivs); !ok {
+			return true // empty intersection: nothing to fragment
+		}
+		h := hashRefs(uniq)
+		for _, prev := range local[h] {
+			if slices.Equal(prev, uniq) {
+				return true
+			}
+		}
+		local[h] = append(local[h], uniq)
+		out.sets[ci] = append(out.sets[ci], uniq)
+		return true
+	})
+	return out
+}
+
 // unionFind is a plain union-find over dense indices.
 type unionFind struct{ parent []int }
 
@@ -176,6 +300,15 @@ func SmartCtx(ctx context.Context, ic *instance.Concrete, phis []logic.Conjuncti
 	if err != nil {
 		return nil, err
 	}
+	return fragmentSets(ctx, ic, sets)
+}
+
+// fragmentSets is the second half of Algorithm 1: given the Δ sets the
+// enumeration produced, merge overlapping sets and fragment the member
+// facts on their merged component's endpoint partition. Shared by the
+// sequential and the sharded-parallel enumeration paths, which produce
+// identical set lists.
+func fragmentSets(ctx context.Context, ic *instance.Concrete, sets [][]factRef) (*instance.Concrete, error) {
 	if len(sets) == 0 {
 		return ic.Clone(), nil
 	}
@@ -458,6 +591,24 @@ func ForEgdPhase(c *instance.Concrete, phis []logic.Conjunction, strategy Strate
 // and the match-set enumerations inside it abort promptly with the
 // context's error once ctx is done.
 func ForEgdPhaseCtx(ctx context.Context, c *instance.Concrete, phis []logic.Conjunction, strategy Strategy) (*instance.Concrete, error) {
+	return ForEgdPhaseWorkers(ctx, c, phis, strategy, 1)
+}
+
+// ForEgdPhaseWorkers is ForEgdPhaseCtx with the match-set enumeration —
+// the expensive step of each fixpoint iteration — split into workers
+// contiguous shards running concurrently. The output is byte-identical
+// to the sequential pass at any worker count: shards concatenate in
+// worker-rank order to the sequential enumeration order, and the
+// hash-dedup is replayed over the concatenation (see matchSetsParallel).
+// The family-sync passes and the fragmentation itself stay sequential
+// (linear scans; the enumeration dominates).
+//
+// With workers ≥ 2 the instance enumerated in each iteration is frozen
+// in place first, so c must be owned by the caller or already frozen —
+// and the returned instance may come back frozen (Clone it for a mutable
+// descendant). Iterations over instances below an internal cutoff fall
+// back to the sequential enumeration, where fan-out overhead dominates.
+func ForEgdPhaseWorkers(ctx context.Context, c *instance.Concrete, phis []logic.Conjunction, strategy Strategy, workers int) (*instance.Concrete, error) {
 	if strategy == StrategyNaive {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
@@ -466,7 +617,17 @@ func ForEgdPhaseCtx(ctx context.Context, c *instance.Concrete, phis []logic.Conj
 	}
 	cur := c
 	for {
-		smart, err := SmartCtx(ctx, cur, phis)
+		var sets [][]factRef
+		var err error
+		if workers > 1 && cur.Len() >= parallelCutoffFacts {
+			sets, err = matchSetsParallel(ctx, cur, phis, workers)
+		} else {
+			sets, err = matchSets(ctx, cur, phis)
+		}
+		if err != nil {
+			return nil, err
+		}
+		smart, err := fragmentSets(ctx, cur, sets)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,152 @@
+package normalize
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/paperex"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// storeOrderFacts renders the instance's physical layout: relations
+// lexicographic, live rows ascending. Two instances with equal layouts
+// are byte-identical targets for the chase's row-addressed rewrites, a
+// stronger property than set equality or sorted String output.
+func storeOrderFacts(c *instance.Concrete) []string {
+	var out []string
+	c.EachFact(func(f fact.CFact) bool {
+		out = append(out, f.String())
+		return true
+	})
+	return out
+}
+
+// egdPhaseInput builds a tgd-phase-like target above the parallel
+// cutoff: per group, k worker facts sharing one annotated null (the
+// shape the egd phase renormalizes each round), plus salary facts whose
+// intervals force fragmentation.
+func egdPhaseInput(groups, k int) *instance.Concrete {
+	var g value.NullGen
+	ic := instance.NewConcrete(nil)
+	for gi := 0; gi < groups; gi++ {
+		name := paperex.C(fmt.Sprintf("p%d", gi))
+		span := paperex.Iv(interval.Time(gi%5), interval.Time(20+gi%7))
+		n := value.NewAnnNull(g.Fresh(), span)
+		for i := 0; i < k; i++ {
+			ic.MustInsert(fact.NewC(fmt.Sprintf("W%d", i), span, name, n))
+		}
+		ic.MustInsert(fact.NewC("S", paperex.Iv(interval.Time(2+gi%3), interval.Time(15+gi%9)), name, paperex.C(fmt.Sprintf("s%d", gi%4))))
+	}
+	return ic
+}
+
+// egdPhaseBodies is the Φ set for egdPhaseInput: one join per worker
+// relation against the salary relation, sharing the temporal variable.
+func egdPhaseBodies(k int) []logic.Conjunction {
+	tv := logic.Var("__t")
+	out := make([]logic.Conjunction, k)
+	for i := 0; i < k; i++ {
+		out[i] = logic.Conjunction{
+			{Rel: fmt.Sprintf("W%d", i), Terms: []logic.Term{logic.Var("n"), logic.Var("x"), tv}},
+			{Rel: "S", Terms: []logic.Term{logic.Var("n"), logic.Var("s"), tv}},
+		}
+	}
+	return out
+}
+
+// TestForEgdPhaseWorkersLockstep pins the normalization layer's own
+// byte-identity contract, below the chase: ForEgdPhaseWorkers over a
+// frozen input produces the same physical store layout (not just the
+// same fact set) at any worker count, for both strategies.
+func TestForEgdPhaseWorkersLockstep(t *testing.T) {
+	ic := egdPhaseInput(40, 4)
+	if ic.Len() < parallelCutoffFacts {
+		t.Fatalf("input too small to engage the parallel path: %d facts", ic.Len())
+	}
+	phis := egdPhaseBodies(4)
+	for _, strategy := range []Strategy{StrategySmart, StrategyNaive} {
+		t.Run(fmt.Sprint(strategy), func(t *testing.T) {
+			seq, err := ForEgdPhaseWorkers(context.Background(), ic.Clone(), phis, strategy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := storeOrderFacts(seq)
+			for _, workers := range []int{2, 4, 8} {
+				in := ic.Clone()
+				in.Freeze() // parallel path requires owned-or-frozen input
+				par, err := ForEgdPhaseWorkers(context.Background(), in, phis, strategy, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := storeOrderFacts(par)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d facts, want %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: store row %d differs:\n%s\nvs\n%s", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForEgdPhaseWorkersCutoff pins the sub-cutoff fallback: a tiny
+// input never freezes, even at workers > 1, so mutable callers below
+// the cutoff are untouched by the parallel machinery.
+func TestForEgdPhaseWorkersCutoff(t *testing.T) {
+	ic := egdPhaseInput(3, 2)
+	if ic.Len() >= parallelCutoffFacts {
+		t.Fatalf("test input too large: %d facts", ic.Len())
+	}
+	out, err := ForEgdPhaseWorkers(context.Background(), ic, egdPhaseBodies(2), StrategySmart, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Frozen() || out.Frozen() {
+		t.Fatal("sub-cutoff input was frozen by the parallel path")
+	}
+}
+
+// TestForEgdPhaseWorkersTaxi cross-checks against a real workload: the
+// taxi scenario's egd bodies over its chased (tgd-only) target.
+func TestForEgdPhaseWorkersTaxi(t *testing.T) {
+	m := workload.TaxiMapping()
+	src := workload.Taxi(workload.TaxiConfig{Seed: 3, Drivers: 40, Cabs: 15, Span: 50})
+	// Normalize the source against the tgd bodies — a standalone stand-in
+	// for a tgd-phase target that still exercises real joins.
+	base := ForMapping(src, m.TGDBodies(), StrategySmart)
+	if base.Len() < parallelCutoffFacts {
+		t.Fatalf("taxi base too small: %d facts", base.Len())
+	}
+	phis := m.EGDBodies()
+	seq, err := ForEgdPhaseWorkers(context.Background(), base.Clone(), phis, StrategySmart, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storeOrderFacts(seq)
+	for _, workers := range []int{2, 4} {
+		in := base.Clone()
+		in.Freeze()
+		par, err := ForEgdPhaseWorkers(context.Background(), in, phis, StrategySmart, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := storeOrderFacts(par)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d facts, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: store row %d differs:\n%s\nvs\n%s", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

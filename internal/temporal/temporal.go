@@ -374,11 +374,16 @@ func ChaseCompiled(ic *instance.Concrete, cm *Compiled, opts *chase.Options) (*i
 		}
 	}
 
-	// Plain egd phase via the standard machinery, pre-compiled.
-	out, egdStats, err := chase.EgdPhaseCompiled(tgt, cm.egds, opts)
+	// Plain egd phase via the standard machinery, pre-compiled. tgt was
+	// built by this run, so the egd phase takes ownership (no defensive
+	// clone; with Options.Workers ≥ 2 it runs partitioned and may return
+	// the solution frozen).
+	out, egdStats, err := chase.EgdPhaseCompiledOwned(tgt, cm.egds, opts)
 	stats.EgdRounds = egdStats.EgdRounds
 	stats.EgdMerges = egdStats.EgdMerges
 	stats.NormalizeRuns += egdStats.NormalizeRuns
+	stats.RowsRewritten = egdStats.RowsRewritten
+	stats.EgdWorkers = egdStats.EgdWorkers
 	return out, stats, err
 }
 

@@ -128,12 +128,15 @@ func WithTrace(fn func(Event)) Option { return func(c *config) { c.trace = fn } 
 
 // WithParallelism sets the worker count used by the parallel paths: the
 // concrete chase behind Run and Answer (the s-t tgd phase partitions the
-// frozen normalized source across workers, byte-identical to the
-// sequential chase) and RunAbstract's segment-level fan-out. 0 or
-// negative selects GOMAXPROCS — the default, so Run is parallel out of
-// the box on multi-core hosts; pass 1 to force the sequential path.
-// Tiny inputs, the egd phase, and temporal (§7) mappings always run
-// sequentially.
+// frozen normalized source across workers, and each egd round partitions
+// its renormalization and merge-candidate scans over the frozen
+// intermediate target — both byte-identical to the sequential chase),
+// the egd phase of temporal (§7) mappings, Query/Answer's per-disjunct
+// normalization over the frozen solution, and RunAbstract's
+// segment-level fan-out. 0 or negative selects GOMAXPROCS — the default,
+// so Run is parallel out of the box on multi-core hosts; pass 1 to force
+// the sequential path. Tiny inputs and stepwise egd rounds
+// (EgdStepwise) always run sequentially.
 func WithParallelism(workers int) Option { return func(c *config) { c.parallelism = workers } }
 
 // WithRunInterner gives every Run (and Answer) its own value interner,

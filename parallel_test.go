@@ -1,0 +1,145 @@
+package tdx
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// gradMapping is a synthetic §7 modal mapping large enough to engage
+// the parallel egd phase (the shipped phd.tdx solution has two facts —
+// far below the cutoff): every graduation record asserts a past
+// candidacy in its department with an existential adviser, and the
+// adviser key merges the fresh nulls across a person's departments.
+// The ◆-witness of [s, e) is the point [s−1, s), so records of one
+// person share a start time to make their candidacy witnesses
+// coincide — that is where the egd joins.
+const gradMapping = `
+source schema {
+    Grad(name, dept)
+}
+target schema {
+    Cand(name, dept, adviser)
+    OnRecord(name, dept)
+}
+tgd was-candidate: Grad(n, d) -> exists a . past Cand(n, d, a)
+tgd on-record:    Grad(n, d) -> OnRecord(n, d)
+egd adviser-key:  Cand(n, d1, a), Cand(n, d2, b) -> a = b
+`
+
+// gradFacts generates persons×records graduation facts: per person all
+// records start together (aligning the past-candidacy witnesses) and
+// end at staggered times.
+func gradFacts(persons, records int) string {
+	var b strings.Builder
+	for p := 0; p < persons; p++ {
+		start := 2 + p%5
+		for r := 0; r < records; r++ {
+			fmt.Fprintf(&b, "Grad(p%d, d%d) @ [%d, %d)\n", p, r, start, start+2+3*r)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelTemporalLockstep runs the synthetic §7 mapping through
+// the public API at several parallelism settings: the temporal chase's
+// egd phase must engage the parallel path and stay byte-identical to
+// the sequential run.
+func TestParallelTemporalLockstep(t *testing.T) {
+	ctx := context.Background()
+	ex, err := Compile(gradMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Info().Temporal {
+		t.Fatal("gradMapping should compile as a temporal mapping")
+	}
+	src, err := ex.ParseSource(gradFacts(60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ex.Run(ctx, src, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqStats := seq.Stats()
+	if seqStats.EgdWorkers != 1 {
+		t.Fatalf("sequential temporal run reports EgdWorkers = %d", seqStats.EgdWorkers)
+	}
+	if seqStats.EgdMerges == 0 {
+		t.Fatal("workload produced no egd merges; the lockstep proves nothing")
+	}
+	want := seq.Facts()
+	for _, workers := range []int{2, 4, 8} {
+		par, err := ex.Run(ctx, src, WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		parStats := par.Stats()
+		if parStats.EgdWorkers != workers {
+			t.Fatalf("workers=%d: parallel egd phase did not engage (EgdWorkers=%d; target too small for the cutoff?)", workers, parStats.EgdWorkers)
+		}
+		if got := par.Facts(); got != want {
+			t.Fatalf("workers=%d: temporal solution differs from sequential\nseq:\n%s\npar:\n%s", workers, want, got)
+		}
+		seqCmp, parCmp := seqStats, parStats
+		seqCmp.TGDWorkers, parCmp.TGDWorkers = 0, 0
+		seqCmp.EgdWorkers, parCmp.EgdWorkers = 0, 0
+		if seqCmp != parCmp {
+			t.Fatalf("workers=%d: stats differ:\nseq: %+v\npar: %+v", workers, seqStats, parStats)
+		}
+		for _, at := range []Time{1, 4, 8} {
+			a, err := ex.Snapshot(ctx, seq, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ex.Snapshot(ctx, par, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("workers=%d: snapshot at %d differs:\n%s\nvs\n%s", workers, at, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelQueryLockstep pins Query's parallel per-disjunct
+// normalization: the same frozen solution queried through a sequential
+// and a parallel exchange must give byte-identical certain answers.
+func TestParallelQueryLockstep(t *testing.T) {
+	ctx := context.Background()
+	text := readTestdata(t, "employment.tdx")
+	seqEx, err := Compile(text, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEx, err := Compile(text, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := seqEx.ParseSource(readTestdata(t, "employment.facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := seqEx.Run(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run freezes the solution, so the parallel exchange's Query fans its
+	// normalization out over it — answers must not change.
+	for _, q := range []string{"q", "query all(n, c) :- Emp(n, c, s)"} {
+		a, err := seqEx.Query(ctx, sol, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parEx.Query(ctx, sol, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) || a.Facts() != b.Facts() {
+			t.Fatalf("query %q: answers differ across parallelism:\n%s\nvs\n%s", q, a, b)
+		}
+	}
+}

@@ -26,9 +26,12 @@
 // panic. Solutions come back frozen, so Query, Snapshot, Answer, and
 // every rendering accessor are safe from many goroutines against one
 // Solution. The chase itself is parallel by default: WithParallelism
-// sizes the worker pool that partitions the concrete chase's tgd phase
-// (byte-identical to the sequential chase at any worker count), as well
-// as RunAbstract's segment fan-out. Behavior is configured with
+// sizes the worker pool that partitions both phases of the concrete
+// chase — the tgd homomorphism enumeration and the egd rounds'
+// renormalization and merge-candidate scans (byte-identical to the
+// sequential chase at any worker count) — as well as Query's
+// per-disjunct normalization and RunAbstract's segment fan-out.
+// Behavior is configured with
 // functional options at Compile time and overridable per call —
 // WithNorm, WithEgdStrategy, WithCoalesce, WithTrace, WithParallelism,
 // WithRunInterner.
@@ -470,9 +473,16 @@ func (ex *Exchange) Query(ctx context.Context, sol *Solution, q string) (*Instan
 	return ex.queryResolved(ctx, sol, u)
 }
 
-// queryResolved evaluates an already-resolved query on a solution.
+// queryResolved evaluates an already-resolved query on a solution. The
+// per-disjunct normalization fans out over the chase worker pool when
+// the solution is frozen (Run always freezes; the parallel pass needs a
+// frozen instance to share across workers and concurrent queries).
 func (ex *Exchange) queryResolved(ctx context.Context, sol *Solution, u query.UCQ) (*Instance, error) {
-	ans, err := query.NaiveEvalCtx(ctxOrBackground(ctx), u, sol.c)
+	workers := 1
+	if sol.c.Frozen() {
+		workers = ex.cfg.chaseWorkers()
+	}
+	ans, err := query.NaiveEvalWorkers(ctxOrBackground(ctx), u, sol.c, workers)
 	if err != nil {
 		return nil, err
 	}
