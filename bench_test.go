@@ -610,3 +610,60 @@ func BenchmarkExchangeReuse(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRunDelta measures the incremental exchange against its
+// baseline: an employment base of a few hundred facts chased once, then
+// a k-fact new-hire delta applied either via RunDelta (the semi-naive
+// fast path — the benchmark fails if it silently falls back) or by
+// re-running the whole exchange over the combined source.
+func BenchmarkRunDelta(b *testing.B) {
+	ctx := context.Background()
+	m := paperex.EmploymentMapping()
+	ex, err := FromMapping(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := employment(200)
+	if base.Len() < 200 {
+		b.Fatalf("base instance too small: %d facts", base.Len())
+	}
+	baseSol, err := ex.Run(ctx, NewInstance(base))
+	if err != nil {
+		b.Fatal(err)
+	}
+	newHire := func(ic *instance.Concrete, i int) {
+		name := fmt.Sprintf("newhire%d", i)
+		ic.MustInsert(fact.NewC("E", interval.MustNew(40, 60), paperex.C(name), paperex.C("AcmeCorp")))
+		ic.MustInsert(fact.NewC("S", interval.MustNew(40, 60), paperex.C(name), paperex.C("17k")))
+	}
+	for _, k := range []int{1, 8, 64} {
+		deltaIC := instance.NewConcreteWith(m.Source, base.Interner())
+		combined := instance.NewConcreteWith(m.Source, base.Interner())
+		base.EachFact(func(f fact.CFact) bool { combined.MustInsert(f); return true })
+		for i := 0; i < k; i++ {
+			newHire(deltaIC, i)
+			newHire(combined, i)
+		}
+		delta, full := NewInstance(deltaIC), NewInstance(combined)
+		b.Run(fmt.Sprintf("incremental/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sol, _, err := ex.RunDelta(ctx, baseSol, delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Stats().FallbackFullChase {
+					b.Fatal("delta run fell back to a full re-chase")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("full/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(ctx, full); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,17 +9,27 @@
 //
 // Usage:
 //
-//	tdxd [-addr :8080] [-max-mappings 64] [-max-timeout 60s] [-parallel 0] [-pprof addr]
+//	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0] [-pprof addr]
 //
 // Endpoints (see package repro/internal/server and the README for the
 // full API):
 //
-//	POST /v1/mappings                  register (compile) a mapping → hash
-//	GET  /v1/mappings                  list registered mappings
-//	POST /v1/exchanges/{hash}/run      chase the body source → solution + stats
-//	POST /v1/exchanges/{hash}/answer   certain answers (?query=)
-//	POST /v1/exchanges/{hash}/snapshot abstract snapshot (?at=)
-//	GET  /healthz                      liveness + registry counters
+//	POST   /v1/mappings                   register (compile) a mapping → hash
+//	GET    /v1/mappings                   list registered mappings
+//	POST   /v1/exchanges/{hash}/run       chase the body source → solution + stats
+//	POST   /v1/exchanges/{hash}/answer    certain answers (?query=)
+//	POST   /v1/exchanges/{hash}/snapshot  abstract snapshot (?at=)
+//	POST   /v1/exchanges/{hash}/sessions  open an incremental session over the body source
+//	POST   /v1/sessions/{id}/facts        ingest a delta of new facts → solution diff
+//	DELETE /v1/sessions/{id}              drop a session
+//	GET    /healthz                       liveness + registry/session counters
+//
+// Sessions are the incremental path: opening one chases the body source
+// once and pins the frozen solution; each posted delta then runs the
+// semi-naive delta chase (byte-identical to re-chasing everything, but
+// touching only what the new facts reach) and answers with the solution
+// diff. Live sessions are LRU-bounded (-max-sessions) because each pins
+// its solution plus the retained chase state.
 //
 // Shutdown is graceful: on SIGTERM or SIGINT the listener closes, then
 // in-flight runs get a drain window to finish; runs still going when it
@@ -47,6 +57,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxMappings := flag.Int("max-mappings", server.DefaultCapacity, "registry capacity: compiled exchanges kept resident (LRU eviction beyond it)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "live incremental-session capacity (LRU eviction beyond it; each session pins a solution and its retained chase state)")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "per-request run budget cap (and default when a request names none)")
 	parallel := flag.Int("parallel", 0, "default chase worker count per run; 0 uses all CPUs")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
@@ -55,6 +66,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		MaxMappings: *maxMappings,
+		MaxSessions: *maxSessions,
 		MaxTimeout:  *maxTimeout,
 		Parallelism: *parallel,
 	})

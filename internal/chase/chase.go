@@ -103,6 +103,39 @@ type Options struct {
 	// instance is never mutated (the chase never writes to it). Nil means
 	// context.Background (never canceled).
 	Ctx context.Context
+	// DeltaBaseRowLimit bounds how many retained base-solution rows one
+	// incremental (delta) chase may rewrite through egd merges before it
+	// abandons the fast path and re-chases the combined source from
+	// scratch (Stats.FallbackFullChase reports that it did). 0 means
+	// DefaultDeltaBaseRowLimit; negative means unlimited. Ignored by
+	// non-delta runs.
+	DeltaBaseRowLimit int
+	// FireCounts, when non-nil, receives per-tgd firing counts: entry i is
+	// incremented once per chase step of the i-th tgd (mapping order) that
+	// actually fired. The incremental delta chase records the base run's
+	// counts this way to decide which delta orderings are provably
+	// byte-identical to a full re-chase. Must have one entry per tgd.
+	FireCounts []int
+}
+
+// DefaultDeltaBaseRowLimit is the delta-chase base-row rewrite budget
+// used when Options.DeltaBaseRowLimit is 0: past this many rewritten
+// base rows the incremental run is likely no cheaper than a re-chase,
+// so it falls back.
+const DefaultDeltaBaseRowLimit = 256
+
+func (o *Options) deltaBaseRowLimit() int {
+	if o == nil || o.DeltaBaseRowLimit == 0 {
+		return DefaultDeltaBaseRowLimit
+	}
+	return o.DeltaBaseRowLimit
+}
+
+// recordFire bumps the per-tgd firing counter when the caller wired one.
+func (o *Options) recordFire(di int) {
+	if o != nil && o.FireCounts != nil {
+		o.FireCounts[di]++
+	}
 }
 
 func (o *Options) gen() *value.NullGen {
@@ -204,6 +237,12 @@ type Stats struct {
 	RowsRewritten         int `json:"rowsRewritten"`         // rows touched by incremental egd rewrites
 	TGDWorkers            int `json:"tgdWorkers"`            // workers the tgd phase used (1 = sequential)
 	EgdWorkers            int `json:"egdWorkers"`            // max workers any egd round used (1 = sequential)
+
+	// Incremental (delta) chase observability; zero on full runs.
+	DeltaFacts        int  `json:"deltaFacts"`        // genuinely new source facts the delta contributed
+	DeltaFires        int  `json:"deltaFires"`        // tgd steps fired from delta-involving homomorphisms
+	BaseRowsRewritten int  `json:"baseRowsRewritten"` // retained base-solution rows rewritten by delta egd merges
+	FallbackFullChase bool `json:"fallbackFullChase"` // the delta run gave up and re-chased base+delta from scratch
 }
 
 // valueUF is an integer union-find over interned value IDs with constant

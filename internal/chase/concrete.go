@@ -123,6 +123,7 @@ func tgdPhaseSeq(ctx context.Context, src, tgt *instance.Concrete, cm *Compiled,
 			if err := fireTGD(tgt, d, h.Binding, t, gen, opts, stats); err != nil {
 				return err
 			}
+			opts.recordFire(di)
 		}
 	}
 	return nil

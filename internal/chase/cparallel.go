@@ -154,6 +154,7 @@ func tgdPhaseParallel(ctx context.Context, src, tgt *instance.Concrete, cm *Comp
 					if err := fireTGD(tgt, d, bind, rec.t, gen, opts, stats); err != nil {
 						return err
 					}
+					opts.recordFire(di)
 				}
 				continue
 			}
@@ -182,6 +183,7 @@ func tgdPhaseParallel(ctx context.Context, src, tgt *instance.Concrete, cm *Comp
 				}
 				if added {
 					stats.TGDFires++
+					opts.recordFire(di)
 					if opts.tracing() {
 						t, _ := tgtIn.Resolve(rows[off-1]).Interval()
 						opts.emit(EventTGDFire, d.d.Name, "fired at %v", t)

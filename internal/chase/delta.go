@@ -1,0 +1,662 @@
+package chase
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/dependency"
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/logic"
+	"repro/internal/normalize"
+	"repro/internal/value"
+)
+
+// The semi-naive incremental (delta) c-chase.
+//
+// A full chase run retains its intermediates in a BaseState: the frozen
+// raw source, the frozen normalized source, the frozen pre-egd target,
+// the frozen solution, the null-family position, and the per-tgd firing
+// counts. ConcreteDelta then chases "base source + a few new facts"
+// without redoing the base work:
+//
+//   - the new facts normalize incrementally (normalize.DeltaSourceNormalize),
+//     reusing the retained base fragmentation verbatim;
+//   - tgds fire only on homomorphisms with at least one body atom bound
+//     in the delta (logic.ForEachIDsDelta), against a clone of the
+//     retained pre-egd target, with fresh nulls numbered as the
+//     continuation of the base run (value.NullGenAt);
+//   - egd rounds scan only homomorphisms touching dirty rows, rewriting
+//     in place; merges that reach into retained base rows are allowed up
+//     to Options.DeltaBaseRowLimit rewritten base rows.
+//
+// The contract is byte-identity: the returned solution equals — fact
+// for fact, null family for null family — the solution of a full chase
+// over the base source followed by the delta facts. The fast path only
+// runs when that equality is provable from the retained state; a
+// pre-flight guard or an in-flight hazard (listed at deltaSafe and in
+// the phase loops below) falls back to exactly that full re-chase,
+// reported in Stats.FallbackFullChase. Either way the result is correct
+// and a fresh BaseState is returned, so delta runs chain.
+type BaseState struct {
+	cm         *Compiled
+	src        *instance.Concrete // frozen raw source of the run
+	nsrc       *instance.Concrete // frozen normalized source
+	preEgd     *instance.Concrete // frozen post-tgd/pre-egd target; nil when the mapping has no egds
+	sol        *instance.Concrete // frozen solution, before any coalescing
+	genLast    uint64             // null-family position after the run
+	fires      []int              // per-tgd firing counts of the run
+	norm       normalize.Strategy
+	egdMode    EgdStrategy
+	genPrivate bool // the run used a private null generator (Options.Gen was nil)
+}
+
+// Solution returns the retained frozen solution (pre-coalesce). Shared;
+// do not mutate.
+func (b *BaseState) Solution() *instance.Concrete { return b.sol }
+
+// Source returns the retained frozen raw source. Shared; do not mutate.
+func (b *BaseState) Source() *instance.Concrete { return b.src }
+
+// Compiled returns the mapping the state was chased under.
+func (b *BaseState) Compiled() *Compiled { return b.cm }
+
+// withFireCounts returns a copy of the options recording per-tgd fires
+// into fc. The receiver may be nil.
+func (o *Options) withFireCounts(fc []int) *Options {
+	var c Options
+	if o != nil {
+		c = *o
+	}
+	c.FireCounts = fc
+	return &c
+}
+
+// ConcreteCompiledBase is ConcreteCompiled, additionally retaining the
+// run's intermediates for later incremental runs. ic is frozen here (it
+// is retained inside the BaseState); the returned state is immutable
+// and safe to share. Options.FireCounts is managed internally and
+// ignored if set by the caller.
+func ConcreteCompiledBase(ic *instance.Concrete, cm *Compiled, opts *Options) (*instance.Concrete, Stats, *BaseState, error) {
+	var stats Stats
+	gen := opts.gen()
+	ctx := opts.ctx()
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, nil, err
+	}
+
+	ic.Freeze()
+
+	src, err := normalize.ForMappingCtx(ctx, ic, cm.tgdBodies, opts.norm())
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	stats.NormalizeRuns++
+	stats.NormalizedSourceFacts = src.Len()
+	opts.emit(EventNormalize, "", "source normalized (%s): %d → %d facts", opts.norm(), ic.Len(), src.Len())
+	src.Freeze()
+
+	fires := make([]int, len(cm.tgds))
+	ropts := opts.withFireCounts(fires)
+
+	tgt := instance.NewConcreteWith(cm.m.Target, opts.interner(src.Interner()))
+	if err := tgdPhase(ctx, src, tgt, cm, gen, ropts, &stats); err != nil {
+		return nil, stats, nil, err
+	}
+
+	var preEgd *instance.Concrete
+	if len(cm.egds) > 0 {
+		preEgd = tgt.Clone()
+		preEgd.Freeze()
+	}
+
+	sol, err := concreteEgds(tgt, cm, ropts, &stats, true)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	sol.Freeze()
+
+	base := &BaseState{
+		cm:         cm,
+		src:        ic,
+		nsrc:       src,
+		preEgd:     preEgd,
+		sol:        sol,
+		genLast:    gen.Last(),
+		fires:      fires,
+		norm:       opts.norm(),
+		egdMode:    opts.egd(),
+		genPrivate: opts == nil || opts.Gen == nil,
+	}
+	out := sol
+	if opts.coalesce() {
+		out = sol.Coalesce()
+	}
+	return out, stats, base, nil
+}
+
+// deltaSafe reports whether the incremental fast path is even
+// attemptable: both runs on Smart normalization and batch egds, private
+// null generators (an external generator's position cannot be
+// snapshotted safely), and no trace hook (the delta run cannot replay
+// the full run's event stream). Anything else re-chases from scratch —
+// still correct, just not incremental.
+func deltaSafe(base *BaseState, opts *Options) bool {
+	return base.norm == normalize.StrategySmart && opts.norm() == normalize.StrategySmart &&
+		base.egdMode == EgdBatch && opts.egd() == EgdBatch &&
+		base.genPrivate && (opts == nil || opts.Gen == nil) &&
+		!opts.tracing()
+}
+
+// ConcreteDelta chases the base run's source extended by the facts of
+// delta, reusing the retained BaseState where provably byte-identical
+// and re-chasing the combined source from scratch otherwise
+// (Stats.FallbackFullChase). The returned solution equals — including
+// null family ids — ConcreteCompiled over a source built by inserting
+// the base facts and then the delta facts, and the returned BaseState
+// retains the combined run so further deltas chain. base and delta are
+// never mutated; delta facts already present in the base source are
+// ignored (Stats.DeltaFacts counts the genuinely new ones).
+func ConcreteDelta(base *BaseState, delta *instance.Concrete, opts *Options) (*instance.Concrete, Stats, *BaseState, error) {
+	var stats Stats
+	cm := base.cm
+	ctx := opts.ctx()
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, nil, err
+	}
+
+	// Extend a clone of the retained source; the raw delta frontier is
+	// the set of appended rows.
+	combined := base.src.Clone()
+	rawDelta := logic.NewDeltaSet()
+	var insErr error
+	delta.EachFact(func(f fact.CFact) bool {
+		added, err := combined.Insert(f)
+		if err != nil {
+			insErr = fmt.Errorf("chase: delta fact %v: %w", f, err)
+			return false
+		}
+		if added {
+			rawDelta.Add(f.Rel, combined.Store().Rel(f.Rel).NumRows()-1)
+			stats.DeltaFacts++
+		}
+		return true
+	})
+	if insErr != nil {
+		return nil, stats, nil, insErr
+	}
+	if stats.DeltaFacts == 0 {
+		// Nothing new: the retained solution is the answer.
+		out := base.sol
+		if opts.coalesce() {
+			out = out.Coalesce()
+		}
+		return out, stats, base, nil
+	}
+	combined.Freeze()
+
+	if !deltaSafe(base, opts) {
+		return deltaFallback(combined, cm, opts, stats)
+	}
+
+	workers := opts.workers()
+
+	// Incremental source normalization: the retained base fragmentation
+	// plus the delta rows fragmented on their own match components. A
+	// surviving match set mixing base and delta rows would refragment
+	// base facts — fall back.
+	normW := 1
+	if workers > 1 && rawDelta.Len() >= parallelCutoffFacts {
+		normW = workers
+	}
+	nsrc, frontier, ok, err := normalize.DeltaSourceNormalize(ctx, combined, base.nsrc, cm.tgdBodies, rawDelta, normW)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	if !ok {
+		return deltaFallback(combined, cm, opts, stats)
+	}
+	stats.NormalizeRuns++
+	stats.NormalizedSourceFacts = nsrc.Len()
+	nsrc.Freeze()
+
+	// Firing-order hazards decidable before firing anything:
+	//
+	//   - L is the last existential tgd the base run fired. A delta
+	//     firing that creates nulls at an earlier tgd index would have
+	//     its family ids interleaved before later base families in the
+	//     full run, while the continuation generator numbers them after
+	//     — checked per firing below.
+	//   - An existential tgd the base fired ≥2 times whose multi-atom
+	//     body gained delta rows may enumerate its base homomorphisms in
+	//     a different order in the full run (the adaptive join order
+	//     keys on posting sizes), permuting null ids.
+	//   - A delta firing into a relation that appears in the head of a
+	//     later existential tgd the base run fired could flip that tgd's
+	//     Exists outcome for a base homomorphism in the full run,
+	//     suppressing a base firing — precomputed as existHazard and
+	//     checked per firing below.
+	L := -1
+	for i := range cm.tgds {
+		if len(cm.tgds[i].exist) > 0 && base.fires[i] > 0 {
+			L = i
+		}
+	}
+	frontRels := make(map[string]bool)
+	for _, rel := range frontier.Relations() {
+		frontRels[rel] = true
+	}
+	for i := range cm.tgds {
+		d := &cm.tgds[i]
+		if len(d.exist) > 0 && base.fires[i] >= 2 && len(d.body) >= 2 {
+			for _, a := range d.body {
+				if frontRels[a.Rel] {
+					return deltaFallback(combined, cm, opts, stats)
+				}
+			}
+		}
+	}
+	existHazard := make([]map[string]bool, len(cm.tgds))
+	suffix := make(map[string]bool)
+	for i := len(cm.tgds) - 1; i >= 0; i-- {
+		existHazard[i] = suffix
+		d := &cm.tgds[i]
+		if len(d.exist) > 0 && base.fires[i] > 0 {
+			next := make(map[string]bool, len(suffix)+len(d.head))
+			for rel := range suffix {
+				next[rel] = true
+			}
+			for _, atom := range d.head {
+				next[atom.Rel] = true
+			}
+			suffix = next
+		}
+	}
+
+	// Delta tgd phase against a clone of the retained pre-egd target
+	// (the solution itself when the mapping has no egds), continuing the
+	// base run's null numbering.
+	var tgtc *instance.Concrete
+	if base.preEgd != nil {
+		tgtc = base.preEgd.Clone()
+	} else {
+		tgtc = base.sol.Clone()
+	}
+	gen := value.NullGenAt(base.genLast)
+	fires := slices.Clone(base.fires)
+	bounds := make(map[string]int)
+	for _, rel := range tgtc.Store().Relations() {
+		bounds[rel] = tgtc.Store().Rel(rel).NumRows()
+	}
+
+	scanW := 1
+	if workers > 1 && frontier.Len() >= parallelCutoffFacts {
+		scanW = workers
+	}
+	for di := range cm.tgds {
+		d := &cm.tgds[di]
+		if err := ctxErr(ctx); err != nil {
+			return nil, stats, nil, err
+		}
+		homs, err := collectDeltaHoms(ctx, nsrc, d.body, frontier, scanW, d.d.Name)
+		if err != nil {
+			return nil, stats, nil, err
+		}
+		stats.TGDHoms += len(homs)
+		hasExist := len(d.exist) > 0
+		firedHere := 0
+		for hi := range homs {
+			h := &homs[hi]
+			if hi&ctxCheckMask == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, stats, nil, err
+				}
+			}
+			if logic.Exists(tgtc.Store(), d.head, h.bind) {
+				if hasExist {
+					// The extension may pre-exist via base facts of later
+					// tgds the full run has not fired yet at this point:
+					// whether the full run fires is undecidable here.
+					return deltaFallback(combined, cm, opts, stats)
+				}
+				continue
+			}
+			if hasExist {
+				if len(d.body) >= 2 && (base.fires[di] >= 1 || firedHere >= 1) {
+					// Base and delta firings of a multi-atom body interleave
+					// under the full run's adaptive join order.
+					return deltaFallback(combined, cm, opts, stats)
+				}
+				if di < L {
+					return deltaFallback(combined, cm, opts, stats)
+				}
+			}
+			for _, atom := range d.head {
+				if existHazard[di][atom.Rel] {
+					return deltaFallback(combined, cm, opts, stats)
+				}
+			}
+			if err := fireTGD(tgtc, d, h.bind, h.t, gen, opts, &stats); err != nil {
+				return nil, stats, nil, err
+			}
+			stats.DeltaFires++
+			fires[di]++
+			firedHere++
+		}
+	}
+
+	var sol *instance.Concrete
+	if len(cm.egds) == 0 {
+		sol = tgtc
+	} else {
+		out, fellBack, err := deltaEgds(ctx, base, cm, tgtc, bounds, opts, &stats)
+		if err != nil {
+			return nil, stats, nil, err
+		}
+		if fellBack {
+			return deltaFallback(combined, cm, opts, stats)
+		}
+		sol = out
+	}
+
+	sol.Freeze()
+	var preEgd *instance.Concrete
+	if len(cm.egds) > 0 {
+		tgtc.Freeze()
+		preEgd = tgtc
+	}
+	next := &BaseState{
+		cm:         cm,
+		src:        combined,
+		nsrc:       nsrc,
+		preEgd:     preEgd,
+		sol:        sol,
+		genLast:    gen.Last(),
+		fires:      fires,
+		norm:       base.norm,
+		egdMode:    base.egdMode,
+		genPrivate: true,
+	}
+	res := sol
+	if opts.coalesce() {
+		res = sol.Coalesce()
+	}
+	return res, stats, next, nil
+}
+
+// deltaFallback abandons the incremental path and chases the combined
+// source from scratch, preserving the delta accounting.
+func deltaFallback(combined *instance.Concrete, cm *Compiled, opts *Options, stats Stats) (*instance.Concrete, Stats, *BaseState, error) {
+	out, st, next, err := ConcreteCompiledBase(combined, cm, opts)
+	st.DeltaFacts = stats.DeltaFacts
+	st.FallbackFullChase = true
+	return out, st, next, err
+}
+
+// deltaEgds runs the incremental egd rounds: the new target rows seed
+// the dirty set over a clone of the retained solution, each round
+// checks that renormalization would leave the dirty frontier untouched
+// (all delta-involving egd-body match sets interval-aligned), scans
+// only dirty-involving homomorphisms for merge candidates, and rewrites
+// in place, feeding rewritten rows — base rows included — back into the
+// dirty set. It reports fellBack=true when a round breaks an invariant
+// the retained state depends on (misaligned match set) or the base
+// rewrite budget is exhausted.
+func deltaEgds(ctx context.Context, base *BaseState, cm *Compiled, tgtc *instance.Concrete, bounds map[string]int, opts *Options, stats *Stats) (*instance.Concrete, bool, error) {
+	out := base.sol.Clone()
+	dirty := logic.NewDeltaSet()
+	baseRows := make(map[string]int)
+	for _, rel := range out.Store().Relations() {
+		baseRows[rel] = out.Store().Rel(rel).NumRows()
+	}
+	for _, rel := range tgtc.Store().Relations() {
+		r := tgtc.Store().Rel(rel)
+		for row := bounds[rel]; row < r.NumRows(); row++ {
+			added, err := out.Insert(tgtc.FactAt(rel, row))
+			if err != nil {
+				return nil, false, err
+			}
+			if added {
+				dirty.Add(rel, out.Store().Rel(rel).NumRows()-1)
+			}
+		}
+	}
+	if dirty.Len() == 0 {
+		return out, false, nil
+	}
+
+	limit := opts.deltaBaseRowLimit()
+	workers := opts.workers()
+	if stats.EgdWorkers == 0 {
+		stats.EgdWorkers = 1
+	}
+	in := out.Interner()
+	rewrittenBase := 0
+	for {
+		stats.EgdRounds++
+		if err := ctxErr(ctx); err != nil {
+			return nil, false, err
+		}
+		scanW := 1
+		if workers > 1 && dirty.Len() >= parallelCutoffFacts {
+			scanW = workers
+			out.Store().Freeze()
+			if scanW > stats.EgdWorkers {
+				stats.EgdWorkers = scanW
+			}
+		}
+		// Guard: renormalizing w.r.t. the egd bodies must not fragment
+		// anything on the dirty frontier, or the retained base
+		// fragmentation no longer matches what a full run would produce.
+		aligned, err := normalize.DeltaAligned(ctx, out, cm.egdBodies, dirty, scanW)
+		if err != nil {
+			return nil, false, err
+		}
+		if !aligned {
+			return nil, true, nil
+		}
+
+		uf := newValueUF(in)
+		seen := 0
+		for di := range cm.egds {
+			d := &cm.egds[di]
+			pairs, err := collectDeltaPairs(ctx, out, d.body, d.d.X1, d.d.X2, dirty, scanW)
+			if err != nil {
+				return nil, false, err
+			}
+			for i := 0; i < len(pairs); i += 2 {
+				seen++
+				if seen&ctxCheckMask == 0 {
+					if err := ctxErr(ctx); err != nil {
+						return nil, false, err
+					}
+				}
+				v1, v2 := uf.canon(pairs[i]), uf.canon(pairs[i+1])
+				if v1 == v2 {
+					continue
+				}
+				if err := uf.union(v1, v2); err != nil {
+					opts.emit(EventEgdFail, d.d.Name, "constants clash: %v ≠ %v", in.Resolve(v1), in.Resolve(v2))
+					return nil, false, &FailError{Dep: d.d.Name, V1: in.Resolve(v1), V2: in.Resolve(v2)}
+				}
+				stats.EgdMerges++
+			}
+		}
+		if !uf.dirty() {
+			return out, false, nil
+		}
+		if out.Frozen() {
+			out = out.Clone()
+		}
+		n := out.Store().SubstituteIDsTouched(uf.substituted(), uf.canon, func(rel string, row int) {
+			dirty.Add(rel, row)
+			if row < baseRows[rel] {
+				rewrittenBase++
+			}
+		})
+		stats.RowsRewritten += n
+		stats.BaseRowsRewritten = rewrittenBase
+		if limit >= 0 && rewrittenBase > limit {
+			return nil, true, nil
+		}
+	}
+}
+
+// deltaHom is one collected delta-involving tgd-body homomorphism: the
+// resolved variable bindings and the firing interval.
+type deltaHom struct {
+	bind logic.Binding
+	t    interval.Interval
+}
+
+// collectDeltaHoms enumerates the delta-involving homomorphisms of conj
+// into ic (which must be frozen when workers > 1) and materializes
+// their bindings, in the deterministic stage-major order of
+// logic.ForEachIDsDelta — shards merge in (stage, worker-rank) order.
+func collectDeltaHoms(ctx context.Context, ic *instance.Concrete, conj logic.Conjunction, frontier *logic.DeltaSet, workers int, dname string) ([]deltaHom, error) {
+	in := ic.Interner()
+	build := func(m *logic.IDMatch) (deltaHom, error) {
+		bind := make(logic.Binding, len(m.Vars()))
+		for i, name := range m.Vars() {
+			bind[name] = in.Resolve(m.Slots()[i])
+		}
+		tv, ok := bind[dependency.TemporalVar]
+		if !ok || !tv.IsInterval() {
+			return deltaHom{}, fmt.Errorf("chase: tgd %s: temporal variable unbound", dname)
+		}
+		t, _ := tv.Interval()
+		return deltaHom{bind: bind, t: t}, nil
+	}
+	if workers <= 1 {
+		var homs []deltaHom
+		var stepErr error
+		seen := 0
+		logic.ForEachIDsDelta(ic.Store(), conj, frontier, func(stage int, m *logic.IDMatch) bool {
+			seen++
+			if seen&ctxCheckMask == 0 {
+				if stepErr = ctxErr(ctx); stepErr != nil {
+					return false
+				}
+			}
+			h, err := build(m)
+			if err != nil {
+				stepErr = err
+				return false
+			}
+			homs = append(homs, h)
+			return true
+		})
+		return homs, stepErr
+	}
+
+	type shard struct {
+		perStage [][]deltaHom
+		err      error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &shards[w]
+			s.perStage = make([][]deltaHom, len(conj))
+			seen := 0
+			logic.ForEachIDsDeltaPart(ic.Store(), conj, frontier, w, workers, func(stage int, m *logic.IDMatch) bool {
+				seen++
+				if seen&ctxCheckMask == 0 {
+					if s.err = ctxErr(ctx); s.err != nil {
+						return false
+					}
+				}
+				h, err := build(m)
+				if err != nil {
+					s.err = err
+					return false
+				}
+				s.perStage[stage] = append(s.perStage[stage], h)
+				return true
+			})
+		}(w)
+	}
+	wg.Wait()
+	var homs []deltaHom
+	for w := range shards {
+		if err := shards[w].err; err != nil {
+			return nil, err
+		}
+	}
+	for stage := 0; stage < len(conj); stage++ {
+		for w := range shards {
+			homs = append(homs, shards[w].perStage[stage]...)
+		}
+	}
+	return homs, nil
+}
+
+// collectDeltaPairs enumerates the delta-involving homomorphisms of an
+// egd body over ic (frozen when workers > 1) and returns the flat
+// (x1, x2) ID pairs in deterministic (stage, worker-rank) order.
+func collectDeltaPairs(ctx context.Context, ic *instance.Concrete, body logic.Conjunction, x1, x2 string, dirty *logic.DeltaSet, workers int) ([]value.ID, error) {
+	if workers <= 1 {
+		var pairs []value.ID
+		var stepErr error
+		seen := 0
+		logic.ForEachIDsDelta(ic.Store(), body, dirty, func(stage int, m *logic.IDMatch) bool {
+			seen++
+			if seen&ctxCheckMask == 0 {
+				if stepErr = ctxErr(ctx); stepErr != nil {
+					return false
+				}
+			}
+			b1, _ := m.ID(x1)
+			b2, _ := m.ID(x2)
+			pairs = append(pairs, b1, b2)
+			return true
+		})
+		return pairs, stepErr
+	}
+	type shard struct {
+		perStage [][]value.ID
+		err      error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &shards[w]
+			s.perStage = make([][]value.ID, len(body))
+			seen := 0
+			logic.ForEachIDsDeltaPart(ic.Store(), body, dirty, w, workers, func(stage int, m *logic.IDMatch) bool {
+				seen++
+				if seen&ctxCheckMask == 0 {
+					if s.err = ctxErr(ctx); s.err != nil {
+						return false
+					}
+				}
+				b1, _ := m.ID(x1)
+				b2, _ := m.ID(x2)
+				s.perStage[stage] = append(s.perStage[stage], b1, b2)
+				return true
+			})
+		}(w)
+	}
+	wg.Wait()
+	var pairs []value.ID
+	for w := range shards {
+		if err := shards[w].err; err != nil {
+			return nil, err
+		}
+	}
+	for stage := 0; stage < len(body); stage++ {
+		for w := range shards {
+			pairs = append(pairs, shards[w].perStage[stage]...)
+		}
+	}
+	return pairs, nil
+}

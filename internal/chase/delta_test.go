@@ -1,0 +1,203 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// TestConcreteDeltaEquivalence is the adjudicator of the incremental
+// chase: across random mappings, random sources, random base/delta
+// splits, and worker counts, ConcreteDelta over a retained base run
+// must produce byte-identical output (facts, null family ids — String
+// renders both) to a full chase over the combined source, whether it
+// takes the fast path or falls back. It also asserts the suite
+// exercises the fast path at all, so a regression that silently falls
+// back on everything cannot pass.
+func TestConcreteDeltaEquivalence(t *testing.T) {
+	fastPaths := 0
+	trials := 0
+	for seed := int64(0); seed < 30; seed++ {
+		for _, workers := range []int{1, 2, 4} {
+			if workers > 1 && seed >= 6 {
+				continue // full worker sweep on the first seeds, breadth on one worker
+			}
+			r := rand.New(rand.NewSource(seed))
+			m := workload.RandomMapping(r)
+			nFacts := 40 + r.Intn(200)
+			all := workload.RandomInstanceFor(r, m, nFacts)
+			cut := all.Len() - (1 + r.Intn(7))
+			if cut < 1 {
+				cut = 1
+			}
+			baseIC := instance.NewConcreteWith(m.Source, all.Interner())
+			deltaIC := instance.NewConcreteWith(m.Source, all.Interner())
+			fullIC := instance.NewConcreteWith(m.Source, all.Interner())
+			i := 0
+			all.EachFact(func(f fact.CFact) bool {
+				if i < cut {
+					baseIC.MustInsert(f)
+				} else {
+					deltaIC.MustInsert(f)
+				}
+				fullIC.MustInsert(f)
+				i++
+				return true
+			})
+
+			cm, err := CompileMapping(m)
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v", seed, err)
+			}
+			opts := &Options{Workers: workers}
+			wantOut, _, _, wantErr := ConcreteCompiledBase(fullIC, cm, &Options{Workers: workers})
+
+			baseOut, _, baseState, baseErr := ConcreteCompiledBase(baseIC, cm, opts)
+			if baseErr != nil {
+				// The base alone has no solution; the combined source cannot
+				// have one either (its egd violations persist).
+				if wantErr == nil {
+					t.Fatalf("seed %d w%d: base chase failed (%v) but full chase succeeded", seed, workers, baseErr)
+				}
+				continue
+			}
+			_ = baseOut
+			gotOut, gotStats, nextBase, gotErr := ConcreteDelta(baseState, deltaIC, opts)
+			trials++
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d w%d: delta err = %v, full err = %v", seed, workers, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !gotStats.FallbackFullChase {
+				fastPaths++
+			}
+			if got, want := gotOut.String(), wantOut.String(); got != want {
+				t.Fatalf("seed %d w%d (fallback=%v): delta solution diverges from full chase\n--- delta ---\n%s\n--- full ---\n%s",
+					seed, workers, gotStats.FallbackFullChase, got, want)
+			}
+			if nextBase == nil {
+				t.Fatalf("seed %d w%d: delta run returned no base state", seed, workers)
+			}
+			if got, want := nextBase.Solution().String(), wantOut.String(); got != want {
+				t.Fatalf("seed %d w%d: retained solution diverges from returned one", seed, workers)
+			}
+			// Snapshots must agree too (semantic identity on top of the
+			// syntactic one).
+			for _, tp := range instance.SamplePoints(gotOut.Abstract(), wantOut.Abstract()) {
+				if !gotOut.Snapshot(tp).Equal(wantOut.Snapshot(tp)) {
+					t.Fatalf("seed %d w%d: snapshot at %v diverges", seed, workers, tp)
+				}
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no trial ran a delta chase")
+	}
+	if fastPaths == 0 {
+		t.Fatal("every trial fell back to a full re-chase; the incremental path was never exercised")
+	}
+	t.Logf("delta equivalence: %d trials, %d fast paths", trials, fastPaths)
+}
+
+// TestConcreteDeltaChains applies two deltas in sequence and compares
+// against one full chase over everything: the BaseState returned by a
+// delta run must itself be a valid base for the next.
+func TestConcreteDeltaChains(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := workload.RandomMapping(r)
+		all := workload.RandomInstanceFor(r, m, 60+r.Intn(100))
+		n := all.Len()
+		cut1, cut2 := n-8, n-4
+		if cut1 < 1 {
+			continue
+		}
+		ics := make([]*instance.Concrete, 4) // base, delta1, delta2, full
+		for i := range ics {
+			ics[i] = instance.NewConcreteWith(m.Source, all.Interner())
+		}
+		i := 0
+		all.EachFact(func(f fact.CFact) bool {
+			switch {
+			case i < cut1:
+				ics[0].MustInsert(f)
+			case i < cut2:
+				ics[1].MustInsert(f)
+			default:
+				ics[2].MustInsert(f)
+			}
+			ics[3].MustInsert(f)
+			i++
+			return true
+		})
+		cm, err := CompileMapping(m)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		wantOut, _, _, wantErr := ConcreteCompiledBase(ics[3], cm, nil)
+		_, _, st0, err0 := ConcreteCompiledBase(ics[0], cm, nil)
+		if err0 != nil {
+			if wantErr == nil {
+				t.Fatalf("seed %d: base failed but full succeeded", seed)
+			}
+			continue
+		}
+		_, _, st1, err1 := ConcreteDelta(st0, ics[1], nil)
+		if err1 != nil {
+			if wantErr == nil {
+				t.Fatalf("seed %d: first delta failed (%v) but full succeeded", seed, err1)
+			}
+			continue
+		}
+		got, _, _, err2 := ConcreteDelta(st1, ics[2], nil)
+		if (err2 == nil) != (wantErr == nil) {
+			t.Fatalf("seed %d: second delta err = %v, full err = %v", seed, err2, wantErr)
+		}
+		if err2 != nil {
+			continue
+		}
+		if got.String() != wantOut.String() {
+			t.Fatalf("seed %d: chained deltas diverge from full chase\n--- chained ---\n%s\n--- full ---\n%s",
+				seed, got.String(), wantOut.String())
+		}
+	}
+}
+
+// TestConcreteDeltaEmpty pins the no-op contract: a delta containing
+// only already-known facts returns the retained solution unchanged.
+func TestConcreteDeltaEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := workload.RandomMapping(r)
+	ic := workload.RandomInstanceFor(r, m, 50)
+	cm, err := CompileMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, st, err := ConcreteCompiledBase(ic, cm, nil)
+	if err != nil {
+		t.Skipf("base chase failed: %v", err)
+	}
+	dup := instance.NewConcreteWith(m.Source, ic.Interner())
+	ic.EachFact(func(f fact.CFact) bool {
+		dup.MustInsert(f)
+		return true
+	})
+	got, stats, next, err := ConcreteDelta(st, dup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaFacts != 0 || stats.FallbackFullChase {
+		t.Fatalf("duplicate delta counted as new: %+v", stats)
+	}
+	if got != out {
+		t.Fatal("no-op delta did not return the retained solution")
+	}
+	if next != st {
+		t.Fatal("no-op delta did not return the retained base state")
+	}
+}

@@ -33,10 +33,14 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 			t.Fatalf("duplicate json tag %q", name)
 		}
 		tags[name] = true
-		if f.Type.Kind() != reflect.Int {
-			t.Fatalf("Stats.%s is %v; extend this test before adding non-int fields", f.Name, f.Type)
+		switch f.Type.Kind() {
+		case reflect.Int:
+			rv.Field(i).SetInt(int64(100 + i))
+		case reflect.Bool:
+			rv.Field(i).SetBool(true)
+		default:
+			t.Fatalf("Stats.%s is %v; extend this test before adding fields of new kinds", f.Name, f.Type)
 		}
-		rv.Field(i).SetInt(int64(100 + i))
 	}
 
 	data, err := json.Marshal(s)
@@ -69,6 +73,7 @@ func TestStatsJSONFieldNames(t *testing.T) {
 		"normalizedSourceFacts", "tgdHoms", "tgdFires", "factsCreated",
 		"nullsCreated", "egdRounds", "egdMerges", "normalizeRuns",
 		"rowsRewritten", "tgdWorkers", "egdWorkers",
+		"deltaFacts", "deltaFires", "baseRowsRewritten", "fallbackFullChase",
 	} {
 		if !strings.Contains(string(data), `"`+want+`"`) {
 			t.Fatalf("published field %q missing from encoding:\n%s", want, data)

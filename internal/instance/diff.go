@@ -1,8 +1,76 @@
 package instance
 
 import (
+	"repro/internal/fact"
 	"repro/internal/interval"
+	"repro/internal/schema"
 )
+
+// cover is the interval coverage of one data identity (relation + data
+// arguments, nulls compared by family): a representative fact plus the
+// union of the intervals of every fact sharing its data.
+type cover struct {
+	f   fact.CFact
+	ivs interval.Set
+}
+
+// CoverIndex groups an instance's facts by data identity, bucketed on
+// DataHash and confirmed with SameData (no canonical strings are ever
+// built), in first-visited order so downstream output is deterministic.
+// It is read-only once built and depends only on the instance's facts,
+// so callers holding a frozen instance may build it once and reuse it
+// across any number of DiffIndexed calls from any goroutine.
+type CoverIndex struct {
+	sch    *schema.Schema
+	byHash map[uint64][]*cover
+	order  []*cover
+}
+
+// NewCoverIndex builds the data-identity coverage index of c.
+func NewCoverIndex(c *Concrete) *CoverIndex {
+	ix := &CoverIndex{sch: c.Schema(), byHash: make(map[uint64][]*cover)}
+	c.EachFact(func(f fact.CFact) bool {
+		h := f.DataHash()
+		for _, cv := range ix.byHash[h] {
+			if cv.f.SameData(f) {
+				cv.ivs.Add(f.T)
+				return true
+			}
+		}
+		cv := &cover{f: f}
+		cv.ivs.Add(f.T)
+		ix.byHash[h] = append(ix.byHash[h], cv)
+		ix.order = append(ix.order, cv)
+		return true
+	})
+	return ix
+}
+
+// lookup returns the coverage of f's data identity, or nil.
+func (ix *CoverIndex) lookup(f fact.CFact) *interval.Set {
+	for _, cv := range ix.byHash[f.DataHash()] {
+		if cv.f.SameData(f) {
+			return &cv.ivs
+		}
+	}
+	return nil
+}
+
+// diffCovers emits a ∖ b from the two indexes: for every data identity
+// of a, the part of its coverage b does not cover, as coalesced facts.
+func diffCovers(a, b *CoverIndex) *Concrete {
+	out := NewConcrete(a.sch)
+	for _, cv := range a.order {
+		rest := cv.ivs
+		if cov := b.lookup(cv.f); cov != nil {
+			rest = cv.ivs.Subtract(cov)
+		}
+		for _, iv := range rest.Intervals() {
+			out.MustInsert(cv.f.WithInterval(iv))
+		}
+	}
+	return out.Coalesce()
+}
 
 // Diff computes the semantic temporal difference a ∖ b: for every time
 // point ℓ, the facts of ⟦a⟧(ℓ) that are not in ⟦b⟧(ℓ), returned as a
@@ -11,36 +79,28 @@ import (
 // fragment of the same family. The classic temporal-database difference
 // with interval splitting.
 func Diff(a, b *Concrete) *Concrete {
-	// Interval coverage of b per data key.
-	bCover := make(map[string]*interval.Set)
-	for _, f := range b.Facts() {
-		k := f.DataKey()
-		s, ok := bCover[k]
-		if !ok {
-			s = &interval.Set{}
-			bCover[k] = s
-		}
-		s.Add(f.T)
-	}
-	out := NewConcrete(a.Schema())
-	for _, f := range a.Facts() {
-		cover := bCover[f.DataKey()]
-		if cover == nil {
-			out.MustInsert(f)
-			continue
-		}
-		var mine interval.Set
-		mine.Add(f.T)
-		rest := mine.Subtract(cover)
-		for _, iv := range rest.Intervals() {
-			out.MustInsert(f.WithInterval(iv))
-		}
-	}
-	return out.Coalesce()
+	return diffCovers(NewCoverIndex(a), NewCoverIndex(b))
+}
+
+// DiffBoth computes both directions of Diff in one pass over each
+// instance — the coverage indexes are built once and shared, so it
+// costs roughly half of two Diff calls. RunDelta's solution diffing is
+// the hot caller.
+func DiffBoth(a, b *Concrete) (aNotB, bNotA *Concrete) {
+	return DiffIndexed(NewCoverIndex(a), NewCoverIndex(b))
+}
+
+// DiffIndexed is DiffBoth over prebuilt coverage indexes, for callers
+// that hold frozen instances and amortize index construction across
+// repeated diffs (a chain of incremental runs diffs each solution
+// twice: once as the new side, once as the next delta's base).
+func DiffIndexed(a, b *CoverIndex) (aNotB, bNotA *Concrete) {
+	return diffCovers(a, b), diffCovers(b, a)
 }
 
 // SameSemantics reports whether two concrete instances denote the same
 // abstract instance: both directions of Diff are empty.
 func SameSemantics(a, b *Concrete) bool {
-	return Diff(a, b).Len() == 0 && Diff(b, a).Len() == 0
+	d, r := DiffBoth(a, b)
+	return d.Len() == 0 && r.Len() == 0
 }

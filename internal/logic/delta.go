@@ -1,0 +1,280 @@
+package logic
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// DeltaSet marks, per relation, a set of "delta" rows of one store: the
+// rows the incremental chase considers new or dirty. Membership is
+// O(1); Rows materializes a sorted view lazily. The zero value is not
+// usable — construct with NewDeltaSet.
+type DeltaSet struct {
+	member map[string]map[int]bool
+	sorted map[string][]int // per-relation sorted cache; nil entry = stale
+}
+
+// NewDeltaSet returns an empty delta set.
+func NewDeltaSet() *DeltaSet {
+	return &DeltaSet{member: make(map[string]map[int]bool), sorted: make(map[string][]int)}
+}
+
+// Add marks one row of a relation as delta. Adding a row twice is a
+// no-op.
+func (d *DeltaSet) Add(rel string, row int) {
+	m := d.member[rel]
+	if m == nil {
+		m = make(map[int]bool)
+		d.member[rel] = m
+	}
+	if !m[row] {
+		m[row] = true
+		d.sorted[rel] = nil
+	}
+}
+
+// AddRange marks rows [from, to) of a relation as delta — the shape of
+// a freshly appended suffix.
+func (d *DeltaSet) AddRange(rel string, from, to int) {
+	for row := from; row < to; row++ {
+		d.Add(rel, row)
+	}
+}
+
+// Contains reports whether the row is marked.
+func (d *DeltaSet) Contains(rel string, row int) bool {
+	return d.member[rel][row]
+}
+
+// Rows returns the marked rows of the relation in ascending order. The
+// returned slice is owned by the set; do not mutate it.
+func (d *DeltaSet) Rows(rel string) []int {
+	m := d.member[rel]
+	if len(m) == 0 {
+		return nil
+	}
+	if s := d.sorted[rel]; s != nil {
+		return s
+	}
+	s := make([]int, 0, len(m))
+	for row := range m {
+		s = append(s, row)
+	}
+	sort.Ints(s)
+	d.sorted[rel] = s
+	return s
+}
+
+// Len returns the total number of marked rows across relations.
+func (d *DeltaSet) Len() int {
+	n := 0
+	for _, m := range d.member {
+		n += len(m)
+	}
+	return n
+}
+
+// Relations returns the relation names with at least one marked row, in
+// lexicographic order.
+func (d *DeltaSet) Relations() []string {
+	out := make([]string, 0, len(d.member))
+	for rel, m := range d.member {
+		if len(m) > 0 {
+			out = append(out, rel)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachIDsDelta enumerates exactly the homomorphisms of conj into st
+// in which at least one atom's witness row is in delta — the semi-naive
+// frontier of an incremental round — each exactly once. See
+// ForEachIDsDeltaPart for the enumeration order contract.
+func ForEachIDsDelta(st *storage.Store, conj Conjunction, delta *DeltaSet, fn func(stage int, m *IDMatch) bool) {
+	ForEachIDsDeltaPart(st, conj, delta, 0, 1, fn)
+}
+
+// ForEachIDsDeltaPart is the sharded form of ForEachIDsDelta: per-atom
+// delta/base plan splitting. The enumeration is organized in stages,
+// one per atom: stage k yields the homomorphisms whose first
+// delta-marked witness atom (in conjunction order) is atom k — atom k's
+// candidates are restricted to the delta rows of its relation, atoms
+// before k must land on non-delta rows, atoms after k are unrestricted.
+// Every delta-involving homomorphism belongs to exactly one stage, so
+// the union over stages enumerates each exactly once, and a
+// homomorphism touching no delta row is never enumerated.
+//
+// Within a stage the delta candidate rows are visited in ascending row
+// order, and part/parts shards that candidate list contiguously — the
+// ForEachIDsPart property transposed to the delta frontier:
+// concatenating one stage's shards 0..parts-1 reproduces that stage's
+// sequential enumeration in order. Shards share no mutable state, so
+// any number may run concurrently against a frozen store; fn receives
+// the stage index so a parallel caller can merge shard streams in
+// (stage, shard-rank) order. fn returning false stops the sweep. The
+// IDMatch is transient: Rows are in conjunction order and the bindings
+// cover every conjunction variable.
+//
+// st must not be mutated while the enumeration runs (collect first,
+// write after), exactly as with ForEachIDs.
+func ForEachIDsDeltaPart(st *storage.Store, conj Conjunction, delta *DeltaSet, part, parts int, fn func(stage int, m *IDMatch) bool) {
+	if part < 0 || parts < 1 || part >= parts || len(conj) == 0 || delta == nil {
+		return
+	}
+	in := st.Interner()
+	// Any atom over a missing relation kills the whole conjunction.
+	for _, a := range conj {
+		if st.Rel(a.Rel) == nil {
+			return
+		}
+	}
+	names := conj.Vars()
+	slotOf := make(map[string]int, len(names))
+	for i, n := range names {
+		slotOf[n] = i
+	}
+	full := make([]value.ID, len(names))
+	rows := make([]RowRef, len(conj))
+	im := IDMatch{names: names}
+
+	for k := range conj {
+		a := conj[k]
+		rel := st.Rel(a.Rel)
+		cand := delta.Rows(a.Rel)
+		if len(cand) == 0 {
+			continue
+		}
+		lo := len(cand) * part / parts
+		hi := len(cand) * (part + 1) / parts
+
+		// Pre-resolve atom k's literals; a literal the store has never
+		// interned cannot match any row.
+		lits := make([]value.ID, len(a.Terms))
+		litOK := true
+		for j, t := range a.Terms {
+			if t.IsVar {
+				lits[j] = value.NoID
+				continue
+			}
+			id, ok := in.Lookup(t.Val)
+			if !ok {
+				litOK = false
+				break
+			}
+			lits[j] = id
+		}
+		if !litOK {
+			continue
+		}
+
+		// Compile the residual conjunction (conj minus atom k) once per
+		// stage; its init slots are seeded per delta row below.
+		rest := make(Conjunction, 0, len(conj)-1)
+		rest = append(rest, conj[:k]...)
+		rest = append(rest, conj[k+1:]...)
+		var rp plan
+		var restSlot []int // rest slot → full slot
+		if len(rest) > 0 {
+			rp = compile(st, rest, nil)
+			if rp.empty {
+				continue
+			}
+			restSlot = make([]int, len(rp.names))
+			for i, n := range rp.names {
+				restSlot[i] = slotOf[n]
+			}
+		}
+
+		for ci := lo; ci < hi; ci++ {
+			row := cand[ci]
+			if row >= rel.NumRows() || !rel.Alive(row) {
+				continue
+			}
+			ids := rel.Row(row)
+			if len(ids) != len(a.Terms) {
+				continue
+			}
+			// Bind atom k against the row: literals must match, repeated
+			// variables must unify.
+			for i := range full {
+				full[i] = value.NoID
+			}
+			ok := true
+			for j, t := range a.Terms {
+				if !t.IsVar {
+					if lits[j] != ids[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				s := slotOf[t.Name]
+				if full[s] != value.NoID && full[s] != ids[j] {
+					ok = false
+					break
+				}
+				full[s] = ids[j]
+			}
+			if !ok {
+				continue
+			}
+
+			if len(rest) == 0 {
+				rows[k] = RowRef{Rel: a.Rel, Row: row}
+				im.Rows = rows
+				im.bind = full
+				if !fn(k, &im) {
+					return
+				}
+				continue
+			}
+
+			// Seed the residual plan with atom k's bindings and sweep it;
+			// the deferred reset keeps rp reusable for the next delta row.
+			seeded := make([]int, 0, len(restSlot))
+			for ri, fi := range restSlot {
+				if full[fi] != value.NoID {
+					rp.init[ri] = full[fi]
+					seeded = append(seeded, ri)
+				}
+			}
+			stop := false
+			run(rp, func(m *IDMatch) bool {
+				// Stage discipline: atoms before k must be non-delta (a
+				// hom whose first delta atom precedes k belongs there).
+				for i := 0; i < k; i++ {
+					if delta.Contains(rest[i].Rel, m.Rows[i].Row) {
+						return true
+					}
+				}
+				for i := 0; i < k; i++ {
+					rows[i] = m.Rows[i]
+				}
+				rows[k] = RowRef{Rel: a.Rel, Row: row}
+				for i := k; i < len(rest); i++ {
+					rows[i+1] = m.Rows[i]
+				}
+				out := full
+				for ri, fi := range restSlot {
+					out[fi] = m.bind[ri]
+				}
+				im.Rows = rows
+				im.bind = out
+				if !fn(k, &im) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			for _, ri := range seeded {
+				rp.init[ri] = value.NoID
+			}
+			if stop {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// deltaKey renders a match for set comparison: rows plus bindings.
+func deltaKey(m *IDMatch) string {
+	s := ""
+	for _, r := range m.Rows {
+		s += fmt.Sprintf("%s:%d;", r.Rel, r.Row)
+	}
+	s += "|"
+	for i, n := range m.names {
+		s += fmt.Sprintf("%s=%d;", n, m.bind[i])
+	}
+	return s
+}
+
+// randomDeltaWorld builds a small random store, a conjunction over it,
+// and a delta set marking a random subset of rows.
+func randomDeltaWorld(r *rand.Rand) (*storage.Store, Conjunction, *DeltaSet) {
+	st := storage.NewStore()
+	vals := make([]value.Value, 6)
+	for i := range vals {
+		vals[i] = value.NewConst(fmt.Sprintf("c%d", i))
+	}
+	rels := []string{"R", "S", "T"}
+	for _, rel := range rels {
+		n := 5 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			st.Insert(rel, []value.Value{vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]})
+		}
+	}
+	varNames := []string{"x", "y", "z", "w"}
+	nAtoms := 1 + r.Intn(3)
+	conj := make(Conjunction, 0, nAtoms)
+	for i := 0; i < nAtoms; i++ {
+		terms := make([]Term, 2)
+		for j := range terms {
+			if r.Intn(4) == 0 {
+				terms[j] = Lit(vals[r.Intn(len(vals))])
+			} else {
+				terms[j] = Var(varNames[r.Intn(len(varNames))])
+			}
+		}
+		conj = append(conj, NewAtom(rels[r.Intn(len(rels))], terms...))
+	}
+	delta := NewDeltaSet()
+	for _, rel := range rels {
+		n := st.Rel(rel).NumRows()
+		for row := 0; row < n; row++ {
+			if r.Intn(4) == 0 {
+				delta.Add(rel, row)
+			}
+		}
+	}
+	return st, conj, delta
+}
+
+// TestDeltaEnumerationMatchesFilter cross-checks ForEachIDsDelta against
+// the reference semantics: all homomorphisms of the conjunction that
+// touch at least one delta row, each exactly once.
+func TestDeltaEnumerationMatchesFilter(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		st, conj, delta := randomDeltaWorld(r)
+
+		want := map[string]int{}
+		ForEachIDs(st, conj, nil, func(m *IDMatch) bool {
+			touches := false
+			for _, rr := range m.Rows {
+				if delta.Contains(rr.Rel, rr.Row) {
+					touches = true
+					break
+				}
+			}
+			if touches {
+				want[deltaKey(m)]++
+			}
+			return true
+		})
+
+		got := map[string]int{}
+		ForEachIDsDelta(st, conj, delta, func(stage int, m *IDMatch) bool {
+			if !delta.Contains(m.Rows[stage].Rel, m.Rows[stage].Row) {
+				t.Fatalf("seed %d: stage %d witness not in delta", seed, stage)
+			}
+			for i := 0; i < stage; i++ {
+				if delta.Contains(m.Rows[i].Rel, m.Rows[i].Row) {
+					t.Fatalf("seed %d: atom %d before stage %d lands on a delta row", seed, i, stage)
+				}
+			}
+			got[deltaKey(m)]++
+			return true
+		})
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d (%v): got %d distinct matches, want %d", seed, conj, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != 1 {
+				t.Fatalf("seed %d (%v): match %s enumerated %d times, want exactly once", seed, conj, k, got[k])
+			}
+		}
+	}
+}
+
+// TestDeltaEnumerationShards asserts the concatenation property: per
+// stage, shard streams 0..parts-1 concatenated reproduce the sequential
+// stage stream in order.
+func TestDeltaEnumerationShards(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		st, conj, delta := randomDeltaWorld(r)
+
+		seq := map[int][]string{}
+		ForEachIDsDelta(st, conj, delta, func(stage int, m *IDMatch) bool {
+			seq[stage] = append(seq[stage], deltaKey(m))
+			return true
+		})
+		for _, parts := range []int{2, 3, 5} {
+			merged := map[int][]string{}
+			for part := 0; part < parts; part++ {
+				ForEachIDsDeltaPart(st, conj, delta, part, parts, func(stage int, m *IDMatch) bool {
+					merged[stage] = append(merged[stage], deltaKey(m))
+					return true
+				})
+			}
+			for stage, wantList := range seq {
+				gotList := merged[stage]
+				if len(gotList) != len(wantList) {
+					t.Fatalf("seed %d parts %d stage %d: %d matches, want %d", seed, parts, stage, len(gotList), len(wantList))
+				}
+				for i := range wantList {
+					if gotList[i] != wantList[i] {
+						t.Fatalf("seed %d parts %d stage %d: order diverges at %d", seed, parts, stage, i)
+					}
+				}
+			}
+			for stage := range merged {
+				if _, ok := seq[stage]; !ok {
+					t.Fatalf("seed %d parts %d: sharded run produced unexpected stage %d", seed, parts, stage)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSetRowsSorted pins the DeltaSet ordering contract the
+// sharding relies on.
+func TestDeltaSetRowsSorted(t *testing.T) {
+	d := NewDeltaSet()
+	for _, row := range []int{9, 3, 7, 3, 1, 12} {
+		d.Add("R", row)
+	}
+	rows := d.Rows("R")
+	if !sort.IntsAreSorted(rows) {
+		t.Fatalf("rows not sorted: %v", rows)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("duplicate rows retained: %v", rows)
+	}
+	d.AddRange("R", 20, 23)
+	if got := len(d.Rows("R")); got != 8 {
+		t.Fatalf("AddRange: got %d rows, want 8", got)
+	}
+	if !d.Contains("R", 21) || d.Contains("R", 23) || d.Contains("S", 1) {
+		t.Fatal("Contains misreports membership")
+	}
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", d.Len())
+	}
+	if rels := d.Relations(); len(rels) != 1 || rels[0] != "R" {
+		t.Fatalf("Relations = %v", rels)
+	}
+}

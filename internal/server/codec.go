@@ -152,13 +152,52 @@ func snapshotWire(s *instance.Snapshot) []snapshotFact {
 	return out
 }
 
+// sessionResponse answers POST /v1/exchanges/{hash}/sessions: the id of
+// the freshly opened incremental session plus its base solution — the
+// same document /run would return for the same body.
+type sessionResponse struct {
+	SessionID string          `json:"sessionId"`
+	Hash      string          `json:"hash"`
+	Stats     chase.Stats     `json:"stats"`
+	ElapsedMs float64         `json:"elapsedMs"`
+	Solution  json.RawMessage `json:"solution"`
+}
+
+// diffJSON is the wire form of a solution diff: the target facts that
+// started and stopped holding, as TDX JSON instance documents, with
+// fact counts alongside so clients (and smoke tests) can check
+// emptiness without parsing the documents.
+type diffJSON struct {
+	AddedFacts   int             `json:"addedFacts"`
+	RemovedFacts int             `json:"removedFacts"`
+	Added        json.RawMessage `json:"added"`
+	Removed      json.RawMessage `json:"removed"`
+}
+
+// factsResponse answers POST /v1/sessions/{id}/facts: the stats of the
+// delta run (deltaFacts/deltaFires/fallbackFullChase report what the
+// incremental chase did) and the solution diff against the session's
+// previous solution. Solution is present when ?solution= asked for the
+// full updated document.
+type factsResponse struct {
+	SessionID string          `json:"sessionId"`
+	Hash      string          `json:"hash"`
+	Stats     chase.Stats     `json:"stats"`
+	ElapsedMs float64         `json:"elapsedMs"`
+	Deltas    int64           `json:"deltas"`
+	Diff      diffJSON        `json:"diff"`
+	Solution  json.RawMessage `json:"solution,omitempty"`
+}
+
 // healthResponse answers GET /healthz.
 type healthResponse struct {
-	Status        string `json:"status"`
-	UptimeSeconds int64  `json:"uptimeSeconds"`
-	Mappings      int    `json:"mappings"`
-	Compiles      int64  `json:"compiles"`
-	Evictions     int64  `json:"evictions"`
+	Status           string `json:"status"`
+	UptimeSeconds    int64  `json:"uptimeSeconds"`
+	Mappings         int    `json:"mappings"`
+	Compiles         int64  `json:"compiles"`
+	Evictions        int64  `json:"evictions"`
+	Sessions         int    `json:"sessions"`
+	SessionEvictions int64  `json:"sessionEvictions"`
 }
 
 // errorResponse is the body of every non-2xx response.

@@ -6,12 +6,15 @@
 // subsequent request addresses the compiled exchange by hash with a
 // request-scoped source instance in the body:
 //
-//	POST /v1/mappings                      register (compile) a mapping → hash
-//	GET  /v1/mappings                      list registered mappings, MRU first
-//	POST /v1/exchanges/{hash}/run          chase the body source → solution + stats
-//	POST /v1/exchanges/{hash}/answer       certain answers of ?query= over the solution
-//	POST /v1/exchanges/{hash}/snapshot     abstract snapshot db_at of the solution (?at=)
-//	GET  /healthz                          liveness + registry counters
+//	POST   /v1/mappings                     register (compile) a mapping → hash
+//	GET    /v1/mappings                     list registered mappings, MRU first
+//	POST   /v1/exchanges/{hash}/run         chase the body source → solution + stats
+//	POST   /v1/exchanges/{hash}/answer      certain answers of ?query= over the solution
+//	POST   /v1/exchanges/{hash}/snapshot    abstract snapshot db_at of the solution (?at=)
+//	POST   /v1/exchanges/{hash}/sessions    chase the body source once, open an incremental session
+//	POST   /v1/sessions/{id}/facts          ingest new source facts → solution diff (semi-naive delta chase)
+//	DELETE /v1/sessions/{id}                drop a session
+//	GET    /healthz                         liveness + registry/session counters
 //
 // Request bodies are either the TDX JSON instance format (Content-Type
 // application/json; decoded with the streaming decoder, so large bodies
@@ -26,7 +29,9 @@
 // (MaxMappings), compilation of concurrent duplicate registrations is
 // singleflight-deduplicated, and every run uses tdx.WithRunInterner, so
 // a long-lived registry entry's interner holds exactly the mapping
-// domain and never grows with request traffic.
+// domain and never grows with request traffic. Sessions — which pin a
+// solution plus the chase state retained for incremental deltas — are
+// LRU-bounded the same way (MaxSessions).
 package server
 
 import (
@@ -55,6 +60,9 @@ type Config struct {
 	// Parallelism is the default chase worker count for runs that pass
 	// no ?parallel= (0 = GOMAXPROCS, the engine default).
 	Parallelism int
+	// MaxSessions bounds live incremental-exchange sessions (LRU
+	// eviction beyond it). <= 0 means DefaultMaxSessions.
+	MaxSessions int
 	// MaxBodyBytes bounds request bodies. <= 0 means DefaultMaxBody.
 	MaxBodyBytes int64
 	// Compile replaces tdx.Compile — a test seam for counting or faking
@@ -73,9 +81,10 @@ const DefaultMaxBody int64 = 64 << 20
 // registry. Create with New, mount with Handler; safe for concurrent
 // use.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	start time.Time
+	cfg      Config
+	reg      *Registry
+	sessions *SessionStore
+	start    time.Time
 }
 
 // New builds a Server from the configuration.
@@ -87,14 +96,18 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = DefaultMaxBody
 	}
 	return &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxMappings, cfg.Compile),
-		start: time.Now(),
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.MaxMappings, cfg.Compile),
+		sessions: NewSessionStore(cfg.MaxSessions),
+		start:    time.Now(),
 	}
 }
 
 // Registry exposes the compiled-exchange registry (tests, metrics).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Sessions exposes the session store (tests, metrics).
+func (s *Server) Sessions() *SessionStore { return s.sessions }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -105,16 +118,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/exchanges/{hash}/run", s.handleRun)
 	mux.HandleFunc("POST /v1/exchanges/{hash}/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/exchanges/{hash}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/exchanges/{hash}/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/facts", s.handleSessionFacts)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	return mux
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:        "ok",
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-		Mappings:      s.reg.Len(),
-		Compiles:      s.reg.Compiles(),
-		Evictions:     s.reg.Evicted(),
+		Status:           "ok",
+		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+		Mappings:         s.reg.Len(),
+		Compiles:         s.reg.Compiles(),
+		Evictions:        s.reg.Evicted(),
+		Sessions:         s.sessions.Len(),
+		SessionEvictions: s.sessions.Evicted(),
 	})
 }
 
@@ -402,6 +420,136 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Facts:     snapshotWire(snap),
 		Rendering: snap.String(),
 	})
+}
+
+// handleSessionCreate materializes a frozen base solution from the body
+// source and opens an incremental session over it: subsequent deltas
+// posted to /v1/sessions/{id}/facts extend the solution via the
+// semi-naive delta chase instead of re-chasing the base.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sol, elapsed, ok := s.runExchange(ctx, w, r, entry)
+	if !ok {
+		return
+	}
+	sess := s.sessions.Add(entry, sol)
+	solJSON, err := sol.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionResponse{
+		SessionID: sess.ID,
+		Hash:      entry.Hash,
+		Stats:     sol.Stats(),
+		ElapsedMs: elapsedMs(elapsed),
+		Solution:  solJSON,
+	})
+}
+
+// handleSessionFacts ingests a delta of new source facts into a session:
+// the body decodes like any source instance, runs through RunDelta
+// against the session's current solution, and the response carries the
+// solution diff (added and removed target facts). The session then
+// holds the new solution, so deltas chain. ?solution=true additionally
+// returns the full updated solution document.
+func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q is live (expired from the LRU bound, or never created)", r.PathValue("id")))
+		return
+	}
+	wantSolution := false
+	if v := r.URL.Query().Get("solution"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, badParam("solution", err))
+			return
+		}
+		wantSolution = on
+	}
+	opts, err := s.runOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.budgetContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	s.boundBody(ctx, w, r)
+	delta, err := s.decodeSource(r, sess.Entry.Exchange)
+	if err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	// Serialize deltas on this session: each delta's base is the
+	// previous solution.
+	sess.mu.Lock()
+	started := time.Now()
+	next, diff, err := sess.Entry.Exchange.RunDelta(ctx, sess.sol, delta, opts...)
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, runStatus(err), err)
+		return
+	}
+	sess.sol = next
+	sess.deltas++
+	deltas := sess.deltas
+	sess.mu.Unlock()
+	elapsed := time.Since(started)
+
+	addedJSON, err := diff.Added.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	removedJSON, err := diff.Removed.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := factsResponse{
+		SessionID: sess.ID,
+		Hash:      sess.Entry.Hash,
+		Stats:     next.Stats(),
+		ElapsedMs: elapsedMs(elapsed),
+		Deltas:    deltas,
+		Diff: diffJSON{
+			AddedFacts:   diff.Added.Len(),
+			RemovedFacts: diff.Removed.Len(),
+			Added:        addedJSON,
+			Removed:      removedJSON,
+		},
+	}
+	if wantSolution {
+		if resp.Solution, err = next.JSON(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelete drops a session, releasing its pinned solution
+// and retained chase state.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q is live", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // answerStatus maps a query-evaluation error: a bad query is the

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// openSession registers the employment mapping, opens a session over
+// the Figure 4 source, and returns the routed handler plus the session
+// id.
+func openSession(t *testing.T, s *Server) (http.Handler, string) {
+	t.Helper()
+	h := s.Handler()
+	hash := register(t, h, readTestdata(t, "employment.tdx"))
+	rec := do(h, "POST", "/v1/exchanges/"+hash+"/sessions", "", readTestdata(t, "employment.facts"))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create session: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp sessionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("session response: %v\n%s", err, rec.Body)
+	}
+	if resp.SessionID == "" || resp.Hash != hash || len(resp.Solution) == 0 {
+		t.Fatalf("session response incomplete: %+v", resp)
+	}
+	return h, resp.SessionID
+}
+
+func TestSessionDeltaLifecycle(t *testing.T) {
+	s := New(Config{})
+	h, id := openSession(t, s)
+	if got := s.Sessions().Len(); got != 1 {
+		t.Fatalf("live sessions = %d, want 1", got)
+	}
+
+	// A new hire: both tgds fire incrementally and the key egd resolves
+	// the invented salary null against the delta S fact.
+	rec := do(h, "POST", "/v1/sessions/"+id+"/facts", "",
+		"E(Carol, IBM) @ [2015, 2019)\nS(Carol, 21k) @ [2015, 2019)")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post facts: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp factsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("facts response: %v\n%s", err, rec.Body)
+	}
+	if resp.SessionID != id || resp.Deltas != 1 {
+		t.Fatalf("facts response header: %+v", resp)
+	}
+	if resp.Stats.FallbackFullChase {
+		t.Fatalf("new-hire delta fell back to a full re-chase: %+v", resp.Stats)
+	}
+	if resp.Stats.DeltaFacts != 2 || resp.Stats.DeltaFires < 2 {
+		t.Fatalf("delta stats: %+v", resp.Stats)
+	}
+	if resp.Diff.AddedFacts == 0 || len(resp.Diff.Added) == 0 {
+		t.Fatalf("diff reports nothing added: %s", rec.Body)
+	}
+	if !strings.Contains(string(resp.Diff.Added), "Carol") {
+		t.Fatalf("diff misses Carol:\n%s", resp.Diff.Added)
+	}
+	if resp.Diff.RemovedFacts != 0 {
+		t.Fatalf("purely additive delta removed facts:\n%s", resp.Diff.Removed)
+	}
+	if len(resp.Solution) != 0 {
+		t.Fatal("solution document included without ?solution=")
+	}
+
+	// Deltas chain: a second one sees Carol's facts as base, and
+	// ?solution=true returns the updated document.
+	rec = do(h, "POST", "/v1/sessions/"+id+"/facts?solution=true", "",
+		"E(Dave, Google) @ [2016, 2020)")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second delta: status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Deltas != 2 {
+		t.Fatalf("deltas = %d, want 2", resp.Deltas)
+	}
+	if !strings.Contains(string(resp.Solution), "Dave") || !strings.Contains(string(resp.Solution), "Carol") {
+		t.Fatalf("updated solution misses chained facts:\n%s", resp.Solution)
+	}
+
+	// An all-duplicate delta is a no-op with an empty diff.
+	rec = do(h, "POST", "/v1/sessions/"+id+"/facts", "", "E(Dave, Google) @ [2016, 2020)")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("duplicate delta: status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.DeltaFacts != 0 || resp.Diff.AddedFacts != 0 || resp.Diff.RemovedFacts != 0 {
+		t.Fatalf("duplicate delta was not a no-op: %s", rec.Body)
+	}
+
+	// Delete releases the session; the id stops resolving.
+	rec = do(h, "DELETE", "/v1/sessions/"+id, "", "")
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(h, "POST", "/v1/sessions/"+id+"/facts", "", "E(X, Y) @ [1, 2)"); rec.Code != http.StatusNotFound {
+		t.Fatalf("post to deleted session: status %d", rec.Code)
+	}
+	if rec := do(h, "DELETE", "/v1/sessions/"+id, "", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", rec.Code)
+	}
+}
+
+func TestSessionDeltaMatchesFullRun(t *testing.T) {
+	s := New(Config{})
+	h, id := openSession(t, s)
+	delta := "E(Carol, IBM) @ [2015, 2019)\nS(Carol, 21k) @ [2015, 2019)"
+	rec := do(h, "POST", "/v1/sessions/"+id+"/facts?solution=true", "", delta)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post facts: status %d: %s", rec.Code, rec.Body)
+	}
+	var fresp factsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &fresp); err != nil {
+		t.Fatal(err)
+	}
+
+	// One shot over base+delta must produce the identical solution
+	// document.
+	hash := fresp.Hash
+	rec = do(h, "POST", "/v1/exchanges/"+hash+"/run", "", readTestdata(t, "employment.facts")+"\n"+delta)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("full run: status %d: %s", rec.Code, rec.Body)
+	}
+	var rresp runResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rresp); err != nil {
+		t.Fatal(err)
+	}
+	if string(fresp.Solution) != string(rresp.Solution) {
+		t.Fatalf("incremental session diverges from one-shot run\n--- session ---\n%s\n--- run ---\n%s",
+			fresp.Solution, rresp.Solution)
+	}
+}
+
+func TestSessionLRUBound(t *testing.T) {
+	s := New(Config{MaxSessions: 2})
+	h := s.Handler()
+	hash := register(t, h, readTestdata(t, "employment.tdx"))
+	ids := make([]string, 3)
+	for i := range ids {
+		rec := do(h, "POST", "/v1/exchanges/"+hash+"/sessions", "",
+			fmt.Sprintf("E(P%d, IBM) @ [2010, 2012)", i))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("session %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		var resp sessionResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = resp.SessionID
+	}
+	if got := s.Sessions().Len(); got != 2 {
+		t.Fatalf("live sessions = %d, want 2 (LRU bound)", got)
+	}
+	if got := s.Sessions().Evicted(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// The oldest session fell off; the two newest still serve.
+	if rec := do(h, "POST", "/v1/sessions/"+ids[0]+"/facts", "", "E(Q, IBM) @ [2011, 2012)"); rec.Code != http.StatusNotFound {
+		t.Fatalf("evicted session still live: status %d", rec.Code)
+	}
+	for _, id := range ids[1:] {
+		if rec := do(h, "POST", "/v1/sessions/"+id+"/facts", "", "E(Q, IBM) @ [2011, 2012)"); rec.Code != http.StatusOK {
+			t.Fatalf("resident session: status %d: %s", rec.Code, rec.Body)
+		}
+	}
+
+	// Healthz surfaces the session counters.
+	rec := do(h, "GET", "/healthz", "", "")
+	var hr healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Sessions != 2 || hr.SessionEvictions != 1 {
+		t.Fatalf("healthz session counters: %+v", hr)
+	}
+}
+
+func TestSessionCreateUnknownHash(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	if rec := do(h, "POST", "/v1/exchanges/deadbeef/sessions", "", "E(A, B) @ [1, 2)"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown hash: status %d", rec.Code)
+	}
+}

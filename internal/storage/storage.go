@@ -526,8 +526,11 @@ func (r *Rel) ensureRev() {
 // substitute rewrites, in place, every live row containing one of the
 // subs IDs, mapping each of the row's IDs through canon. Rows that
 // collapse into an existing row are invalidated. Returns the number of
-// rows actually rewritten.
-func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID) int {
+// rows actually rewritten. When touched is non-nil it is called once per
+// rewritten row, in ascending row order, before the rewrite batch is
+// applied — the hook the incremental delta chase uses to track which
+// rows one egd round dirtied.
+func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID, touched func(row int)) int {
 	if r.frozen {
 		r.frozenPanic()
 	}
@@ -565,6 +568,11 @@ func (r *Rel) substitute(subs []value.ID, canon func(value.ID) value.ID) int {
 	}
 	if len(changed) == 0 {
 		return 0
+	}
+	if touched != nil {
+		for _, row := range changed {
+			touched(row)
+		}
 	}
 	r.epoch++
 
@@ -792,6 +800,15 @@ func (s *Store) InsertIDs(rel string, ids []value.ID) bool {
 // rewritten. This is the incremental egd-rewrite primitive: one round's
 // substitution costs O(affected), not O(store).
 func (s *Store) SubstituteIDs(subs []value.ID, canon func(value.ID) value.ID) int {
+	return s.SubstituteIDsTouched(subs, canon, nil)
+}
+
+// SubstituteIDsTouched is SubstituteIDs with a per-row hook: fn (when
+// non-nil) is called for every row about to be rewritten, relation by
+// relation in lexicographic order, rows ascending. The delta chase feeds
+// the touched rows back into its dirty set so the next incremental egd
+// round re-examines exactly the rows this one changed.
+func (s *Store) SubstituteIDsTouched(subs []value.ID, canon func(value.ID) value.ID, fn func(rel string, row int)) int {
 	if s.frozen {
 		s.frozenPanic("SubstituteIDs")
 	}
@@ -799,8 +816,13 @@ func (s *Store) SubstituteIDs(subs []value.ID, canon func(value.ID) value.ID) in
 		return 0
 	}
 	touched := 0
-	for _, r := range s.rels {
-		touched += r.substitute(subs, canon)
+	for _, name := range s.Relations() {
+		r := s.rels[name]
+		var hook func(int)
+		if fn != nil {
+			hook = func(row int) { fn(name, row) }
+		}
+		touched += r.substitute(subs, canon, hook)
 	}
 	return touched
 }

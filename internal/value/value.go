@@ -276,3 +276,19 @@ func (g *NullGen) FreshAnn(iv interval.Interval) Value {
 
 // FreshNull returns a fresh plain labeled null.
 func (g *NullGen) FreshNull() Value { return NewNull(g.Fresh()) }
+
+// Last returns the most recently allocated family id (0 when the
+// generator has never been used). Together with NullGenAt it lets a
+// finished chase snapshot its null-numbering position so a later
+// incremental run can continue the same sequence.
+func (g *NullGen) Last() uint64 { return g.last.Load() }
+
+// NullGenAt returns a generator whose next Fresh call yields last+1 —
+// the continuation point of a generator that stopped at last. Each call
+// returns an independent generator, so divergent continuations (two
+// deltas applied to the same base) do not interfere.
+func NullGenAt(last uint64) *NullGen {
+	g := &NullGen{}
+	g.last.Store(last)
+	return g
+}

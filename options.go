@@ -151,6 +151,17 @@ func WithParallelism(workers int) Option { return func(c *config) { c.parallelis
 // run interns is released with its Solution — the right choice for
 // long-lived server exchanges over high-cardinality input streams. Keep
 // the default for repeated runs over a bounded value domain.
+//
+// A related retention trade-off applies to solutions themselves: every
+// Solution pins the frozen state a later RunDelta resumes from — the
+// source, the normalized source, the pre-egd intermediate target (for
+// mappings with egds), and the null-numbering position — roughly a
+// constant small multiple of the solution's own footprint. Under
+// WithRunInterner the retained state also keeps that run's interner
+// clone alive. All of it is released when the Solution is dropped, so
+// callers that never use RunDelta pay only while they hold the
+// Solution; servers holding many live sessions should bound them (tdxd
+// does, see its -max-sessions flag).
 func WithRunInterner() Option { return func(c *config) { c.runInterner = true } }
 
 // fingerprint renders the output-affecting option values into a stable

@@ -1,6 +1,8 @@
 package tdx
 
 import (
+	"sync"
+
 	"repro/internal/chase"
 	"repro/internal/coreof"
 	"repro/internal/instance"
@@ -148,19 +150,41 @@ func DecodeJSON(data []byte) (*Instance, error) {
 type Solution struct {
 	Instance
 	stats Stats
+
+	// Retained incremental-chase state: the frozen source this solution
+	// was chased from, and (for non-temporal mappings) the chase-layer
+	// base state RunDelta resumes from. Both stay nil on solutions not
+	// produced by Run/RunDelta. See the retention note on
+	// WithRunInterner for the memory trade-off.
+	base *chase.BaseState
+	src  *Instance
+
+	// coverOnce/cover lazily memoize the data-identity coverage index of
+	// the frozen solution, so a chain of RunDelta calls builds each
+	// solution's index once instead of once per diff side.
+	coverOnce sync.Once
+	cover     *instance.CoverIndex
+}
+
+// coverIndex returns the solution's memoized coverage index, building
+// it on first use. Safe for concurrent callers: the solution is frozen
+// and the index is read-only once built.
+func (s *Solution) coverIndex() *instance.CoverIndex {
+	s.coverOnce.Do(func() { s.cover = instance.NewCoverIndex(s.c) })
+	return s.cover
 }
 
 // Stats reports what the chase did.
 func (s *Solution) Stats() Stats { return s.stats }
 
 // Coalesce returns the solution in canonical coalesced form, keeping the
-// statistics.
+// statistics and the retained incremental-chase state.
 func (s *Solution) Coalesce() *Solution {
-	return &Solution{Instance: *s.Instance.Coalesce(), stats: s.stats}
+	return &Solution{Instance: *s.Instance.Coalesce(), stats: s.stats, base: s.base, src: s.src}
 }
 
 // Core shrinks the solution to its snapshot-wise core — the smallest
 // homomorphically equivalent solution (§7 extension).
 func (s *Solution) Core() *Solution {
-	return &Solution{Instance: Instance{c: coreof.Of(s.c)}, stats: s.stats}
+	return &Solution{Instance: Instance{c: coreof.Of(s.c)}, stats: s.stats, base: s.base, src: s.src}
 }

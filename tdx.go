@@ -16,6 +16,14 @@
 //	ans, err := ex.Query(ctx, sol, "q")   // certain answers
 //	db  := sol.Snapshot(2013)             // the abstract view at a point
 //
+// Runs need not start from scratch: a Solution retains its run's frozen
+// state, and RunDelta extends it with new source facts via a semi-naive
+// delta chase — firing only dependencies that touch the new facts —
+// returning the combined solution (byte-identical to a full Run over
+// base+delta) plus the Diff against the base:
+//
+//	sol2, diff, err := ex.RunDelta(ctx, sol, delta)
+//
 // Concurrency contract. An Exchange is immutable after Compile and safe
 // for concurrent use: one compiled mapping serves any number of
 // goroutines. An Instance is mutable-until-frozen: while mutable it is
@@ -65,6 +73,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/dependency"
+	"repro/internal/fact"
 	"repro/internal/instance"
 	"repro/internal/jsonio"
 	"repro/internal/logic"
@@ -416,12 +425,13 @@ func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*So
 	var (
 		jc    *instance.Concrete
 		stats chase.Stats
+		base  *chase.BaseState
 		err   error
 	)
 	if ex.tm != nil {
 		jc, stats, err = temporal.ChaseCompiled(src.c, ex.tcm, copts)
 	} else {
-		jc, stats, err = chase.ConcreteCompiled(src.c, ex.cm, copts)
+		jc, stats, base, err = chase.ConcreteCompiledBase(src.c, ex.cm, copts)
 	}
 	if err != nil {
 		return nil, err
@@ -430,7 +440,101 @@ func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*So
 		jc = jc.Coalesce()
 	}
 	jc.Freeze() // publish: Solution reads are concurrently safe
-	return &Solution{Instance: Instance{c: jc}, stats: stats}, nil
+	return &Solution{Instance: Instance{c: jc}, stats: stats, base: base, src: src}, nil
+}
+
+// Diff is the solution-level change set RunDelta reports: the semantic
+// temporal difference between the new solution and the base solution,
+// in both directions. Added holds the fact fragments (per time point)
+// of the new solution absent from the base; Removed the reverse — egd
+// merges triggered by new facts can rewrite or collapse base facts, so
+// deltas are not purely additive. Both instances come back frozen and
+// coalesced.
+type Diff struct {
+	Added   *Instance
+	Removed *Instance
+}
+
+// RunDelta incrementally extends a previous Run: given the base
+// solution sol (whose run retained its source, normalized source,
+// intermediate target, and null-numbering position) and a delta
+// instance of new source facts, it produces the solution of the
+// combined source — byte-identical, null family ids included, to
+// ex.Run over a source containing the base facts followed by the delta
+// facts — plus the Diff between the new solution and sol.
+//
+// The fast path is a semi-naive delta chase: only homomorphisms
+// touching the new facts fire, fresh nulls continue the base run's
+// numbering, and egd rounds rewrite in place, touching retained base
+// rows only up to an internal budget. When the retained state cannot
+// prove byte-identity (temporal mappings, naive normalization, base
+// reorderings, over-budget egd cascades), RunDelta transparently
+// re-chases the combined source from scratch — the result is the same;
+// Stats.FallbackFullChase reports which path ran. Either way the
+// returned Solution retains state, so RunDelta calls chain: each
+// result is a valid base for the next delta.
+//
+// Delta facts already present in the base source are ignored
+// (Stats.DeltaFacts counts the genuinely new ones); an all-duplicate
+// delta returns a solution equal to sol with an empty Diff. delta is
+// frozen by the call; sol is never mutated. The error wraps
+// ErrNoSolution when the combined setting admits none.
+func (ex *Exchange) RunDelta(ctx context.Context, sol *Solution, delta *Instance, opts ...Option) (*Solution, *Diff, error) {
+	ctx = ctxOrBackground(ctx)
+	if sol == nil {
+		return nil, nil, fmt.Errorf("tdx: RunDelta: nil base solution")
+	}
+	if sol.src == nil {
+		return nil, nil, fmt.Errorf("tdx: RunDelta: the base solution retains no source (was it produced by Run of this exchange?)")
+	}
+	cfg := ex.cfg.apply(opts)
+	delta.Freeze()
+
+	var next *Solution
+	if ex.tm == nil && sol.base != nil && sol.base.Compiled() == ex.cm {
+		copts := ex.chaseOptions(ctx, cfg)
+		jc, stats, base, err := chase.ConcreteDelta(sol.base, delta.c, copts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.coalesce {
+			jc = jc.Coalesce()
+		}
+		jc.Freeze()
+		next = &Solution{Instance: Instance{c: jc}, stats: stats, base: base, src: &Instance{c: base.Source()}}
+	} else {
+		// Temporal mappings retain no chase state: re-run over the
+		// combined source. Same result, no incrementality.
+		combined := sol.src.Clone()
+		deltaFacts := 0
+		var insErr error
+		delta.c.EachFact(func(f fact.CFact) bool {
+			added, err := combined.c.Insert(f)
+			if err != nil {
+				insErr = fmt.Errorf("tdx: RunDelta: delta fact %v: %w", f, err)
+				return false
+			}
+			if added {
+				deltaFacts++
+			}
+			return true
+		})
+		if insErr != nil {
+			return nil, nil, insErr
+		}
+		full, err := ex.Run(ctx, combined, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		full.stats.DeltaFacts = deltaFacts
+		full.stats.FallbackFullChase = true
+		next = full
+	}
+
+	added, removed := instance.DiffIndexed(next.coverIndex(), sol.coverIndex())
+	added.Freeze()
+	removed.Freeze()
+	return next, &Diff{Added: &Instance{c: added}, Removed: &Instance{c: removed}}, nil
 }
 
 // RunAbstract runs the abstract chase on ⟦src⟧ segment-wise (§3) — the
