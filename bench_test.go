@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/chase"
@@ -609,6 +610,64 @@ func BenchmarkExchangeReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSnapshotLoad measures the persistence tentpole on
+// employment workloads: loading a materialized solution from its
+// columnar snapshot (mmap open + frozen-store adoption + table-order
+// re-interning) against the cold path a snapshot-less client pays —
+// decoding the solution's JSON document, re-interning every value
+// through the hash-consing insert path, and freezing the result. Both
+// sides end in the same state (a frozen, fully indexed store, the only
+// form tdxd pins and shares); the snapshot load is the warm-start cost
+// of tdxd and of tdx chase -load, and the target is ≥3x over the cold
+// decode.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	ctx := context.Background()
+	ex, err := Compile(employmentMappingText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, persons := range []int{200, 800} {
+		ic := employment(persons)
+		sol, err := ex.Run(ctx, NewInstance(ic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), "solution.snap")
+		if err := sol.WriteSnapshotFile(path); err != nil {
+			b.Fatal(err)
+		}
+		data, err := jsonio.Encode(sol.Concrete())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("snapshot/facts=%d", sol.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				loaded, err := ex.LoadSolution(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if loaded.Len() != sol.Len() {
+					b.Fatalf("loaded %d facts, want %d", loaded.Len(), sol.Len())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cold-json/facts=%d", sol.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				jc, err := jsonio.Decode(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if jc.Len() != sol.Len() {
+					b.Fatalf("decoded %d facts, want %d", jc.Len(), sol.Len())
+				}
+				jc.Freeze()
+			}
+		})
+	}
 }
 
 // BenchmarkRunDelta measures the incremental exchange against its

@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-parallel N] [-coalesce] [-table] [-stats] [-trace] [-json] [-timeout 30s]
+//	tdx chase     -m mapping.tdx -d source.facts [-norm smart|naive] [-egd batch|stepwise] [-parallel N] [-coalesce] [-table] [-stats] [-trace] [-json] [-timeout 30s] [-save solution.snap]
+//	tdx chase     -m mapping.tdx -load solution.snap [-table] [-stats] [-json]
 //	tdx normalize -m mapping.tdx -d source.facts [-norm smart|naive] [-table]
 //	tdx query     -m mapping.tdx -d source.facts [-q 'query q(n) :- Emp(n, c, s)' | -name q] [-table]
 //	tdx snapshot  -m mapping.tdx -d source.facts -at 2013 [-target]
@@ -16,9 +17,13 @@
 //	tdx diff      -d new.facts -against old.facts [-m mapping.tdx] [-table]
 //	tdx validate  -m mapping.tdx [-d source.facts]
 //
-// Mappings whose tgd heads carry modal markers (past / future / always
-// past / always future — the §7 extension) are chased with the temporal
-// chase automatically. Long chases are cancellable: -timeout bounds every
+// chase -save writes the solution as an mmap-able columnar snapshot
+// (internal/snapshot, spec in docs/SNAPSHOT.md); chase -load replays one
+// instead of chasing — the snapshot is checksummed and validated against
+// the mapping's target schema, and re-saving a loaded solution is
+// byte-identical. Mappings whose tgd heads carry modal markers (past /
+// future / always past / always future — the §7 extension) are chased
+// with the temporal chase automatically. Long chases are cancellable: -timeout bounds every
 // run, and Ctrl-C is honored mid-chase. Fact output is in the TDX fact
 // format and can be fed back into tdx.
 package main
@@ -213,6 +218,8 @@ func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 	stats := fs.Bool("stats", false, "print chase statistics to stderr")
 	trace := fs.Bool("trace", false, "print every chase step to stderr")
 	asJSON := fs.Bool("json", false, "emit the solution as JSON instead of fact lines")
+	saveFile := fs.String("save", "", "write the solution as a columnar snapshot to this file after the chase")
+	loadFile := fs.String("load", "", "load a previously saved solution snapshot instead of chasing (-d is not read)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -224,15 +231,32 @@ func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 	if *trace {
 		opts = append(opts, tdx.WithTrace(func(e tdx.Event) { fmt.Fprintln(os.Stderr, "  ", e) }))
 	}
-	ex, src, err := cf.load(opts...)
-	if err != nil {
-		return err
+	var sol *tdx.Solution
+	if *loadFile != "" {
+		// Replay a saved solution: no source, no chase — the snapshot is
+		// validated against the mapping's target schema on load.
+		ex, err := cf.compile(opts...)
+		if err != nil {
+			return err
+		}
+		if sol, err = ex.LoadSolution(*loadFile); err != nil {
+			return err
+		}
+	} else {
+		ex, src, err := cf.load(opts...)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := cf.context(ctx)
+		defer cancel()
+		if sol, err = ex.Run(ctx, src); err != nil {
+			return cf.finishErr(err)
+		}
 	}
-	ctx, cancel := cf.context(ctx)
-	defer cancel()
-	sol, err := ex.Run(ctx, src)
-	if err != nil {
-		return cf.finishErr(err)
+	if *saveFile != "" {
+		if err := sol.WriteSnapshotFile(*saveFile); err != nil {
+			return err
+		}
 	}
 	if *asJSON {
 		data, err := sol.JSON()

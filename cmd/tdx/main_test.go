@@ -303,6 +303,81 @@ func TestDeadlineErrorMessage(t *testing.T) {
 	}
 }
 
+// TestChaseSaveLoad: chase -save writes a solution snapshot, chase -load
+// replays it without a source file, output identical to the live chase;
+// re-saving the loaded solution is byte-identical; loading against a
+// different mapping is rejected.
+func TestChaseSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "solution.snap")
+	live := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-save", snap)
+	loaded := runCmd(t, "chase", "-m", testdata("employment.tdx"), "-load", snap)
+	if live != loaded {
+		t.Fatalf("loaded solution differs from live chase:\nlive:\n%s\nloaded:\n%s", live, loaded)
+	}
+
+	resnap := filepath.Join(dir, "resaved.snap")
+	runCmd(t, "chase", "-m", testdata("employment.tdx"), "-load", snap, "-save", resnap)
+	a, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-saved snapshot is not byte-identical")
+	}
+
+	var sb strings.Builder
+	if err := run(context.Background(), "chase", []string{"-m", testdata("norm-example.tdx"), "-load", snap}, &sb); err == nil {
+		t.Fatal("loading against a different mapping accepted")
+	}
+	if err := run(context.Background(), "chase", []string{"-m", testdata("employment.tdx"), "-load", filepath.Join(dir, "nope.snap")}, &sb); err == nil {
+		t.Fatal("missing snapshot file accepted")
+	}
+}
+
+// TestChaseSaveLoadExec is the exec-level save/load contract: the real
+// CLI round-trips a snapshot across two processes with identical stdout
+// and zero exit codes.
+func TestChaseSaveLoadExec(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "solution.snap")
+
+	save := exec.Command(exe, "chase",
+		"-m", testdata("employment.tdx"), "-d", testdata("employment.facts"), "-save", snap)
+	save.Env = append(os.Environ(), "TDX_TEST_MAIN=1")
+	var saveOut, saveErr bytes.Buffer
+	save.Stdout = &saveOut
+	save.Stderr = &saveErr
+	if err := save.Run(); err != nil {
+		t.Fatalf("chase -save: %v\n%s", err, saveErr.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	load := exec.Command(exe, "chase", "-m", testdata("employment.tdx"), "-load", snap)
+	load.Env = append(os.Environ(), "TDX_TEST_MAIN=1")
+	var loadOut, loadErr bytes.Buffer
+	load.Stdout = &loadOut
+	load.Stderr = &loadErr
+	if err := load.Run(); err != nil {
+		t.Fatalf("chase -load: %v\n%s", err, loadErr.String())
+	}
+	if !bytes.Equal(saveOut.Bytes(), loadOut.Bytes()) {
+		t.Fatalf("exec-level load differs:\nsave:\n%s\nload:\n%s", saveOut.String(), loadOut.String())
+	}
+	if !strings.Contains(loadOut.String(), "Emp(") {
+		t.Fatalf("loaded output: %q", loadOut.String())
+	}
+}
+
 // TestChaseJSONStats: -json -stats shares the lowerCamel chase.Stats
 // encoding with tdxd run responses (stderr carries the stats document).
 func TestChaseJSONStats(t *testing.T) {

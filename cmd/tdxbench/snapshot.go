@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	tdx "repro"
+	"repro/internal/jsonio"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+// runPerfSnapshot measures the persistence path of ISSUE 8: loading a
+// materialized solution from its mmap-able columnar snapshot
+// (internal/snapshot) against the cold path a snapshot-less client pays
+// — decoding the solution's JSON document and freezing the rebuilt
+// store. Both sides end in the same state (a frozen, fully indexed
+// store, the only form tdxd pins and shares), so the ratio is the
+// honest warm-start speedup of tdxd -state and tdx chase -load.
+func runPerfSnapshot(w io.Writer) error {
+	ctx := context.Background()
+	fmt.Fprintln(w, "solution persistence: mmap snapshot load vs cold JSON decode + freeze")
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "tdx-perf-snapshot")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// best-of-3 wall clock: single-digit-millisecond loads are scheduler
+	// noise in a single shot.
+	best := func(fn func()) time.Duration {
+		d := timeIt(fn)
+		for i := 0; i < 2; i++ {
+			if r := timeIt(fn); r < d {
+				d = r
+			}
+		}
+		return d
+	}
+	headers := []string{"facts", "snap KB", "json KB", "write ms", "load ms", "cold ms", "speedup"}
+	var rows [][]string
+	for _, persons := range []int{200, 800, 2000} {
+		ic := workload.Employment(workload.EmploymentConfig{
+			Seed: 1, Persons: persons, JobsPerPerson: 4, SalaryCoverage: 0.7, Span: 200,
+		})
+		sol, err := ex.Run(ctx, tdx.NewInstance(ic))
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("sol-%d.snap", persons))
+		wT := timeIt(func() {
+			if err := sol.WriteSnapshotFile(path); err != nil {
+				panic(err)
+			}
+		})
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		data, err := jsonio.Encode(sol.Concrete())
+		if err != nil {
+			return err
+		}
+		var loaded *tdx.Solution
+		lT := best(func() {
+			var err error
+			if loaded, err = ex.LoadSolution(path); err != nil {
+				panic(err)
+			}
+		})
+		if loaded.Len() != sol.Len() {
+			return fmt.Errorf("persons=%d: loaded %d facts, want %d", persons, loaded.Len(), sol.Len())
+		}
+		cT := best(func() {
+			jc, err := jsonio.Decode(data)
+			if err != nil {
+				panic(err)
+			}
+			jc.Freeze()
+		})
+		rows = append(rows, []string{
+			fmt.Sprint(sol.Len()),
+			fmt.Sprintf("%.1f", float64(st.Size())/1024),
+			fmt.Sprintf("%.1f", float64(len(data))/1024),
+			fmt.Sprintf("%.2f", float64(wT.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(lT.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(cT.Microseconds())/1000),
+			fmt.Sprintf("%.1fx", float64(cT)/float64(lT)),
+		})
+	}
+	fmt.Fprint(w, render.Table(headers, rows))
+	fmt.Fprintln(w, "shape: the snapshot adopts its columns straight out of the mapped file")
+	fmt.Fprintln(w, "and pays only for derived structures (interner table, indexes, decoded")
+	fmt.Fprintln(w, "rows); the JSON path re-parses and re-interns every value, so the gap")
+	fmt.Fprintln(w, "widens with solution size — past ~10k facts the load is ≥3x faster")
+	return nil
+}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0] [-pprof addr]
+//	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0] [-pprof addr] [-state DIR]
 //
 // Endpoints (see package repro/internal/server and the README for the
 // full API):
@@ -30,6 +30,15 @@
 // touching only what the new facts reach) and answers with the solution
 // diff. Live sessions are LRU-bounded (-max-sessions) because each pins
 // its solution plus the retained chase state.
+//
+// With -state DIR the daemon persists warm-start state under DIR:
+// registered mappings (canonical text) and live sessions ride a
+// manifest, chased solutions ride mmap-able columnar snapshots
+// (internal/snapshot). On boot the manifest is replayed — mappings
+// recompile without counting as request-driven compiles, sessions
+// resume from their snapshots — so a restarted daemon serves its first
+// /run from the snapshot cache, byte-identical to the pre-restart
+// response.
 //
 // Shutdown is graceful: on SIGTERM or SIGINT the listener closes, then
 // in-flight runs get a drain window to finish; runs still going when it
@@ -62,14 +71,27 @@ func main() {
 	parallel := flag.Int("parallel", 0, "default chase worker count per run; 0 uses all CPUs")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+	stateDir := flag.String("state", "", "persist warm-start state (mapping manifest, session and run snapshots) under this directory; off when empty")
+	maxRunSnapshots := flag.Int("max-run-snapshots", server.DefaultMaxRunSnapshots, "disk run-cache bound under -state DIR/runs (oldest snapshots pruned beyond it)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		MaxMappings: *maxMappings,
-		MaxSessions: *maxSessions,
-		MaxTimeout:  *maxTimeout,
-		Parallelism: *parallel,
+	srv, err := server.New(server.Config{
+		MaxMappings:     *maxMappings,
+		MaxSessions:     *maxSessions,
+		MaxTimeout:      *maxTimeout,
+		Parallelism:     *parallel,
+		StateDir:        *stateDir,
+		MaxRunSnapshots: *maxRunSnapshots,
 	})
+	if err != nil {
+		log.Fatalf("tdxd: %v", err)
+	}
+	if *stateDir != "" {
+		if err := srv.WarmStart(); err != nil {
+			log.Fatalf("tdxd: warm start: %v", err)
+		}
+		log.Printf("tdxd: state dir %s (run-cache bound %d)", *stateDir, *maxRunSnapshots)
+	}
 
 	// baseCtx underlies every request context: canceling it aborts
 	// in-flight chases through the engine's context plumbing — the

@@ -43,6 +43,14 @@ func NewConcreteWith(sch *schema.Schema, in *value.Interner) *Concrete {
 	return &Concrete{sch: sch, st: storage.NewStoreWith(in)}
 }
 
+// FromStore wraps an existing store as a concrete instance over sch —
+// the bridge for the snapshot loader, whose stores arrive frozen and
+// fully built. The caller is responsible for the store's rows matching
+// the schema (fact arity + trailing interval column).
+func FromStore(sch *schema.Schema, st *storage.Store) *Concrete {
+	return &Concrete{sch: sch, st: st}
+}
+
 // Schema returns the instance's schema (possibly nil).
 func (c *Concrete) Schema() *schema.Schema { return c.sch }
 

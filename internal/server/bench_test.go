@@ -14,7 +14,7 @@ import (
 // (no sockets), so the number is the server-path cost on top of the
 // engine, not the kernel's.
 func BenchmarkServerRun(b *testing.B) {
-	s := New(Config{})
+	s := mustNew(b, Config{})
 	h := s.Handler()
 	hash := register(b, h, readTestdata(b, "employment.tdx"))
 	facts := readTestdata(b, "employment.facts")
@@ -50,7 +50,7 @@ func BenchmarkServerRun(b *testing.B) {
 // BenchmarkServerRegisterCached measures the raw-key cache hit: the
 // by-far common case of a client re-sending a known mapping.
 func BenchmarkServerRegisterCached(b *testing.B) {
-	s := New(Config{})
+	s := mustNew(b, Config{})
 	h := s.Handler()
 	text := readTestdata(b, "employment.tdx")
 	register(b, h, text)

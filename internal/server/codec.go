@@ -189,7 +189,14 @@ type factsResponse struct {
 	Solution  json.RawMessage `json:"solution,omitempty"`
 }
 
-// healthResponse answers GET /healthz.
+// healthResponse answers GET /healthz. Compiles counts request-driven
+// compilations only; warm-start replays register mappings without
+// touching it, so compiles == 0 after a warm boot is the signal that
+// clients paid nothing for the restart. WarmStarts counts manifest
+// entries (mappings + sessions) replayed at boot; SnapshotLoads and
+// SnapshotWrites count solution snapshots read (run-cache hits, session
+// resumes) and written (runs, sessions); SourceCacheHits counts decoded
+// request bodies served from the in-memory source cache.
 type healthResponse struct {
 	Status           string `json:"status"`
 	UptimeSeconds    int64  `json:"uptimeSeconds"`
@@ -198,6 +205,10 @@ type healthResponse struct {
 	Evictions        int64  `json:"evictions"`
 	Sessions         int    `json:"sessions"`
 	SessionEvictions int64  `json:"sessionEvictions"`
+	WarmStarts       int64  `json:"warmStarts"`
+	SnapshotLoads    int64  `json:"snapshotLoads"`
+	SnapshotWrites   int64  `json:"snapshotWrites"`
+	SourceCacheHits  int64  `json:"sourceCacheHits"`
 }
 
 // errorResponse is the body of every non-2xx response.

@@ -189,6 +189,32 @@ func (r *Registry) compileFlight(fl *flight, raw, text string, opts []tdx.Option
 	close(fl.done)
 }
 
+// RegisterReplay compiles and registers a mapping synchronously without
+// counting toward Compiles — the warm-start path. Compiles is the
+// request-driven compilation counter (what a restarted daemon's clients
+// would have paid again), so boot-time replays of the persisted
+// manifest must not inflate it: a warm-started daemon whose first
+// request needs no compile reports compiles == 0.
+func (r *Registry) RegisterReplay(text string, opts ...tdx.Option) (*Entry, error) {
+	ex, err := r.compile(text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	raw := requestKey(text, opts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hash := ex.Fingerprint()
+	if el, ok := r.entries[hash]; ok {
+		r.touchLocked(el)
+		return el.Value.(*Entry), nil
+	}
+	e := &Entry{Hash: hash, Exchange: ex, Info: ex.Info(), Registered: time.Now(), rawKeys: []string{raw}}
+	r.entries[hash] = r.order.PushFront(e)
+	r.rawIndex[raw] = hash
+	r.evictLocked()
+	return e, nil
+}
+
 // maxRawKeysPerEntry caps how many distinct text variants keep
 // pre-compile cache hits per canonical entry; total rawIndex size is
 // then bounded by capacity × this.

@@ -17,9 +17,13 @@
 //	GET    /healthz                         liveness + registry/session counters
 //
 // Request bodies are either the TDX JSON instance format (Content-Type
-// application/json; decoded with the streaming decoder, so large bodies
-// never materialize) or the TDX fact text format (any other content
-// type). Per-request query parameters ride the engine's functional
+// application/json) or the TDX fact text format (any other content
+// type). Exchange-endpoint bodies are read fully (bounded by
+// MaxBodyBytes) and content-hashed: the hash keys an in-memory LRU of
+// decoded source instances (MaxSources) and — with a state directory —
+// the disk cache of chased solutions, so re-posting a document skips
+// decoding, and re-running one skips the chase entirely.
+// Per-request query parameters ride the engine's functional
 // options: ?timeout= bounds the run through the existing context
 // plumbing (capped by the server's MaxTimeout), ?parallel= sizes the
 // chase worker pool, ?norm=, ?egd=, and ?coalesce= override the
@@ -32,17 +36,27 @@
 // domain and never grows with request traffic. Sessions — which pin a
 // solution plus the chase state retained for incremental deltas — are
 // LRU-bounded the same way (MaxSessions).
+//
+// With Config.StateDir set the daemon also persists warm-start state:
+// registered mappings and live sessions ride a manifest plus columnar
+// solution snapshots (internal/snapshot), replayed by WarmStart at
+// boot, so a restarted daemon serves its first /run from the snapshot
+// cache with zero request-driven compiles. See state.go.
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"mime"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	tdx "repro"
@@ -68,7 +82,25 @@ type Config struct {
 	// Compile replaces tdx.Compile — a test seam for counting or faking
 	// compilations. nil means tdx.Compile.
 	Compile CompileFunc
+	// StateDir, when non-empty, enables warm-start persistence: the
+	// manifest of registered mappings and live sessions, session
+	// snapshots, and the disk run cache live under it (see state.go).
+	// Empty means no persistence.
+	StateDir string
+	// MaxRunSnapshots bounds the disk run cache under StateDir/runs.
+	// <= 0 means DefaultMaxRunSnapshots.
+	MaxRunSnapshots int
+	// MaxSources bounds the in-memory cache of decoded source instances.
+	// 0 means DefaultMaxSources; negative disables the cache.
+	MaxSources int
+	// Logf receives operational messages (persistence failures, warm
+	// start skips). nil means log.Printf.
+	Logf func(format string, args ...any)
 }
+
+// DefaultMaxRunSnapshots bounds the disk run cache when the
+// configuration does not.
+const DefaultMaxRunSnapshots = 128
 
 // DefaultMaxTimeout is the per-request run budget when the configuration
 // does not set one.
@@ -84,23 +116,107 @@ type Server struct {
 	cfg      Config
 	reg      *Registry
 	sessions *SessionStore
+	sources  *sourceCache
+	state    *stateStore // nil without Config.StateDir
+	logf     func(format string, args ...any)
 	start    time.Time
+
+	// Persistence observability, surfaced on /healthz.
+	warmStarts      atomic.Int64 // manifest entries replayed at boot
+	snapshotLoads   atomic.Int64 // solution snapshots loaded (run-cache hits, session resumes)
+	snapshotWrites  atomic.Int64 // solution snapshots written (runs, sessions)
+	sourceCacheHits atomic.Int64 // decoded-source cache hits
 }
 
-// New builds a Server from the configuration.
-func New(cfg Config) *Server {
+// New builds a Server from the configuration. It fails only when
+// Config.StateDir is set and unusable (not creatable, or holding a
+// manifest this daemon cannot read).
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = DefaultMaxTimeout
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBody
 	}
-	return &Server{
+	if cfg.MaxRunSnapshots <= 0 {
+		cfg.MaxRunSnapshots = DefaultMaxRunSnapshots
+	}
+	if cfg.MaxSources == 0 {
+		cfg.MaxSources = DefaultMaxSources
+	}
+	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.MaxMappings, cfg.Compile),
 		sessions: NewSessionStore(cfg.MaxSessions),
+		sources:  newSourceCache(cfg.MaxSources),
+		logf:     cfg.Logf,
 		start:    time.Now(),
 	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if cfg.StateDir != "" {
+		state, err := newStateStore(cfg.StateDir, cfg.MaxRunSnapshots)
+		if err != nil {
+			return nil, err
+		}
+		s.state = state
+		s.sessions.OnEvict(func(sess *Session) {
+			if err := state.forgetSession(sess.ID); err != nil {
+				s.logf("state: drop evicted session %s: %v", sess.ID, err)
+			}
+		})
+	}
+	return s, nil
+}
+
+// WarmStart replays the persisted manifest: registered mappings
+// recompile through the replay path (not counted as request-driven
+// compiles) and live sessions resume from their solution snapshots. It
+// is a no-op without a state directory. Replay is best-effort per
+// entry — a mapping that no longer compiles or a snapshot that fails
+// validation is logged and skipped, never fatal — so a damaged state
+// directory degrades to a cold start, not a dead daemon.
+func (s *Server) WarmStart() error {
+	if s.state == nil {
+		return nil
+	}
+	man := s.state.snapshot()
+	for _, m := range man.Mappings {
+		opts, err := m.Options.engineOptions()
+		if err != nil {
+			s.logf("state: mapping %.12s: bad options: %v", m.Hash, err)
+			continue
+		}
+		opts = append(opts, tdx.WithRunInterner())
+		entry, err := s.reg.RegisterReplay(m.Mapping, opts...)
+		if err != nil {
+			s.logf("state: mapping %.12s no longer compiles: %v", m.Hash, err)
+			continue
+		}
+		if entry.Hash != m.Hash {
+			s.logf("state: mapping %.12s recompiled to %.12s; serving under the new hash", m.Hash, entry.Hash)
+		}
+		s.warmStarts.Add(1)
+	}
+	for _, ms := range man.Sessions {
+		entry, ok := s.reg.Get(ms.Hash)
+		if !ok {
+			s.logf("state: session %s: mapping %.12s not replayed; dropping", ms.ID, ms.Hash)
+			_ = s.state.forgetSession(ms.ID)
+			continue
+		}
+		sol, err := entry.Exchange.LoadSolution(s.state.sessionPath(ms.ID))
+		if err != nil {
+			s.logf("state: session %s: %v; dropping", ms.ID, err)
+			_ = s.state.forgetSession(ms.ID)
+			continue
+		}
+		s.snapshotLoads.Add(1)
+		s.sessions.AddWithID(ms.ID, entry, sol, ms.Deltas)
+		s.warmStarts.Add(1)
+	}
+	return nil
 }
 
 // Registry exposes the compiled-exchange registry (tests, metrics).
@@ -133,6 +249,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Evictions:        s.reg.Evicted(),
 		Sessions:         s.sessions.Len(),
 		SessionEvictions: s.sessions.Evicted(),
+		WarmStarts:       s.warmStarts.Load(),
+		SnapshotLoads:    s.snapshotLoads.Load(),
+		SnapshotWrites:   s.snapshotWrites.Load(),
+		SourceCacheHits:  s.sourceCacheHits.Load(),
 	})
 }
 
@@ -191,6 +311,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// exhausted budget or client disconnect maps like any run error.
 		writeError(w, answerStatus(err), err)
 		return
+	}
+	if s.state != nil {
+		// Persist the canonical rendering: cosmetic variants of one
+		// mapping collapse to one manifest row, and replaying it
+		// reproduces the same fingerprint.
+		if err := s.state.rememberMapping(entry.Hash, entry.Exchange.Canonical(), req.Options, s.reg.Capacity()); err != nil {
+			s.logf("state: persist mapping %.12s: %v", entry.Hash, err)
+		}
 	}
 	status := http.StatusCreated
 	if cached {
@@ -266,10 +394,13 @@ func (c ctxReadCloser) Read(p []byte) (int, error) {
 
 func (c ctxReadCloser) Close() error { return c.rc.Close() }
 
-// runExchange is the shared run pipeline of the three exchange
-// endpoints: decode the request-scoped source from the body and chase
-// it on the entry's compiled exchange with the per-request options,
-// under the request's budget context.
+// runExchange is the shared run pipeline of the exchange endpoints:
+// read the (bounded) body, consult the disk run cache keyed on
+// (exchange, source content, effective options), then — on a miss —
+// decode the source (through the decoded-source cache) and chase it on
+// the entry's compiled exchange, persisting the solution for next time.
+// Bodies are read fully before decoding: they are already bounded by
+// MaxBodyBytes, and content hashing is what makes both caches sound.
 func (s *Server) runExchange(ctx context.Context, w http.ResponseWriter, r *http.Request, entry *Entry) (*tdx.Solution, time.Duration, bool) {
 	opts, err := s.runOptions(r)
 	if err != nil {
@@ -277,18 +408,76 @@ func (s *Server) runExchange(ctx context.Context, w http.ResponseWriter, r *http
 		return nil, 0, false
 	}
 	s.boundBody(ctx, w, r)
-	src, err := s.decodeSource(r, entry.Exchange)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("source body: %w", err))
+		return nil, 0, false
+	}
+	jsonBody := isJSON(r)
+	srcKey := sourceKey(jsonBody, body)
+	started := time.Now()
+
+	// Disk run cache: a deterministic run is fully keyed by the exchange
+	// fingerprint, the source content, and the effective options, so a
+	// snapshot hit replaces the whole decode+chase pipeline with an mmap.
+	var cacheKey string
+	if s.state != nil {
+		cacheKey = runKey(entry.Hash, srcKey, entry.Exchange.RunFingerprint(opts...))
+		if sol, err := entry.Exchange.LoadSolution(s.state.runPath(cacheKey)); err == nil {
+			s.snapshotLoads.Add(1)
+			return sol, time.Since(started), true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			s.logf("state: run cache %s: %v", cacheKey, err)
+		}
+	}
+
+	src, err := s.decodeBody(entry, jsonBody, body, srcKey)
 	if err != nil {
 		writeError(w, bodyErrStatus(err), err)
 		return nil, 0, false
 	}
-	started := time.Now()
 	sol, err := entry.Exchange.Run(ctx, src, opts...)
 	if err != nil {
 		writeError(w, runStatus(err), err)
 		return nil, 0, false
 	}
+	if s.state != nil {
+		if err := s.state.saveRun(cacheKey, sol); err != nil {
+			s.logf("state: persist run %s: %v", cacheKey, err)
+		} else {
+			s.snapshotWrites.Add(1)
+		}
+	}
 	return sol, time.Since(started), true
+}
+
+// decodeBody turns a buffered request body into a frozen source
+// instance, consulting the decoded-source cache first: re-posting the
+// same document to the same exchange skips parsing and re-interning.
+func (s *Server) decodeBody(entry *Entry, jsonBody bool, body []byte, srcKey string) (*tdx.Instance, error) {
+	ck := entry.Hash + "\x00" + srcKey
+	if src, ok := s.sources.get(ck); ok {
+		s.sourceCacheHits.Add(1)
+		return src, nil
+	}
+	var src *tdx.Instance
+	var err error
+	if jsonBody {
+		src, err = entry.Exchange.DecodeSourceJSON(bytes.NewReader(body))
+	} else {
+		if strings.TrimSpace(string(body)) == "" {
+			return nil, errors.New("source body is empty; send TDX fact text or the TDX JSON instance format")
+		}
+		src, err = entry.Exchange.ParseSource(string(body))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("source body: %w", err)
+	}
+	// Freeze before publishing: a frozen instance is safe to share
+	// across the concurrent runs a cache hit implies.
+	src.Freeze()
+	s.sources.put(ck, src)
+	return src, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +631,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.sessions.Add(entry, sol)
+	s.persistSession(sess.ID, entry.Hash, 0, sol)
 	solJSON, err := sol.JSON()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -509,6 +699,7 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 	deltas := sess.deltas
 	sess.mu.Unlock()
 	elapsed := time.Since(started)
+	s.persistSession(sess.ID, sess.Entry.Hash, deltas, next)
 
 	addedJSON, err := diff.Added.JSON()
 	if err != nil {
@@ -545,11 +736,29 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 // handleSessionDelete drops a session, releasing its pinned solution
 // and retained chase state.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.Delete(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q is live", r.PathValue("id")))
+	id := r.PathValue("id")
+	if !s.sessions.Delete(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q is live", id))
 		return
 	}
+	if s.state != nil {
+		if err := s.state.forgetSession(id); err != nil {
+			s.logf("state: drop session %s: %v", id, err)
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// persistSession snapshots a session's current solution, best-effort.
+func (s *Server) persistSession(id, hash string, deltas int64, sol *tdx.Solution) {
+	if s.state == nil {
+		return
+	}
+	if err := s.state.saveSession(id, hash, deltas, sol); err != nil {
+		s.logf("state: persist session %s: %v", id, err)
+		return
+	}
+	s.snapshotWrites.Add(1)
 }
 
 // answerStatus maps a query-evaluation error: a bad query is the

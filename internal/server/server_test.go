@@ -27,6 +27,16 @@ func readTestdata(t testing.TB, name string) string {
 	return string(data)
 }
 
+// mustNew builds a server, failing the test on configuration errors.
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // do runs one request through the routed handler.
 func do(h http.Handler, method, target, contentType, body string) *httptest.ResponseRecorder {
 	req := httptest.NewRequest(method, target, strings.NewReader(body))
@@ -56,7 +66,7 @@ func register(t testing.TB, h http.Handler, mapping string) string {
 }
 
 func TestRegisterAndList(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	text := readTestdata(t, "employment.tdx")
 
@@ -135,7 +145,7 @@ func TestRegisterAndList(t *testing.T) {
 // endpoint's solution (facts and stats) is byte-identical to
 // tdx.Exchange.Run called directly on the same source.
 func TestRunMatchesDirectRun(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	mapping := readTestdata(t, "employment.tdx")
 	facts := readTestdata(t, "employment.facts")
@@ -227,7 +237,7 @@ func directSourceJSON(t testing.TB, ex *tdx.Exchange, facts string) []byte {
 }
 
 func TestRunQueryAndAnswer(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	mapping := readTestdata(t, "employment.tdx")
 	facts := readTestdata(t, "employment.facts")
@@ -308,7 +318,7 @@ func TestRunQueryAndAnswer(t *testing.T) {
 // registers, runs through the temporal chase, and /snapshot?at= returns
 // the same abstract snapshot as the direct API.
 func TestTemporalSnapshot(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	mapping := readTestdata(t, "phd.tdx")
 	facts := readTestdata(t, "phd.facts")
@@ -385,7 +395,7 @@ func TestTemporalSnapshot(t *testing.T) {
 // exceeded ?timeout= returns 504 promptly, and the registry entry keeps
 // serving afterwards.
 func TestTimeoutReturns504(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	hash := register(t, h, readTestdata(t, "employment.tdx"))
 	facts := readTestdata(t, "employment.facts")
@@ -424,7 +434,7 @@ func TestTimeoutReturns504(t *testing.T) {
 }
 
 func TestErrorMapping(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	hash := register(t, h, readTestdata(t, "employment.tdx"))
 	facts := readTestdata(t, "employment.facts")
@@ -469,7 +479,7 @@ func TestErrorMapping(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	register(t, h, readTestdata(t, "employment.tdx"))
 	rec := do(h, "GET", "/healthz", "", "")
@@ -489,7 +499,7 @@ func TestHealthz(t *testing.T) {
 // when the bound is hit; evicted hashes 404 and re-register transparently.
 func TestLRUEviction(t *testing.T) {
 	var compiles atomic.Int64
-	s := New(Config{
+	s := mustNew(t, Config{
 		MaxMappings: 2,
 		Compile: func(mapping string, opts ...tdx.Option) (*tdx.Exchange, error) {
 			compiles.Add(1)
@@ -538,7 +548,7 @@ func TestLRUEviction(t *testing.T) {
 // warm entry. Run under -race in CI.
 func TestConcurrentRegisterAndRun(t *testing.T) {
 	var compiles atomic.Int64
-	s := New(Config{
+	s := mustNew(t, Config{
 		Compile: func(mapping string, opts ...tdx.Option) (*tdx.Exchange, error) {
 			compiles.Add(1)
 			// Widen the race window so the burst really overlaps one
@@ -619,7 +629,7 @@ func urlQueryEscape(s string) string {
 // both /run and /answer — before the body is decoded or a chase runs —
 // so a tiny bad request cannot buy MaxTimeout worth of server CPU.
 func TestBadQueryCostsNoChase(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	hash := register(t, h, readTestdata(t, "employment.tdx"))
 
@@ -642,7 +652,7 @@ func TestBadQueryCostsNoChase(t *testing.T) {
 // TestBudgetCoversWholePipeline: ?timeout= bounds /answer and /snapshot
 // end to end (run + evaluation), not just the chase.
 func TestBudgetCoversWholePipeline(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	hash := register(t, h, readTestdata(t, "employment.tdx"))
 	facts := readTestdata(t, "employment.facts")
@@ -662,7 +672,7 @@ func TestBudgetCoversWholePipeline(t *testing.T) {
 // TestOversizeBodyIs413: a body beyond MaxBodyBytes maps to 413, not a
 // generic 400, on both the register and run paths.
 func TestOversizeBodyIs413(t *testing.T) {
-	s := New(Config{MaxBodyBytes: 64})
+	s := mustNew(t, Config{MaxBodyBytes: 64})
 	h := s.Handler()
 	big := strings.Repeat("E(Ada, IBM) @ [2012, 2014)\n", 64)
 
@@ -670,7 +680,7 @@ func TestOversizeBodyIs413(t *testing.T) {
 		t.Fatalf("register oversize: status %d: %s", rec.Code, rec.Body)
 	}
 	// For the run path, register a (small enough) mapping first.
-	s2 := New(Config{MaxBodyBytes: 700})
+	s2 := mustNew(t, Config{MaxBodyBytes: 700})
 	h2 := s2.Handler()
 	hash := register(t, h2, readTestdata(t, "employment.tdx"))
 	if rec := do(h2, "POST", "/v1/exchanges/"+hash+"/run", "", big); rec.Code != http.StatusRequestEntityTooLarge {
@@ -683,7 +693,7 @@ func TestOversizeBodyIs413(t *testing.T) {
 // detached, and serves the retry from cache.
 func TestRegisterBudget504(t *testing.T) {
 	var compiles atomic.Int64
-	s := New(Config{
+	s := mustNew(t, Config{
 		MaxTimeout: 20 * time.Millisecond,
 		Compile: func(mapping string, opts ...tdx.Option) (*tdx.Exchange, error) {
 			compiles.Add(1)
@@ -722,7 +732,7 @@ func TestRegisterBudget504(t *testing.T) {
 // TestRegisterRejectsTrailingEnvelope: a concatenated second JSON
 // envelope errors instead of being silently dropped.
 func TestRegisterRejectsTrailingEnvelope(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	env, _ := json.Marshal(registerRequest{Mapping: readTestdata(t, "employment.tdx")})
 	rec := do(h, "POST", "/v1/mappings", "application/json", string(env)+string(env))

@@ -58,7 +58,15 @@ type SessionStore struct {
 	entries  map[string]*list.Element // id → element holding *Session
 	order    *list.List               // front = most recently used
 	evicted  int64
+	onEvict  func(*Session) // see OnEvict
 }
+
+// OnEvict installs a hook invoked (outside the store's lock) for every
+// session dropped by the LRU bound — the persistence layer uses it to
+// delete the evicted session's snapshot file. Explicit Delete does not
+// trigger it; the deleting caller already knows the id. Set before the
+// store is shared.
+func (st *SessionStore) OnEvict(fn func(*Session)) { st.onEvict = fn }
 
 // NewSessionStore returns a store holding at most capacity live
 // sessions (DefaultMaxSessions when <= 0).
@@ -87,9 +95,21 @@ func newSessionID() string {
 // Add registers a new session over the given entry and base solution,
 // evicting the least-recently-used session beyond the capacity.
 func (st *SessionStore) Add(entry *Entry, sol *tdx.Solution) *Session {
-	sess := &Session{ID: newSessionID(), Entry: entry, Created: time.Now(), sol: sol}
+	return st.AddWithID(newSessionID(), entry, sol, 0)
+}
+
+// AddWithID registers a session under a caller-chosen id with a
+// starting delta count — the warm-start resume path, which must revive
+// sessions under the ids clients already hold. An id collision replaces
+// the existing session.
+func (st *SessionStore) AddWithID(id string, entry *Entry, sol *tdx.Solution, deltas int64) *Session {
+	sess := &Session{ID: id, Entry: entry, Created: time.Now(), sol: sol, deltas: deltas}
+	var dropped []*Session
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	if el, ok := st.entries[id]; ok {
+		st.order.Remove(el)
+		delete(st.entries, id)
+	}
 	st.entries[sess.ID] = st.order.PushFront(sess)
 	for st.order.Len() > st.capacity {
 		el := st.order.Back()
@@ -97,6 +117,14 @@ func (st *SessionStore) Add(entry *Entry, sol *tdx.Solution) *Session {
 		st.order.Remove(el)
 		delete(st.entries, old.ID)
 		st.evicted++
+		dropped = append(dropped, old)
+	}
+	fn := st.onEvict
+	st.mu.Unlock()
+	if fn != nil {
+		for _, old := range dropped {
+			fn(old)
+		}
 	}
 	return sess
 }

@@ -30,7 +30,7 @@ func openSession(t *testing.T, s *Server) (http.Handler, string) {
 }
 
 func TestSessionDeltaLifecycle(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h, id := openSession(t, s)
 	if got := s.Sessions().Len(); got != 1 {
 		t.Fatalf("live sessions = %d, want 1", got)
@@ -112,7 +112,7 @@ func TestSessionDeltaLifecycle(t *testing.T) {
 }
 
 func TestSessionDeltaMatchesFullRun(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h, id := openSession(t, s)
 	delta := "E(Carol, IBM) @ [2015, 2019)\nS(Carol, 21k) @ [2015, 2019)"
 	rec := do(h, "POST", "/v1/sessions/"+id+"/facts?solution=true", "", delta)
@@ -142,7 +142,7 @@ func TestSessionDeltaMatchesFullRun(t *testing.T) {
 }
 
 func TestSessionLRUBound(t *testing.T) {
-	s := New(Config{MaxSessions: 2})
+	s := mustNew(t, Config{MaxSessions: 2})
 	h := s.Handler()
 	hash := register(t, h, readTestdata(t, "employment.tdx"))
 	ids := make([]string, 3)
@@ -186,7 +186,7 @@ func TestSessionLRUBound(t *testing.T) {
 }
 
 func TestSessionCreateUnknownHash(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	if rec := do(h, "POST", "/v1/exchanges/deadbeef/sessions", "", "E(A, B) @ [1, 2)"); rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown hash: status %d", rec.Code)

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	tdx "repro"
+)
+
+// DefaultMaxSources bounds the decoded-source cache when the
+// configuration does not.
+const DefaultMaxSources = 32
+
+// sourceCache is an LRU of decoded, frozen source instances keyed by
+// (exchange fingerprint, body content hash): a client re-posting the
+// same source document — the retry loop, the run/answer/snapshot triple
+// over one dataset — skips decode and re-interning entirely. Frozen
+// instances are safe to share across concurrent runs, which is what
+// makes the cache sound. All methods are safe for concurrent use.
+type sourceCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type sourceCacheEntry struct {
+	key string
+	src *tdx.Instance
+}
+
+// newSourceCache returns a cache of the given capacity; zero or
+// negative disables caching (every get misses, puts are dropped).
+func newSourceCache(capacity int) *sourceCache {
+	return &sourceCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+func (c *sourceCache) get(key string) (*tdx.Instance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*sourceCacheEntry).src, true
+}
+
+func (c *sourceCache) put(key string, src *tdx.Instance) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*sourceCacheEntry).src = src
+		return
+	}
+	c.entries[key] = c.order.PushFront(&sourceCacheEntry{key: key, src: src})
+	for c.order.Len() > c.capacity {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*sourceCacheEntry).key)
+	}
+}
+
+func (c *sourceCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// health fetches and decodes /healthz.
+func health(t *testing.T, h http.Handler) healthResponse {
+	t.Helper()
+	rec := do(h, "GET", "/healthz", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rec.Code)
+	}
+	var resp healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// runSolution posts a run and returns the embedded solution document.
+func runSolution(t *testing.T, h http.Handler, hash, source string) json.RawMessage {
+	t.Helper()
+	rec := do(h, "POST", "/v1/exchanges/"+hash+"/run", "", source)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp runResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Solution
+}
+
+// quietCfg returns a state-enabled config whose persistence log lines
+// fail the test: warm-start paths under test must not degrade silently.
+func quietCfg(t *testing.T, dir string) Config {
+	return Config{
+		StateDir: dir,
+		Logf: func(format string, args ...any) {
+			t.Errorf("unexpected state log: "+format, args...)
+		},
+	}
+}
+
+// TestWarmStartRun is the end-to-end warm-start contract: a daemon
+// restarted on the same state directory serves the first /run without
+// any request-driven compile and byte-identical to the pre-restart
+// response.
+func TestWarmStartRun(t *testing.T) {
+	dir := t.TempDir()
+	mapping := readTestdata(t, "employment.tdx")
+	source := readTestdata(t, "employment.facts")
+
+	s1 := mustNew(t, quietCfg(t, dir))
+	h1 := s1.Handler()
+	hash := register(t, h1, mapping)
+	cold := runSolution(t, h1, hash, source)
+	hz := health(t, h1)
+	if hz.Compiles != 1 || hz.SnapshotWrites < 1 || hz.WarmStarts != 0 {
+		t.Fatalf("pre-restart healthz: %+v", hz)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	s2 := mustNew(t, quietCfg(t, dir))
+	if err := s2.WarmStart(); err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	h2 := s2.Handler()
+	hz = health(t, h2)
+	if hz.Compiles != 0 {
+		t.Fatalf("warm boot performed %d request-driven compiles", hz.Compiles)
+	}
+	if hz.Mappings != 1 || hz.WarmStarts != 1 {
+		t.Fatalf("warm boot healthz: %+v", hz)
+	}
+
+	warm := runSolution(t, h2, hash, source)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm-started solution differs:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	hz = health(t, h2)
+	if hz.Compiles != 0 {
+		t.Fatalf("first warm run compiled: %+v", hz)
+	}
+	if hz.SnapshotLoads != 1 {
+		t.Fatalf("first warm run did not hit the run-snapshot cache: %+v", hz)
+	}
+
+	// Re-registering the original text resolves to the replayed entry —
+	// one compile is expected here (the manifest persisted the canonical
+	// text, not this raw variant) but no duplicate entry appears.
+	rec := do(h2, "POST", "/v1/mappings", "", mapping)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("re-register after warm boot: status %d", rec.Code)
+	}
+	var rr registerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Hash != hash {
+		t.Fatalf("re-registration resolved to %s, want %s", rr.Hash, hash)
+	}
+	if hz = health(t, h2); hz.Mappings != 1 {
+		t.Fatalf("re-registration duplicated the entry: %+v", hz)
+	}
+}
+
+// TestWarmStartSessionResume checks that live sessions survive a
+// restart: same id, same delta count, same solution document.
+func TestWarmStartSessionResume(t *testing.T) {
+	dir := t.TempDir()
+	mapping := readTestdata(t, "employment.tdx")
+	source := readTestdata(t, "employment.facts")
+
+	s1 := mustNew(t, quietCfg(t, dir))
+	h1 := s1.Handler()
+	hash := register(t, h1, mapping)
+
+	rec := do(h1, "POST", "/v1/exchanges/"+hash+"/sessions", "", source)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("session create: status %d: %s", rec.Code, rec.Body)
+	}
+	var created sessionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(h1, "POST", "/v1/sessions/"+created.SessionID+"/facts?solution=true", "", "E(Carol, IBM) @ [2015, 2019)")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delta: status %d: %s", rec.Code, rec.Body)
+	}
+	var afterDelta factsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &afterDelta); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, quietCfg(t, dir))
+	if err := s2.WarmStart(); err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	h2 := s2.Handler()
+	hz := health(t, h2)
+	if hz.Sessions != 1 || hz.Compiles != 0 || hz.WarmStarts != 2 || hz.SnapshotLoads != 1 {
+		t.Fatalf("resumed healthz: %+v", hz)
+	}
+
+	// An all-duplicate delta returns the current solution unchanged:
+	// the resumed session must answer with the pre-restart document and
+	// continue the delta numbering.
+	rec = do(h2, "POST", "/v1/sessions/"+created.SessionID+"/facts?solution=true", "", "E(Carol, IBM) @ [2015, 2019)")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-restart delta: status %d: %s", rec.Code, rec.Body)
+	}
+	var resumed factsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Deltas != afterDelta.Deltas+1 {
+		t.Fatalf("delta numbering reset: %d after %d", resumed.Deltas, afterDelta.Deltas)
+	}
+	if resumed.Diff.AddedFacts != 0 || resumed.Diff.RemovedFacts != 0 {
+		t.Fatalf("duplicate delta changed the resumed solution: %+v", resumed.Diff)
+	}
+	if !bytes.Equal(afterDelta.Solution, resumed.Solution) {
+		t.Fatalf("resumed session solution differs:\npre:  %s\npost: %s", afterDelta.Solution, resumed.Solution)
+	}
+
+	// Deleting the session drops its snapshot and manifest row, so the
+	// next boot resumes nothing.
+	rec = do(h2, "DELETE", "/v1/sessions/"+created.SessionID, "", "")
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+	s3 := mustNew(t, quietCfg(t, dir))
+	if err := s3.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	if hz := health(t, s3.Handler()); hz.Sessions != 0 {
+		t.Fatalf("deleted session resumed: %+v", hz)
+	}
+}
+
+// TestSourceCacheCounters checks the decoded-source cache: repeating a
+// body against one exchange decodes once, and the counter says so.
+func TestSourceCacheCounters(t *testing.T) {
+	s := mustNew(t, Config{})
+	h := s.Handler()
+	hash := register(t, h, readTestdata(t, "employment.tdx"))
+	source := readTestdata(t, "employment.facts")
+
+	first := runSolution(t, h, hash, source)
+	second := runSolution(t, h, hash, source)
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached-source run differs")
+	}
+	hz := health(t, h)
+	if hz.SourceCacheHits != 1 {
+		t.Fatalf("sourceCacheHits = %d, want 1", hz.SourceCacheHits)
+	}
+	// Stateless servers never touch snapshots.
+	if hz.SnapshotLoads != 0 || hz.SnapshotWrites != 0 || hz.WarmStarts != 0 {
+		t.Fatalf("stateless healthz shows snapshot traffic: %+v", hz)
+	}
+
+	// A different body (same facts, extra whitespace) is a cache miss:
+	// keying is content-exact.
+	if _, ok := s.sources.get(hash + "\x00" + sourceKey(false, []byte(source+" "))); ok {
+		t.Fatal("whitespace variant unexpectedly cached")
+	}
+}
+
+// TestRunCachePruned bounds the disk run cache: distinct sources beyond
+// MaxRunSnapshots leave at most MaxRunSnapshots files on disk.
+func TestRunCachePruned(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietCfg(t, dir)
+	cfg.MaxRunSnapshots = 2
+	s := mustNew(t, cfg)
+	h := s.Handler()
+	hash := register(t, h, readTestdata(t, "employment.tdx"))
+
+	for _, src := range []string{
+		"E(a, X) @ [1, 2)",
+		"E(b, X) @ [1, 2)",
+		"E(c, X) @ [1, 2)",
+		"E(d, X) @ [1, 2)",
+	} {
+		runSolution(t, h, hash, src)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 2 {
+		t.Fatalf("run cache holds %d files, bound is 2", len(ents))
+	}
+}
+
+// TestWarmStartCorruptSnapshot: a damaged session snapshot degrades to
+// a cold start for that session — logged, dropped, never fatal.
+func TestWarmStartCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	mapping := readTestdata(t, "employment.tdx")
+	source := readTestdata(t, "employment.facts")
+
+	s1 := mustNew(t, quietCfg(t, dir))
+	h1 := s1.Handler()
+	hash := register(t, h1, mapping)
+	rec := do(h1, "POST", "/v1/exchanges/"+hash+"/sessions", "", source)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("session create: status %d", rec.Code)
+	}
+	var created sessionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the session snapshot.
+	path := filepath.Join(dir, "sessions", created.SessionID+".snap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	logged := false
+	s2 := mustNew(t, Config{StateDir: dir, Logf: func(string, ...any) { logged = true }})
+	if err := s2.WarmStart(); err != nil {
+		t.Fatalf("WarmStart on corrupt session: %v", err)
+	}
+	hz := health(t, s2.Handler())
+	if hz.Sessions != 0 || hz.Mappings != 1 {
+		t.Fatalf("corrupt session resumed: %+v", hz)
+	}
+	if !logged {
+		t.Fatal("corrupt snapshot dropped silently")
+	}
+}
+
+// TestRegisterReplayCompiles covers the replay path at the registry
+// level: same entry, no Compiles increment.
+func TestRegisterReplayCompiles(t *testing.T) {
+	reg := NewRegistry(4, nil)
+	text := readTestdata(t, "employment.tdx")
+	entry, err := reg.RegisterReplay(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Compiles() != 0 {
+		t.Fatalf("replay counted as a compile: %d", reg.Compiles())
+	}
+	if got, ok := reg.Get(entry.Hash); !ok || got != entry {
+		t.Fatal("replayed entry not resident")
+	}
+	again, err := reg.RegisterReplay(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != entry {
+		t.Fatal("second replay duplicated the entry")
+	}
+}

@@ -1,0 +1,129 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// smallSnapshot is a compact two-group snapshot for exhaustive
+// per-byte/per-truncation sweeps.
+func smallSnapshot(t *testing.T) []byte {
+	t.Helper()
+	return encode(t, Snapshot{
+		Store:  testStore(11),
+		Source: testStore(12),
+		Meta:   Meta{Kind: "solution", Schema: []RelSig{{Name: "E", Attrs: []string{"a"}}}},
+	})
+}
+
+// tryLoad opens and fully materializes data, returning the first error.
+// It must never panic, which the test harness enforces for free.
+func tryLoad(data []byte) error {
+	f, err := OpenBytes(data)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Store(); err != nil {
+		return err
+	}
+	if f.HasSource() {
+		if _, err := f.SourceStore(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestTruncationAlwaysErrors(t *testing.T) {
+	data := smallSnapshot(t)
+	for n := 0; n < len(data); n++ {
+		if err := tryLoad(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded successfully", n, len(data))
+		}
+	}
+}
+
+// TestBitFlips flips every byte of the file and asserts the loader either
+// rejects the file or — only for bytes outside every checksum, i.e. the
+// zero padding between sections — loads a store identical to the
+// original. Silently loading different data is the one forbidden outcome.
+func TestBitFlips(t *testing.T) {
+	data := smallSnapshot(t)
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := f.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStr := orig.String()
+	mut := make([]byte, len(data))
+	for i := range data {
+		copy(mut, data)
+		mut[i] ^= 0xff
+		err := tryLoad(mut)
+		if err != nil {
+			continue
+		}
+		mf, _ := OpenBytes(mut)
+		st, _ := mf.Store()
+		if st.String() != origStr {
+			t.Fatalf("flip at byte %d silently loaded different data", i)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := smallSnapshot(t)
+	bad := append([]byte("NOTASNAP"), data[8:]...)
+	if err := tryLoad(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := append([]byte(nil), smallSnapshot(t)...)
+	binary.LittleEndian.PutUint32(data[8:], version+1)
+	if err := tryLoad(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: %v", err)
+	}
+}
+
+func TestBadTailMagic(t *testing.T) {
+	data := append([]byte(nil), smallSnapshot(t)...)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], 0xdeadbeef)
+	if err := tryLoad(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad tail magic: %v", err)
+	}
+}
+
+// TestSectionChecksumMismatch corrupts one byte inside the first relation
+// section specifically and asserts the error mentions a checksum, i.e.
+// corruption is caught by the CRC before structural validation.
+func TestSectionChecksumMismatch(t *testing.T) {
+	data := append([]byte(nil), smallSnapshot(t)...)
+	// The meta section is first; flip a byte just past the header inside
+	// its payload (the JSON braces are at headerLen).
+	data[headerLen] ^= 0x01
+	err := tryLoad(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped section byte: %v", err)
+	}
+}
+
+func TestGarbageInput(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0}, 4096),
+		bytes.Repeat([]byte{0xff}, 4096),
+	} {
+		if err := tryLoad(data); err == nil {
+			t.Fatalf("garbage of %d bytes loaded successfully", len(data))
+		}
+	}
+}

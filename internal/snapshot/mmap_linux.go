@@ -1,0 +1,39 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The descriptor is closed right after
+// mapping — the mapping survives it — so an open File holds pages, not a
+// file descriptor. Empty files get an empty heap mapping (mmap rejects
+// zero length); they fail header validation like any short file.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: file of %d bytes exceeds address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	return &mapping{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

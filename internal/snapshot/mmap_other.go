@@ -1,0 +1,30 @@
+//go:build !linux
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads path fully into memory — the portable fallback where
+// syscall.Mmap is unavailable or unportable. Loaded stores then alias
+// plain heap memory and need no unmapping.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, fi.Size())
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -410,12 +410,48 @@ func (r *Rel) EnsureIndex(pos int) {
 	if r.idx == nil {
 		r.idx = make(map[int]map[value.ID][]int)
 	}
-	byID := make(map[value.ID][]int)
+	// Counting sort over the dense ID space: count rows per ID, carve
+	// every posting list out of one shared backing array, fill in row
+	// order (so lists stay ascending), then publish one exactly-sized map
+	// entry per distinct ID. Compared to appending into per-ID slices
+	// this is the difference between thousands of small allocations and
+	// three on the bulk paths (Freeze, the snapshot warm-start load), and
+	// the map sees one write per distinct ID instead of one per row.
+	counts := make([]int32, r.in.Len())
+	total, distinct := 0, 0
 	for row, l := range r.loc {
 		s := r.segs[l.seg]
 		if pos < s.arity && r.Alive(row) {
 			id := s.cols[pos][l.off]
-			byID[id] = append(byID[id], row)
+			if counts[id] == 0 {
+				distinct++
+			}
+			counts[id]++
+			total++
+		}
+	}
+	offs := make([]int32, len(counts))
+	off := int32(0)
+	for id, c := range counts {
+		offs[id] = off
+		off += c
+	}
+	backing := make([]int, total)
+	for row, l := range r.loc {
+		s := r.segs[l.seg]
+		if pos < s.arity && r.Alive(row) {
+			id := s.cols[pos][l.off]
+			backing[offs[id]] = row
+			offs[id]++
+		}
+	}
+	byID := make(map[value.ID][]int, distinct)
+	for id, c := range counts {
+		if c > 0 {
+			// Capacity-capped at the list's end: a later insert appending to
+			// one list must reallocate it, never grow into its neighbor's
+			// backing space.
+			byID[value.ID(id)] = backing[offs[id]-c : offs[id] : offs[id]]
 		}
 	}
 	r.idx[pos] = byID
@@ -706,7 +742,8 @@ func IntersectPostings(dst, a, b []int) []int {
 type Store struct {
 	in     *value.Interner
 	rels   map[string]*Rel
-	frozen bool // immutable and shareable; see Freeze
+	frozen bool  // immutable and shareable; see Freeze
+	pins   []any // lifetime anchors (mmap'd snapshot files); see Pin
 }
 
 // NewStore returns an empty store with a fresh interner.

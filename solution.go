@@ -151,6 +151,10 @@ type Solution struct {
 	Instance
 	stats Stats
 
+	// fp is the fingerprint of the exchange that produced this solution,
+	// recorded in snapshots as provenance.
+	fp string
+
 	// Retained incremental-chase state: the frozen source this solution
 	// was chased from, and (for non-temporal mappings) the chase-layer
 	// base state RunDelta resumes from. Both stay nil on solutions not
@@ -180,11 +184,11 @@ func (s *Solution) Stats() Stats { return s.stats }
 // Coalesce returns the solution in canonical coalesced form, keeping the
 // statistics and the retained incremental-chase state.
 func (s *Solution) Coalesce() *Solution {
-	return &Solution{Instance: *s.Instance.Coalesce(), stats: s.stats, base: s.base, src: s.src}
+	return &Solution{Instance: *s.Instance.Coalesce(), stats: s.stats, fp: s.fp, base: s.base, src: s.src}
 }
 
 // Core shrinks the solution to its snapshot-wise core — the smallest
 // homomorphically equivalent solution (§7 extension).
 func (s *Solution) Core() *Solution {
-	return &Solution{Instance: Instance{c: coreof.Of(s.c)}, stats: s.stats, base: s.base, src: s.src}
+	return &Solution{Instance: Instance{c: coreof.Of(s.c)}, stats: s.stats, fp: s.fp, base: s.base, src: s.src}
 }

@@ -234,14 +234,32 @@ func (ex *Exchange) withQueries(queries []query.UCQ) (*Exchange, error) {
 // canonical mapping rendering and the output-affecting option
 // fingerprint.
 func (ex *Exchange) fingerprint() string {
-	var canon string
-	if ex.tm != nil {
-		canon = parser.FormatTemporalMapping(ex.tm, ex.queries)
-	} else {
-		canon = parser.FormatMapping(ex.cm.Mapping(), ex.queries)
-	}
-	sum := sha256.Sum256([]byte(canon + "\x00" + ex.cfg.fingerprint()))
+	sum := sha256.Sum256([]byte(ex.Canonical() + "\x00" + ex.cfg.fingerprint()))
 	return hex.EncodeToString(sum[:])
+}
+
+// Canonical returns the canonical text rendering of the compiled
+// mapping and its declared queries — the exact string the fingerprint
+// hashes. Two mapping texts differing only in whitespace, comments, or
+// clause ordering render identically. Compiling the canonical text
+// yields an exchange with the same fingerprint (given equal options),
+// which is what lets tdxd's warm-start manifest persist mappings as
+// text and replay them on boot.
+func (ex *Exchange) Canonical() string {
+	if ex.tm != nil {
+		return parser.FormatTemporalMapping(ex.tm, ex.queries)
+	}
+	return parser.FormatMapping(ex.cm.Mapping(), ex.queries)
+}
+
+// RunFingerprint returns the fingerprint of the effective
+// output-affecting options a Run with the given per-call overrides
+// would execute under: the exchange's compile-time defaults with opts
+// applied on top. Together with Fingerprint and a source-content hash
+// it keys cached solutions (tdxd's run-snapshot cache): equal triples
+// mean byte-identical solutions.
+func (ex *Exchange) RunFingerprint(opts ...Option) string {
+	return ex.cfg.apply(opts).fingerprint()
 }
 
 // Fingerprint returns the stable content hash identifying this compiled
@@ -440,7 +458,7 @@ func (ex *Exchange) Run(ctx context.Context, src *Instance, opts ...Option) (*So
 		jc = jc.Coalesce()
 	}
 	jc.Freeze() // publish: Solution reads are concurrently safe
-	return &Solution{Instance: Instance{c: jc}, stats: stats, base: base, src: src}, nil
+	return &Solution{Instance: Instance{c: jc}, stats: stats, fp: ex.fp, base: base, src: src}, nil
 }
 
 // Diff is the solution-level change set RunDelta reports: the semantic
@@ -501,7 +519,7 @@ func (ex *Exchange) RunDelta(ctx context.Context, sol *Solution, delta *Instance
 			jc = jc.Coalesce()
 		}
 		jc.Freeze()
-		next = &Solution{Instance: Instance{c: jc}, stats: stats, base: base, src: &Instance{c: base.Source()}}
+		next = &Solution{Instance: Instance{c: jc}, stats: stats, fp: ex.fp, base: base, src: &Instance{c: base.Source()}}
 	} else {
 		// Temporal mappings retain no chase state: re-run over the
 		// combined source. Same result, no incrementality.
