@@ -259,11 +259,12 @@ func cmdChase(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 	if *asJSON {
-		data, err := sol.JSON()
-		if err != nil {
+		// Stream the document straight off the frozen solution — same
+		// bytes as sol.JSON(), without staging a solution-sized buffer.
+		if err := sol.WriteJSON(w); err != nil {
 			return err
 		}
-		fmt.Fprintln(w, string(data))
+		fmt.Fprintln(w)
 	} else {
 		printInstance(w, &sol.Instance, cf.table)
 	}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	tdx "repro"
+	"repro/internal/instance"
+	"repro/internal/jsonio"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+// legacyEncode reproduces the pre-streaming serialization shape —
+// materialize the sorted fact set, mirror every fact into rendered wire
+// strings, MarshalIndent the whole document — as the measured baseline.
+// (jsonio.Encode itself is the streamed encoder now.)
+func legacyEncode(c *instance.Concrete) ([]byte, error) {
+	type factJSON struct {
+		Rel      string   `json:"rel"`
+		Args     []string `json:"args"`
+		Interval string   `json:"interval"`
+	}
+	type relJSON struct {
+		Name  string   `json:"name"`
+		Attrs []string `json:"attrs"`
+	}
+	var out struct {
+		Schema []relJSON  `json:"schema,omitempty"`
+		Facts  []factJSON `json:"facts"`
+	}
+	if sch := c.Schema(); sch != nil {
+		for _, name := range sch.Names() {
+			r, _ := sch.Relation(name)
+			out.Schema = append(out.Schema, relJSON{Name: r.Name, Attrs: r.Attrs})
+		}
+	}
+	for _, f := range c.Facts() {
+		fj := factJSON{Rel: f.Rel, Interval: f.T.String(), Args: make([]string, len(f.Args))}
+		for i, a := range f.Args {
+			fj.Args[i] = a.String()
+		}
+		out.Facts = append(out.Facts, fj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// runPerfEncode measures the serialization path of ISSUE 9: streaming a
+// materialized solution's JSON document straight off the frozen
+// columnar store (jsonio.EncodeTo, the tdxd serve path and `tdx chase
+// -json`) against the legacy materialize-then-marshal shape — render
+// every fact into a wire mirror, then MarshalIndent the whole document.
+// Both produce byte-identical output; the columns that matter are the
+// allocation count and bytes allocated per encode, which are O(1) in
+// the fact count on the streamed path and O(n) on the legacy one.
+func runPerfEncode(w io.Writer) error {
+	ctx := context.Background()
+	fmt.Fprintln(w, "solution serialization: streamed columnar encode vs materialize + marshal")
+	ex, err := employmentExchange()
+	if err != nil {
+		return err
+	}
+	best := func(fn func()) time.Duration {
+		d := timeIt(fn)
+		for i := 0; i < 2; i++ {
+			if r := timeIt(fn); r < d {
+				d = r
+			}
+		}
+		return d
+	}
+	// allocsOf reports allocations and bytes of one run of fn, averaged
+	// over a few runs to wash out size-class noise.
+	allocsOf := func(fn func()) (allocs, bytes uint64) {
+		const rounds = 3
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < rounds; i++ {
+			fn()
+		}
+		runtime.ReadMemStats(&after)
+		return (after.Mallocs - before.Mallocs) / rounds, (after.TotalAlloc - before.TotalAlloc) / rounds
+	}
+	headers := []string{"facts", "doc KB", "stream ms", "legacy ms", "stream allocs", "legacy allocs", "alloc ratio"}
+	var rows [][]string
+	for _, persons := range []int{200, 2000, 20000} {
+		ic := workload.Employment(workload.EmploymentConfig{
+			Seed: 1, Persons: persons, JobsPerPerson: 4, SalaryCoverage: 0.7, Span: 200,
+		})
+		sol, err := ex.Run(ctx, tdx.NewInstance(ic))
+		if err != nil {
+			return err
+		}
+		c := sol.Concrete()
+		data, err := jsonio.Encode(c)
+		if err != nil {
+			return err
+		}
+		sT := best(func() {
+			if err := jsonio.EncodeTo(io.Discard, c); err != nil {
+				panic(err)
+			}
+		})
+		legacy, err := legacyEncode(c)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(legacy, data) {
+			return fmt.Errorf("persons=%d: streamed document differs from the legacy encoding", persons)
+		}
+		lT := best(func() {
+			if _, err := legacyEncode(c); err != nil {
+				panic(err)
+			}
+		})
+		sA, _ := allocsOf(func() {
+			if err := jsonio.EncodeTo(io.Discard, c); err != nil {
+				panic(err)
+			}
+		})
+		lA, _ := allocsOf(func() {
+			if _, err := legacyEncode(c); err != nil {
+				panic(err)
+			}
+		})
+		ratio := "-"
+		if sA > 0 {
+			ratio = fmt.Sprintf("%.0fx", float64(lA)/float64(sA))
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(sol.Len()),
+			fmt.Sprintf("%.1f", float64(len(data))/1024),
+			fmt.Sprintf("%.2f", float64(sT.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(lT.Microseconds())/1000),
+			fmt.Sprint(sA),
+			fmt.Sprint(lA),
+			ratio,
+		})
+	}
+	fmt.Fprint(w, render.Table(headers, rows))
+	fmt.Fprintln(w, "shape: the streamed encoder walks the store's validity bitmap, renders")
+	fmt.Fprintln(w, "values into one reused scratch buffer, and flushes in 32 KiB chunks, so")
+	fmt.Fprintln(w, "its allocation count stays a small constant while the legacy path's")
+	fmt.Fprintln(w, "grows with every fact; the gap is what tdxd stops paying per response")
+	return nil
+}

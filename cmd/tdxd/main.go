@@ -9,7 +9,8 @@
 //
 // Usage:
 //
-//	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0] [-pprof addr] [-state DIR]
+//	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0]
+//	     [-max-inflight 0] [-queue-wait 2s] [-max-body 64MiB] [-access-log] [-pprof addr] [-state DIR]
 //
 // Endpoints (see package repro/internal/server and the README for the
 // full API):
@@ -22,7 +23,16 @@
 //	POST   /v1/exchanges/{hash}/sessions  open an incremental session over the body source
 //	POST   /v1/sessions/{id}/facts        ingest a delta of new facts → solution diff
 //	DELETE /v1/sessions/{id}              drop a session
-//	GET    /healthz                       liveness + registry/session counters
+//	GET    /healthz                       liveness + registry/session/admission counters
+//	GET    /metrics                       Prometheus text exposition of the same counters
+//
+// Solution-bearing responses are framed and streamed: the solution
+// document is encoded straight off the frozen columnar store in bounded
+// chunks, so serving a huge solution never stages it in memory. With
+// -max-inflight N at most N chases run concurrently; the overflow
+// queues up to -queue-wait for a freed slot and is then rejected with
+// 429, so a burst degrades to bounded latency instead of unbounded
+// memory. -max-body caps request bodies (413 beyond it).
 //
 // Sessions are the incremental path: opening one chases the body source
 // once and pins the frozen solution; each posted delta then runs the
@@ -69,20 +79,33 @@ func main() {
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "live incremental-session capacity (LRU eviction beyond it; each session pins a solution and its retained chase state)")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "per-request run budget cap (and default when a request names none)")
 	parallel := flag.Int("parallel", 0, "default chase worker count per run; 0 uses all CPUs")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent chase bound: beyond it chases queue up to -queue-wait, then 429; 0 means unlimited")
+	queueWait := flag.Duration("queue-wait", server.DefaultQueueWait, "how long an over--max-inflight chase queues for a slot before 429")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBody, "request body size cap in bytes (413 beyond it)")
+	streamThreshold := flag.Int("stream-threshold", server.DefaultStreamThreshold, "solution fact count at which responses switch from buffered (Content-Length) to chunked streaming; negative streams everything")
+	accessLog := flag.Bool("access-log", false, "log one structured line per request (method, path, status, bytes, duration)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	stateDir := flag.String("state", "", "persist warm-start state (mapping manifest, session and run snapshots) under this directory; off when empty")
 	maxRunSnapshots := flag.Int("max-run-snapshots", server.DefaultMaxRunSnapshots, "disk run-cache bound under -state DIR/runs (oldest snapshots pruned beyond it)")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		MaxMappings:     *maxMappings,
 		MaxSessions:     *maxSessions,
 		MaxTimeout:      *maxTimeout,
 		Parallelism:     *parallel,
+		MaxInflight:     *maxInflight,
+		QueueWait:       *queueWait,
+		MaxBodyBytes:    *maxBody,
+		StreamThreshold: *streamThreshold,
 		StateDir:        *stateDir,
 		MaxRunSnapshots: *maxRunSnapshots,
-	})
+	}
+	if *accessLog {
+		cfg.AccessLogf = log.Printf
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("tdxd: %v", err)
 	}

@@ -5,6 +5,7 @@
 package jsonio
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,23 +38,16 @@ type relJSON struct {
 }
 
 // Encode renders the instance as JSON. Facts appear in deterministic
-// order. The schema is included when present.
+// order. The schema is included when present. It is a buffering wrapper
+// over EncodeTo, which streams the same bytes without materializing the
+// fact set; callers holding an io.Writer should prefer EncodeTo.
 func Encode(c *instance.Concrete) ([]byte, error) {
-	var out instanceJSON
-	if sch := c.Schema(); sch != nil {
-		for _, name := range sch.Names() {
-			r, _ := sch.Relation(name)
-			out.Schema = append(out.Schema, relJSON{Name: r.Name, Attrs: r.Attrs})
-		}
+	var buf bytes.Buffer
+	buf.Grow(64 + 96*c.Len())
+	if err := EncodeTo(&buf, c); err != nil {
+		return nil, err
 	}
-	for _, f := range c.Facts() {
-		fj := factJSON{Rel: f.Rel, Interval: f.T.String(), Args: make([]string, len(f.Args))}
-		for i, a := range f.Args {
-			fj.Args[i] = a.String()
-		}
-		out.Facts = append(out.Facts, fj)
-	}
-	return json.MarshalIndent(out, "", "  ")
+	return buf.Bytes(), nil
 }
 
 // Decode parses an instance from JSON. When the document carries a

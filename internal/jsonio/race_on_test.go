@@ -1,0 +1,5 @@
+//go:build race
+
+package jsonio
+
+const raceEnabled = true

@@ -12,7 +12,6 @@ import (
 
 	tdx "repro"
 	"repro/internal/chase"
-	"repro/internal/instance"
 )
 
 // The wire types of the tdxd HTTP API. Field names are lowerCamel and
@@ -94,28 +93,26 @@ type listResponse struct {
 	Capacity int              `json:"capacity"`
 }
 
-// runResponse answers POST /v1/exchanges/{hash}/run. Solution is the
-// jsonio document of the materialized solution — byte-identical (after
+// runResponse is the head of POST /v1/exchanges/{hash}/run: the small
+// fields, marshaled whole; the solution document — byte-identical (after
 // JSON whitespace normalization) to tdx.Solution.JSON on a direct run —
-// and Stats is the run's chase.Stats in its canonical encoding. Answers
-// is present when ?query= asked for certain answers over the solution.
+// and the optional ?query= answers document follow as framed tail
+// fields, streamed straight off the frozen columnar stores (see
+// stream.go). Stats is the run's chase.Stats in its canonical encoding.
 type runResponse struct {
-	Hash      string          `json:"hash"`
-	Stats     chase.Stats     `json:"stats"`
-	ElapsedMs float64         `json:"elapsedMs"`
-	Solution  json.RawMessage `json:"solution"`
-	Answers   json.RawMessage `json:"answers,omitempty"`
+	Hash      string      `json:"hash"`
+	Stats     chase.Stats `json:"stats"`
+	ElapsedMs float64     `json:"elapsedMs"`
 }
 
-// answerResponse answers POST /v1/exchanges/{hash}/answer: the certain
-// answers of the query, plus the stats of the run that produced the
-// intermediate solution.
+// answerResponse is the head of POST /v1/exchanges/{hash}/answer: the
+// certain answers of the query follow as a framed tail field, plus the
+// stats of the run that produced the intermediate solution.
 type answerResponse struct {
-	Hash      string          `json:"hash"`
-	Query     string          `json:"query"`
-	Stats     chase.Stats     `json:"stats"`
-	ElapsedMs float64         `json:"elapsedMs"`
-	Answers   json.RawMessage `json:"answers"`
+	Hash      string      `json:"hash"`
+	Query     string      `json:"query"`
+	Stats     chase.Stats `json:"stats"`
+	ElapsedMs float64     `json:"elapsedMs"`
 }
 
 // snapshotFact is one fact of an abstract snapshot: atemporal, over
@@ -125,68 +122,42 @@ type snapshotFact struct {
 	Args []string `json:"args"`
 }
 
-// snapshotResponse answers POST /v1/exchanges/{hash}/snapshot: the
-// abstract snapshot db_at of the solution, facts in deterministic order,
-// plus the paper's {f1, f2, ...} rendering.
+// snapshotResponse is the head of POST /v1/exchanges/{hash}/snapshot:
+// the abstract snapshot db_at of the solution follows as framed tail
+// fields — the facts array in deterministic order, then the paper's
+// {f1, f2, ...} rendering.
 type snapshotResponse struct {
-	Hash      string         `json:"hash"`
-	At        string         `json:"at"`
-	Stats     chase.Stats    `json:"stats"`
-	ElapsedMs float64        `json:"elapsedMs"`
-	Facts     []snapshotFact `json:"facts"`
-	Rendering string         `json:"rendering"`
+	Hash      string      `json:"hash"`
+	At        string      `json:"at"`
+	Stats     chase.Stats `json:"stats"`
+	ElapsedMs float64     `json:"elapsedMs"`
 }
 
-// snapshotWire flattens a snapshot into wire facts (already in
-// deterministic order).
-func snapshotWire(s *instance.Snapshot) []snapshotFact {
-	fs := s.Facts()
-	out := make([]snapshotFact, len(fs))
-	for i, f := range fs {
-		args := make([]string, len(f.Args))
-		for j, a := range f.Args {
-			args[j] = a.String()
-		}
-		out[i] = snapshotFact{Rel: f.Rel, Args: args}
-	}
-	return out
-}
-
-// sessionResponse answers POST /v1/exchanges/{hash}/sessions: the id of
-// the freshly opened incremental session plus its base solution — the
-// same document /run would return for the same body.
+// sessionResponse is the head of POST /v1/exchanges/{hash}/sessions: the
+// id of the freshly opened incremental session; its base solution — the
+// same document /run would return for the same body — follows as a
+// framed tail field.
 type sessionResponse struct {
-	SessionID string          `json:"sessionId"`
-	Hash      string          `json:"hash"`
-	Stats     chase.Stats     `json:"stats"`
-	ElapsedMs float64         `json:"elapsedMs"`
-	Solution  json.RawMessage `json:"solution"`
+	SessionID string      `json:"sessionId"`
+	Hash      string      `json:"hash"`
+	Stats     chase.Stats `json:"stats"`
+	ElapsedMs float64     `json:"elapsedMs"`
 }
 
-// diffJSON is the wire form of a solution diff: the target facts that
-// started and stopped holding, as TDX JSON instance documents, with
-// fact counts alongside so clients (and smoke tests) can check
-// emptiness without parsing the documents.
-type diffJSON struct {
-	AddedFacts   int             `json:"addedFacts"`
-	RemovedFacts int             `json:"removedFacts"`
-	Added        json.RawMessage `json:"added"`
-	Removed      json.RawMessage `json:"removed"`
-}
-
-// factsResponse answers POST /v1/sessions/{id}/facts: the stats of the
-// delta run (deltaFacts/deltaFires/fallbackFullChase report what the
-// incremental chase did) and the solution diff against the session's
-// previous solution. Solution is present when ?solution= asked for the
-// full updated document.
+// factsResponse is the head of POST /v1/sessions/{id}/facts: the stats
+// of the delta run (deltaFacts/deltaFires/fallbackFullChase report what
+// the incremental chase did). The solution diff against the session's
+// previous solution follows as a framed "diff" tail — fact counts first,
+// then the added and removed TDX JSON instance documents, so clients
+// (and smoke tests) can check emptiness without parsing the documents —
+// and ?solution=true appends the full updated document as a "solution"
+// tail.
 type factsResponse struct {
-	SessionID string          `json:"sessionId"`
-	Hash      string          `json:"hash"`
-	Stats     chase.Stats     `json:"stats"`
-	ElapsedMs float64         `json:"elapsedMs"`
-	Deltas    int64           `json:"deltas"`
-	Diff      diffJSON        `json:"diff"`
-	Solution  json.RawMessage `json:"solution,omitempty"`
+	SessionID string      `json:"sessionId"`
+	Hash      string      `json:"hash"`
+	Stats     chase.Stats `json:"stats"`
+	ElapsedMs float64     `json:"elapsedMs"`
+	Deltas    int64       `json:"deltas"`
 }
 
 // healthResponse answers GET /healthz. Compiles counts request-driven
@@ -197,18 +168,28 @@ type factsResponse struct {
 // SnapshotWrites count solution snapshots read (run-cache hits, session
 // resumes) and written (runs, sessions); SourceCacheHits counts decoded
 // request bodies served from the in-memory source cache.
+//
+// The admission-control gauges mirror /metrics: Inflight and Queued are
+// the chases currently running and currently waiting for a -max-inflight
+// slot, InflightHighWater the maximum concurrency ever observed, and
+// Rejected the running count of chases answered 429 because the
+// -queue-wait budget lapsed.
 type healthResponse struct {
-	Status           string `json:"status"`
-	UptimeSeconds    int64  `json:"uptimeSeconds"`
-	Mappings         int    `json:"mappings"`
-	Compiles         int64  `json:"compiles"`
-	Evictions        int64  `json:"evictions"`
-	Sessions         int    `json:"sessions"`
-	SessionEvictions int64  `json:"sessionEvictions"`
-	WarmStarts       int64  `json:"warmStarts"`
-	SnapshotLoads    int64  `json:"snapshotLoads"`
-	SnapshotWrites   int64  `json:"snapshotWrites"`
-	SourceCacheHits  int64  `json:"sourceCacheHits"`
+	Status            string `json:"status"`
+	UptimeSeconds     int64  `json:"uptimeSeconds"`
+	Mappings          int    `json:"mappings"`
+	Compiles          int64  `json:"compiles"`
+	Evictions         int64  `json:"evictions"`
+	Sessions          int    `json:"sessions"`
+	SessionEvictions  int64  `json:"sessionEvictions"`
+	WarmStarts        int64  `json:"warmStarts"`
+	SnapshotLoads     int64  `json:"snapshotLoads"`
+	SnapshotWrites    int64  `json:"snapshotWrites"`
+	SourceCacheHits   int64  `json:"sourceCacheHits"`
+	Inflight          int64  `json:"inflight"`
+	InflightHighWater int64  `json:"inflightHighWater"`
+	Queued            int64  `json:"queued"`
+	Rejected          int64  `json:"rejected"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -222,13 +203,16 @@ type errorResponse struct {
 // it, and 504 would wrongly blame the server's budget.
 const statusClientClosedRequest = 499
 
-// runStatus maps an engine error to its HTTP status: an exhausted
+// runStatus maps an engine error to its HTTP status: an admission-gate
+// rejection asks the client to retry later (429), an exhausted
 // per-request budget is a gateway timeout, a client disconnect is the
 // client's cancellation, a chase failure (no solution / no witness) is a
 // semantically invalid input rather than a server fault, and anything
 // else is a 500.
 func runStatus(err error) int {
 	switch {
+	case errors.Is(err, errTooBusy):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

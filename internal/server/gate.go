@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultQueueWait bounds how long an over-limit chase queues for a slot
+// before the server answers 429.
+const DefaultQueueWait = 2 * time.Second
+
+// errTooBusy is the admission gate's rejection; runStatus maps it to
+// 429 Too Many Requests.
+var errTooBusy = errors.New("too many concurrent chases (the -max-inflight limit is reached and the -queue-wait budget lapsed); retry later")
+
+// gate is the admission controller on chase work: at most limit chases
+// run concurrently, the next arrivals queue up to wait for a freed slot,
+// and arrivals still waiting when the budget lapses are rejected. With
+// no limit the gate still tracks the gauges, so /healthz and /metrics
+// report inflight/queued/rejected on every configuration.
+//
+// The gate deliberately sits around the chase itself, not the handler:
+// cache hits (disk run cache, decoded-source cache) and request
+// decoding stay admission-free, because the resource being protected is
+// the CPU-and-memory burst of a run, not the connection count.
+type gate struct {
+	sem  chan struct{} // nil means unlimited (gauges only)
+	wait time.Duration
+
+	inflight  atomic.Int64 // chases currently holding a slot
+	queued    atomic.Int64 // chases currently waiting for a slot
+	rejected  atomic.Int64 // chases turned away with 429 (total)
+	highWater atomic.Int64 // maximum concurrent chases ever observed
+}
+
+func newGate(limit int, wait time.Duration) *gate {
+	g := &gate{wait: wait}
+	if g.wait <= 0 {
+		g.wait = DefaultQueueWait
+	}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g
+}
+
+// acquire claims a chase slot, queueing up to the configured wait. It
+// returns errTooBusy when the wait lapses, or the context's error when
+// the request dies first; on nil the caller must release.
+func (g *gate) acquire(ctx context.Context) error {
+	if g.sem == nil {
+		g.enter()
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.enter()
+		return nil
+	default:
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.wait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.enter()
+		return nil
+	case <-timer.C:
+		g.rejected.Add(1)
+		return errTooBusy
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by a successful acquire.
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	if g.sem != nil {
+		<-g.sem
+	}
+}
+
+// enter counts a slot holder in, maintaining the high-water mark (the
+// burst tests' "exactly the configured concurrency" witness).
+func (g *gate) enter() {
+	n := g.inflight.Add(1)
+	for {
+		hw := g.highWater.Load()
+		if n <= hw || g.highWater.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}

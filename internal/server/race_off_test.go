@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled mirrors the -race build tag, so allocation-count tests can
+// skip under the race detector's instrumentation.
+const raceEnabled = false

@@ -14,7 +14,8 @@
 //	POST   /v1/exchanges/{hash}/sessions    chase the body source once, open an incremental session
 //	POST   /v1/sessions/{id}/facts          ingest new source facts → solution diff (semi-naive delta chase)
 //	DELETE /v1/sessions/{id}                drop a session
-//	GET    /healthz                         liveness + registry/session counters
+//	GET    /healthz                         liveness + registry/session/admission counters
+//	GET    /metrics                         Prometheus text exposition of the same counters
 //
 // Request bodies are either the TDX JSON instance format (Content-Type
 // application/json) or the TDX fact text format (any other content
@@ -36,6 +37,16 @@
 // domain and never grows with request traffic. Sessions — which pin a
 // solution plus the chase state retained for incremental deltas — are
 // LRU-bounded the same way (MaxSessions).
+//
+// The response side is bounded too: solution-bearing responses are
+// framed (stream.go) — the small head fields marshal normally, then the
+// solution document streams chunked straight off the frozen columnar
+// store, so serving an n-fact solution never stages an n-sized buffer.
+// Admission control bounds the chase concurrency itself: with
+// MaxInflight set, at most that many chases run at once, the overflow
+// queues up to QueueWait for a freed slot, and chases still waiting when
+// the budget lapses are rejected with 429 (gate.go). Cache hits and
+// request decoding stay admission-free.
 //
 // With Config.StateDir set the daemon also persists warm-start state:
 // registered mappings and live sessions ride a manifest plus columnar
@@ -93,9 +104,24 @@ type Config struct {
 	// MaxSources bounds the in-memory cache of decoded source instances.
 	// 0 means DefaultMaxSources; negative disables the cache.
 	MaxSources int
+	// MaxInflight bounds concurrent chases (runs and session deltas).
+	// Arrivals beyond it queue up to QueueWait for a freed slot, then get
+	// 429. <= 0 means unlimited (the gauges still report).
+	MaxInflight int
+	// QueueWait bounds how long an over-MaxInflight chase waits for a
+	// slot before 429. <= 0 means DefaultQueueWait.
+	QueueWait time.Duration
+	// StreamThreshold is the solution fact count at which responses
+	// switch from buffered-with-Content-Length to chunked streaming.
+	// 0 means DefaultStreamThreshold; negative streams everything.
+	StreamThreshold int
 	// Logf receives operational messages (persistence failures, warm
 	// start skips). nil means log.Printf.
 	Logf func(format string, args ...any)
+	// AccessLogf, when non-nil, receives one structured line per request
+	// (method, path, status, response bytes, duration). nil disables
+	// access logging; request counting happens regardless.
+	AccessLogf func(format string, args ...any)
 }
 
 // DefaultMaxRunSnapshots bounds the disk run cache when the
@@ -109,6 +135,13 @@ const DefaultMaxTimeout = 60 * time.Second
 // DefaultMaxBody bounds request bodies when the configuration does not.
 const DefaultMaxBody int64 = 64 << 20
 
+// DefaultStreamThreshold is the solution fact count at which responses
+// switch to chunked streaming when the configuration does not say.
+// Below it a response buffers (one Content-Length frame beats chunked
+// overhead for small documents); at or past it the solution streams in
+// flush-chunk slices.
+const DefaultStreamThreshold = 4096
+
 // Server implements the tdxd HTTP API over a compiled-exchange
 // registry. Create with New, mount with Handler; safe for concurrent
 // use.
@@ -118,14 +151,25 @@ type Server struct {
 	sessions *SessionStore
 	sources  *sourceCache
 	state    *stateStore // nil without Config.StateDir
+	gate     *gate       // admission control on chase work
+	streamAt int         // solution fact count switching to chunked streaming
 	logf     func(format string, args ...any)
 	start    time.Time
+
+	// onChase, when non-nil, runs on every admitted chase while its gate
+	// slot is held, before the engine is entered — a test seam for
+	// deterministic concurrency assertions (rendezvous, blocking).
+	onChase func()
 
 	// Persistence observability, surfaced on /healthz.
 	warmStarts      atomic.Int64 // manifest entries replayed at boot
 	snapshotLoads   atomic.Int64 // solution snapshots loaded (run-cache hits, session resumes)
 	snapshotWrites  atomic.Int64 // solution snapshots written (runs, sessions)
 	sourceCacheHits atomic.Int64 // decoded-source cache hits
+
+	// Serving observability, surfaced on /metrics.
+	requests  atomic.Int64 // HTTP requests served (all endpoints)
+	errors5xx atomic.Int64 // responses with a 5xx status
 }
 
 // New builds a Server from the configuration. It fails only when
@@ -144,11 +188,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSources == 0 {
 		cfg.MaxSources = DefaultMaxSources
 	}
+	streamAt := cfg.StreamThreshold
+	if streamAt == 0 {
+		streamAt = DefaultStreamThreshold
+	} else if streamAt < 0 {
+		streamAt = 0 // every solution length is >= 0: always stream
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.MaxMappings, cfg.Compile),
 		sessions: NewSessionStore(cfg.MaxSessions),
 		sources:  newSourceCache(cfg.MaxSources),
+		gate:     newGate(cfg.MaxInflight, cfg.QueueWait),
+		streamAt: streamAt,
 		logf:     cfg.Logf,
 		start:    time.Now(),
 	}
@@ -225,10 +277,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Sessions exposes the session store (tests, metrics).
 func (s *Server) Sessions() *SessionStore { return s.sessions }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler, wrapped with the request
+// counter and (when configured) the access log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/mappings", s.handleRegister)
 	mux.HandleFunc("GET /v1/mappings", s.handleList)
 	mux.HandleFunc("POST /v1/exchanges/{hash}/run", s.handleRun)
@@ -237,22 +291,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/exchanges/{hash}/sessions", s.handleSessionCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/facts", s.handleSessionFacts)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
-	return mux
+	return s.observe(mux)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:           "ok",
-		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
-		Mappings:         s.reg.Len(),
-		Compiles:         s.reg.Compiles(),
-		Evictions:        s.reg.Evicted(),
-		Sessions:         s.sessions.Len(),
-		SessionEvictions: s.sessions.Evicted(),
-		WarmStarts:       s.warmStarts.Load(),
-		SnapshotLoads:    s.snapshotLoads.Load(),
-		SnapshotWrites:   s.snapshotWrites.Load(),
-		SourceCacheHits:  s.sourceCacheHits.Load(),
+		Status:            "ok",
+		UptimeSeconds:     int64(time.Since(s.start).Seconds()),
+		Mappings:          s.reg.Len(),
+		Compiles:          s.reg.Compiles(),
+		Evictions:         s.reg.Evicted(),
+		Sessions:          s.sessions.Len(),
+		SessionEvictions:  s.sessions.Evicted(),
+		WarmStarts:        s.warmStarts.Load(),
+		SnapshotLoads:     s.snapshotLoads.Load(),
+		SnapshotWrites:    s.snapshotWrites.Load(),
+		SourceCacheHits:   s.sourceCacheHits.Load(),
+		Inflight:          s.gate.inflight.Load(),
+		InflightHighWater: s.gate.highWater.Load(),
+		Queued:            s.gate.queued.Load(),
+		Rejected:          s.gate.rejected.Load(),
 	})
 }
 
@@ -436,7 +494,19 @@ func (s *Server) runExchange(ctx context.Context, w http.ResponseWriter, r *http
 		writeError(w, bodyErrStatus(err), err)
 		return nil, 0, false
 	}
+	// Admission: the gate wraps the chase itself — the cache hit above
+	// and the decode stayed admission-free — so -max-inflight bounds the
+	// CPU-and-memory burst of concurrent runs, queueing the overflow and
+	// rejecting what outwaits -queue-wait with 429.
+	if err := s.gate.acquire(ctx); err != nil {
+		writeError(w, runStatus(err), err)
+		return nil, 0, false
+	}
+	if s.onChase != nil {
+		s.onChase()
+	}
 	sol, err := entry.Exchange.Run(ctx, src, opts...)
+	s.gate.release()
 	if err != nil {
 		writeError(w, runStatus(err), err)
 		return nil, 0, false
@@ -503,31 +573,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	solJSON, err := sol.JSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	resp := runResponse{
+	head := runResponse{
 		Hash:      entry.Hash,
 		Stats:     sol.Stats(),
 		ElapsedMs: elapsedMs(elapsed),
-		Solution:  solJSON,
 	}
+	tails := []tailDoc{{name: "solution", stream: instanceDoc(&sol.Instance)}}
 	// ?query= also computes certain answers over the fresh solution, so
-	// one request can carry both artifacts home.
+	// one request can carry both artifacts home. Evaluation happens here,
+	// before the first response byte: a query failure must still become a
+	// clean error status, which streaming would have forfeited.
 	if q != "" {
 		ans, err := entry.Exchange.Query(ctx, sol, q)
 		if err != nil {
 			writeError(w, answerStatus(err), err)
 			return
 		}
-		if resp.Answers, err = ans.JSON(); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
+		tails = append(tails, tailDoc{name: "answers", stream: instanceDoc(ans)})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeFramed(w, http.StatusOK, head, tails, s.streamLen(sol.Len()))
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -557,18 +621,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, answerStatus(err), err)
 		return
 	}
-	ansJSON, err := ans.JSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, answerResponse{
+	head := answerResponse{
 		Hash:      entry.Hash,
 		Query:     q,
 		Stats:     sol.Stats(),
 		ElapsedMs: elapsedMs(elapsed),
-		Answers:   ansJSON,
-	})
+	}
+	tails := []tailDoc{{name: "answers", stream: instanceDoc(ans)}}
+	s.writeFramed(w, http.StatusOK, head, tails, s.streamLen(ans.Len()))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -601,14 +661,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, runStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, snapshotResponse{
+	head := snapshotResponse{
 		Hash:      entry.Hash,
 		At:        atParam,
 		Stats:     sol.Stats(),
 		ElapsedMs: elapsedMs(elapsed),
-		Facts:     snapshotWire(snap),
-		Rendering: snap.String(),
-	})
+	}
+	tails := []tailDoc{
+		{name: "facts", stream: snapshotFactsDoc(snap)},
+		{name: "rendering", stream: marshalDoc(snap.String())},
+	}
+	s.writeFramed(w, http.StatusOK, head, tails, s.streamLen(len(snap.Facts())))
 }
 
 // handleSessionCreate materializes a frozen base solution from the body
@@ -632,18 +695,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.sessions.Add(entry, sol)
 	s.persistSession(sess.ID, entry.Hash, 0, sol)
-	solJSON, err := sol.JSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, sessionResponse{
+	head := sessionResponse{
 		SessionID: sess.ID,
 		Hash:      entry.Hash,
 		Stats:     sol.Stats(),
 		ElapsedMs: elapsedMs(elapsed),
-		Solution:  solJSON,
-	})
+	}
+	tails := []tailDoc{{name: "solution", stream: instanceDoc(&sol.Instance)}}
+	s.writeFramed(w, http.StatusCreated, head, tails, s.streamLen(sol.Len()))
 }
 
 // handleSessionFacts ingests a delta of new source facts into a session:
@@ -685,10 +744,22 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Serialize deltas on this session: each delta's base is the
-	// previous solution.
+	// previous solution. The admission gate wraps the delta chase like a
+	// full run's; acquiring it under the session lock is safe (the gate
+	// is not a lock — release never blocks) and keeps queued deltas of
+	// one session in arrival order.
 	sess.mu.Lock()
+	if err := s.gate.acquire(ctx); err != nil {
+		sess.mu.Unlock()
+		writeError(w, runStatus(err), err)
+		return
+	}
+	if s.onChase != nil {
+		s.onChase()
+	}
 	started := time.Now()
 	next, diff, err := sess.Entry.Exchange.RunDelta(ctx, sess.sol, delta, opts...)
+	s.gate.release()
 	if err != nil {
 		sess.mu.Unlock()
 		writeError(w, runStatus(err), err)
@@ -701,36 +772,20 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(started)
 	s.persistSession(sess.ID, sess.Entry.Hash, deltas, next)
 
-	addedJSON, err := diff.Added.JSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	removedJSON, err := diff.Removed.JSON()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	resp := factsResponse{
+	head := factsResponse{
 		SessionID: sess.ID,
 		Hash:      sess.Entry.Hash,
 		Stats:     next.Stats(),
 		ElapsedMs: elapsedMs(elapsed),
 		Deltas:    deltas,
-		Diff: diffJSON{
-			AddedFacts:   diff.Added.Len(),
-			RemovedFacts: diff.Removed.Len(),
-			Added:        addedJSON,
-			Removed:      removedJSON,
-		},
 	}
+	tails := []tailDoc{{name: "diff", stream: diffDoc(diff)}}
+	size := diff.Added.Len() + diff.Removed.Len()
 	if wantSolution {
-		if resp.Solution, err = next.JSON(); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
+		tails = append(tails, tailDoc{name: "solution", stream: instanceDoc(&next.Instance)})
+		size += next.Len()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeFramed(w, http.StatusOK, head, tails, s.streamLen(size))
 }
 
 // handleSessionDelete drops a session, releasing its pinned solution

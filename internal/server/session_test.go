@@ -6,7 +6,34 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	tdx "repro"
 )
+
+// Client-side mirrors of the framed session responses: the server-side
+// head structs no longer carry the streamed tail fields (solution,
+// diff), so tests decode full documents with these.
+type sessionWire struct {
+	SessionID string          `json:"sessionId"`
+	Hash      string          `json:"hash"`
+	Solution  json.RawMessage `json:"solution"`
+}
+
+type diffWire struct {
+	AddedFacts   int             `json:"addedFacts"`
+	RemovedFacts int             `json:"removedFacts"`
+	Added        json.RawMessage `json:"added"`
+	Removed      json.RawMessage `json:"removed"`
+}
+
+type factsWire struct {
+	SessionID string          `json:"sessionId"`
+	Hash      string          `json:"hash"`
+	Stats     tdx.Stats       `json:"stats"`
+	Deltas    int64           `json:"deltas"`
+	Diff      diffWire        `json:"diff"`
+	Solution  json.RawMessage `json:"solution"`
+}
 
 // openSession registers the employment mapping, opens a session over
 // the Figure 4 source, and returns the routed handler plus the session
@@ -19,7 +46,7 @@ func openSession(t *testing.T, s *Server) (http.Handler, string) {
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("create session: status %d: %s", rec.Code, rec.Body)
 	}
-	var resp sessionResponse
+	var resp sessionWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("session response: %v\n%s", err, rec.Body)
 	}
@@ -43,7 +70,7 @@ func TestSessionDeltaLifecycle(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("post facts: status %d: %s", rec.Code, rec.Body)
 	}
-	var resp factsResponse
+	var resp factsWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("facts response: %v\n%s", err, rec.Body)
 	}
@@ -119,7 +146,7 @@ func TestSessionDeltaMatchesFullRun(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("post facts: status %d: %s", rec.Code, rec.Body)
 	}
-	var fresp factsResponse
+	var fresp factsWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &fresp); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +158,9 @@ func TestSessionDeltaMatchesFullRun(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("full run: status %d: %s", rec.Code, rec.Body)
 	}
-	var rresp runResponse
+	var rresp struct {
+		Solution json.RawMessage `json:"solution"`
+	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &rresp); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +181,7 @@ func TestSessionLRUBound(t *testing.T) {
 		if rec.Code != http.StatusCreated {
 			t.Fatalf("session %d: status %d: %s", i, rec.Code, rec.Body)
 		}
-		var resp sessionResponse
+		var resp sessionWire
 		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 			t.Fatal(err)
 		}

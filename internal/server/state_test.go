@@ -30,7 +30,9 @@ func runSolution(t *testing.T, h http.Handler, hash, source string) json.RawMess
 	if rec.Code != http.StatusOK {
 		t.Fatalf("run: status %d: %s", rec.Code, rec.Body)
 	}
-	var resp runResponse
+	var resp struct {
+		Solution json.RawMessage `json:"solution"`
+	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestWarmStartSessionResume(t *testing.T) {
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("session create: status %d: %s", rec.Code, rec.Body)
 	}
-	var created sessionResponse
+	var created sessionWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestWarmStartSessionResume(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("delta: status %d: %s", rec.Code, rec.Body)
 	}
-	var afterDelta factsResponse
+	var afterDelta factsWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &afterDelta); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestWarmStartSessionResume(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("post-restart delta: status %d: %s", rec.Code, rec.Body)
 	}
-	var resumed factsResponse
+	var resumed factsWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &resumed); err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +257,7 @@ func TestWarmStartCorruptSnapshot(t *testing.T) {
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("session create: status %d", rec.Code)
 	}
-	var created sessionResponse
+	var created sessionWire
 	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,7 @@ package storage
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -392,6 +393,35 @@ func (r *Rel) EachLive(fn func(row int) bool) {
 			return
 		}
 	}
+}
+
+// AppendLive appends the relation's live row numbers to dst in ascending
+// order and returns the extended slice. A relation with no dead rows
+// appends the full row range; one with substitution-collapsed rows walks
+// the validity bitmap word-wise, so the cost is O(live + words), not
+// O(rows) bit tests. Passing dst[:0] of a reused buffer makes repeated
+// scans (the streaming encoder's per-relation row collection) allocation-
+// free once the buffer has grown to the largest relation.
+func (r *Rel) AppendLive(dst []int) []int {
+	n := len(r.loc)
+	if r.dead == 0 {
+		for row := 0; row < n; row++ {
+			dst = append(dst, row)
+		}
+		return dst
+	}
+	for wi, word := range r.live {
+		base := wi << 6
+		for word != 0 {
+			row := base + bits.TrailingZeros64(word)
+			if row >= n {
+				break
+			}
+			dst = append(dst, row)
+			word &= word - 1
+		}
+	}
+	return dst
 }
 
 // EnsureIndex builds the posting-list index on position pos if not yet

@@ -1,6 +1,7 @@
 package tdx
 
 import (
+	"io"
 	"sync"
 
 	"repro/internal/chase"
@@ -127,8 +128,21 @@ func (i *Instance) Diff(other *Instance) *Instance {
 // Snapshot materializes the abstract snapshot db_at = ⟦i⟧(at).
 func (i *Instance) Snapshot(at Time) *Snapshot { return i.c.Snapshot(at) }
 
-// JSON encodes the instance in the TDX JSON format.
+// JSON encodes the instance in the TDX JSON format. It buffers the whole
+// document; for large instances prefer WriteJSON, which streams the same
+// bytes.
 func (i *Instance) JSON() ([]byte, error) { return jsonio.Encode(i.c) }
+
+// WriteJSON streams the instance's TDX JSON document to w —
+// byte-identical to JSON — without materializing the fact set or the
+// document: the encoder walks the columnar store relation by relation
+// (validity-bitmap row scan, cached tuple decode, a reused scratch
+// buffer flushed in bounded chunks), so writing an n-fact solution costs
+// O(1) allocations per fact and holds at most one flush chunk in memory
+// regardless of n. On a frozen instance (every Solution is one) it is
+// safe for concurrent callers. This is the path tdxd serves solution
+// documents through, and what `tdx chase -json` prints with.
+func (i *Instance) WriteJSON(w io.Writer) error { return jsonio.EncodeTo(w, i.c) }
 
 // DecodeJSON decodes an instance from the TDX JSON format (the inverse
 // of Instance.JSON).
