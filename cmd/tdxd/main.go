@@ -11,6 +11,8 @@
 //
 //	tdxd [-addr :8080] [-max-mappings 64] [-max-sessions 64] [-max-timeout 60s] [-parallel 0]
 //	     [-max-inflight 0] [-queue-wait 2s] [-max-body 64MiB] [-access-log] [-pprof addr] [-state DIR]
+//	     [-advertise host:port] [-peers udp,udp,...] [-gossip udp] [-node-id id] [-gossip-secret s]
+//	     [-gossip-interval 1s]
 //
 // Endpoints (see package repro/internal/server and the README for the
 // full API):
@@ -50,6 +52,17 @@
 // /run from the snapshot cache, byte-identical to the pre-restart
 // response.
 //
+// With -advertise the daemon joins (or founds) a tdxd fleet: nodes
+// gossip signed, TTL'd facts about who holds which compiled exchange
+// over UDP (internal/fleet), and requests addressed to an exchange this
+// node does not hold are forwarded to the nodes that do — consistent
+// hashing over the exchange fingerprint keeps each mapping hot on a few
+// owners, and any node answers any request byte-identically. -peers
+// seeds the mesh (any one live node suffices; membership is discovered
+// transitively), -advertise is the HTTP address peers forward to, and
+// -node-id pins the node's ring identity — persisted under -state, so a
+// restarted node keeps its placement. See the README's fleet section.
+//
 // Shutdown is graceful: on SIGTERM or SIGINT the listener closes, then
 // in-flight runs get a drain window to finish; runs still going when it
 // lapses are canceled through the engine's context plumbing, so the
@@ -58,6 +71,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,9 +82,12 @@ import (
 	_ "net/http/pprof" // debug listener endpoints; see -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -88,6 +106,12 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	stateDir := flag.String("state", "", "persist warm-start state (mapping manifest, session and run snapshots) under this directory; off when empty")
 	maxRunSnapshots := flag.Int("max-run-snapshots", server.DefaultMaxRunSnapshots, "disk run-cache bound under -state DIR/runs (oldest snapshots pruned beyond it)")
+	advertise := flag.String("advertise", "", "fleet mode: the HTTP host:port peers forward requests to (this node's reachable -addr); off when empty")
+	peers := flag.String("peers", "", "comma-separated UDP gossip addresses seeding the fleet mesh (any one live node suffices)")
+	gossipBind := flag.String("gossip", "", "UDP gossip bind address (default 127.0.0.1:0; bind a reachable address for real fleets)")
+	nodeID := flag.String("node-id", "", "stable fleet identity (ring position); default: read or created under -state DIR/node-id, else derived fresh")
+	gossipSecret := flag.String("gossip-secret", "", "shared fleet secret: gossip packets are HMAC-signed and mis-signed peers ignored; empty means unsigned (loopback only)")
+	gossipInterval := flag.Duration("gossip-interval", fleet.DefaultInterval, "gossip period; fact TTL (failure detection) is 5x this")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -105,6 +129,23 @@ func main() {
 	if *accessLog {
 		cfg.AccessLogf = log.Printf
 	}
+	if *advertise == "" && *peers != "" {
+		log.Fatal("tdxd: -peers requires -advertise (the HTTP address peers forward requests to)")
+	}
+	if *advertise != "" {
+		id, err := resolveNodeID(*nodeID, *stateDir)
+		if err != nil {
+			log.Fatalf("tdxd: node id: %v", err)
+		}
+		cfg.FleetConfig = &fleet.Config{
+			ID:            id,
+			AdvertiseHTTP: *advertise,
+			BindUDP:       *gossipBind,
+			Peers:         splitPeers(*peers),
+			Interval:      *gossipInterval,
+			Secret:        *gossipSecret,
+		}
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("tdxd: %v", err)
@@ -114,6 +155,11 @@ func main() {
 			log.Fatalf("tdxd: warm start: %v", err)
 		}
 		log.Printf("tdxd: state dir %s (run-cache bound %d)", *stateDir, *maxRunSnapshots)
+	}
+	if n := srv.Fleet(); n != nil {
+		n.Start()
+		log.Printf("tdxd: fleet node %s gossiping on %s (advertising %s, %d seed peers)",
+			n.ID(), n.GossipAddr(), *advertise, len(splitPeers(*peers)))
 	}
 
 	// baseCtx underlies every request context: canceling it aborts
@@ -168,10 +214,77 @@ func main() {
 		if err := hs.Close(); err != nil {
 			log.Printf("tdxd: close: %v", err)
 		}
+		_ = srv.Close()
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tdxd: %v", err)
 	}
+	// Serving is done: release the gossip socket and sync the durable
+	// counters.
+	if err := srv.Close(); err != nil {
+		log.Printf("tdxd: close: %v", err)
+	}
 	fmt.Fprintln(os.Stderr, "tdxd: bye")
+}
+
+// splitPeers parses the -peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// resolveNodeID settles this node's fleet identity. Priority: the
+// explicit -node-id; then the id persisted under -state (so a restarted
+// node keeps its ring position, and with it the exchanges consistent
+// hashing already placed on it); else a freshly derived one. Whatever
+// wins is persisted when a state directory exists.
+func resolveNodeID(explicit, stateDir string) (string, error) {
+	if stateDir == "" {
+		if explicit != "" {
+			return explicit, nil
+		}
+		return freshNodeID()
+	}
+	path := filepath.Join(stateDir, "node-id")
+	if explicit == "" {
+		if data, err := os.ReadFile(path); err == nil {
+			if id := strings.TrimSpace(string(data)); id != "" {
+				return id, nil
+			}
+		}
+	}
+	id := explicit
+	if id == "" {
+		var err error
+		if id, err = freshNodeID(); err != nil {
+			return "", err
+		}
+	}
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, []byte(id+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// freshNodeID derives a new identity: hostname plus random suffix, so
+// ids are human-attributable and collision-free.
+func freshNodeID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "tdxd"
+	}
+	return host + "-" + hex.EncodeToString(b[:]), nil
 }

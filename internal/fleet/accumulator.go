@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Accumulator is a node's converging view of the fleet: every fact it
+// has heard (or asserted itself), keyed by Fact.Key, with a per-fact
+// expiry. Two rules make gossip idempotent and self-healing:
+//
+//   - newest stamp wins: a fact only replaces the held one — and only
+//     refreshes the expiry — when its Stamp is strictly newer. Origins
+//     re-mint their stamps every gossip round, so only a live origin
+//     can keep a fact fresh; peers echoing the held stamp among
+//     themselves teach nothing and refresh nothing.
+//   - TTL expiry: knowledge that stops being refreshed — its origin
+//     died, or dropped the exchange — evaporates TTL after the last
+//     refresh, on every node independently.
+//
+// All methods are safe for concurrent use.
+type Accumulator struct {
+	mu      sync.Mutex
+	held    map[string]*heldFact
+	expired atomic.Int64
+}
+
+type heldFact struct {
+	fact    Fact
+	expires time.Time
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{held: make(map[string]*heldFact)}
+}
+
+// Observe merges one fact into the view at time now. It reports whether
+// the fact taught the accumulator anything new (a new key, or a newer
+// stamp for a held one) — the convergence signal tests assert on.
+func (a *Accumulator) Observe(f Fact, now time.Time) bool {
+	if f.TTL <= 0 || f.Node == "" {
+		return false
+	}
+	expires := now.Add(f.TTL)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := f.Key()
+	h, ok := a.held[key]
+	if !ok {
+		a.held[key] = &heldFact{fact: f, expires: expires}
+		return true
+	}
+	if f.Stamp <= h.fact.Stamp {
+		// An echo (or something older). Keeping the held expiry is what
+		// lets a dead node's facts die: its stamps stop advancing, so
+		// copies relayed between surviving peers cannot refresh each
+		// other.
+		return false
+	}
+	h.fact = f
+	h.expires = expires
+	return true
+}
+
+// Expire drops every fact whose TTL lapsed before now, returning how
+// many went. The total rides the FactsExpired counter.
+func (a *Accumulator) Expire(now time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for key, h := range a.held {
+		if h.expires.Before(now) {
+			delete(a.held, key)
+			n++
+		}
+	}
+	if n > 0 {
+		a.expired.Add(int64(n))
+	}
+	return n
+}
+
+// Drop removes every fact originated by node, regardless of TTL — the
+// local node's own withdrawals (an evicted exchange must stop being
+// advertised at once, not a TTL later).
+func (a *Accumulator) Drop(node string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for key, h := range a.held {
+		if h.fact.Node == node {
+			delete(a.held, key)
+		}
+	}
+}
+
+// Facts returns every live fact, sorted by key for determinism.
+func (a *Accumulator) Facts(now time.Time) []Fact {
+	a.mu.Lock()
+	out := make([]Fact, 0, len(a.held))
+	for _, h := range a.held {
+		if !h.expires.Before(now) {
+			out = append(out, h.fact)
+		}
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].Key(), out[j].Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].Stamp < out[j].Stamp
+	})
+	return out
+}
+
+// Nodes returns the live KindNode facts — the membership view.
+func (a *Accumulator) Nodes(now time.Time) []Fact {
+	var out []Fact
+	for _, f := range a.Facts(now) {
+		if f.Kind == KindNode {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Holders returns the live KindExchange facts asserting possession of
+// hash — who in the fleet holds that compiled exchange.
+func (a *Accumulator) Holders(hash string, now time.Time) []Fact {
+	var out []Fact
+	for _, f := range a.Facts(now) {
+		if f.Kind == KindExchange && f.Hash == hash {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Lookup fetches one live fact by its identity.
+func (a *Accumulator) Lookup(kind Kind, node, hash string, now time.Time) (Fact, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, ok := a.held[Fact{Kind: kind, Node: node, Hash: hash}.Key()]
+	if !ok || h.expires.Before(now) {
+		return Fact{}, false
+	}
+	return h.fact, true
+}
+
+// Len reports the number of held (possibly expired-but-unswept) facts.
+func (a *Accumulator) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.held)
+}
+
+// Expired reports the running count of TTL-expired facts.
+func (a *Accumulator) Expired() int64 { return a.expired.Load() }

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func sampleFacts() []Fact {
+	return []Fact{
+		{
+			Kind:   KindNode,
+			Node:   "alpha",
+			Addr:   "127.0.0.1:8080",
+			Gossip: "127.0.0.1:9999",
+			Load:   3,
+			Stamp:  42,
+			TTL:    5 * time.Second,
+		},
+		{
+			Kind:       KindExchange,
+			Node:       "alpha",
+			Addr:       "127.0.0.1:8080",
+			Gossip:     "127.0.0.1:9999",
+			Hash:       "deadbeef",
+			Stamp:      41,
+			Registered: 40,
+			TTL:        10 * time.Second,
+			Payload:    []byte(`{"mapping":"tgd sigma: ..."}`),
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, secret := range []string{"", "cluster-secret"} {
+		facts := sampleFacts()
+		packets, skipped := EncodePackets(facts, secret)
+		if len(skipped) != 0 {
+			t.Fatalf("secret=%q: skipped %d facts", secret, len(skipped))
+		}
+		if len(packets) != 1 {
+			t.Fatalf("secret=%q: %d packets, want 1", secret, len(packets))
+		}
+		got, err := DecodePacket(packets[0], secret)
+		if err != nil {
+			t.Fatalf("secret=%q: decode: %v", secret, err)
+		}
+		if len(got) != len(facts) {
+			t.Fatalf("secret=%q: %d facts, want %d", secret, len(got), len(facts))
+		}
+		for i := range facts {
+			w, g := facts[i], got[i]
+			if w.Kind != g.Kind || w.Node != g.Node || w.Addr != g.Addr || w.Gossip != g.Gossip ||
+				w.Hash != g.Hash || w.Load != g.Load || w.Stamp != g.Stamp ||
+				w.Registered != g.Registered || w.TTL != g.TTL ||
+				!bytes.Equal(w.Payload, g.Payload) {
+				t.Fatalf("secret=%q: fact %d: got %+v want %+v", secret, i, g, w)
+			}
+		}
+	}
+}
+
+func TestCodecSignature(t *testing.T) {
+	packets, _ := EncodePackets(sampleFacts(), "right")
+	if _, err := DecodePacket(packets[0], "wrong"); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong secret: err %v, want ErrBadSignature", err)
+	}
+	// Flipping any byte must invalidate the packet.
+	mangled := append([]byte(nil), packets[0]...)
+	mangled[len(mangled)/2] ^= 0x40
+	if _, err := DecodePacket(mangled, "right"); err == nil {
+		t.Fatal("mangled signed packet decoded")
+	}
+	// A signing fleet must reject unsigned packets.
+	unsigned, _ := EncodePackets(sampleFacts(), "")
+	if _, err := DecodePacket(unsigned[0], "right"); err == nil {
+		t.Fatal("unsigned packet accepted by a signing decoder")
+	}
+}
+
+func TestCodecMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99}, // unknown version
+		{wireVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // absurd count
+		{wireVersion, 1},    // truncated fact
+		{wireVersion, 1, 7}, // unknown kind, no body
+	}
+	packets, _ := EncodePackets(sampleFacts(), "")
+	cases = append(cases, packets[0][:len(packets[0])-1])                // truncated tail
+	cases = append(cases, append(append([]byte(nil), packets[0]...), 0)) // trailing byte
+	for i, c := range cases {
+		if _, err := DecodePacket(c, ""); err == nil {
+			t.Errorf("case %d: malformed packet decoded", i)
+		}
+	}
+}
+
+func TestCodecSplitsLargeSets(t *testing.T) {
+	var facts []Fact
+	payload := bytes.Repeat([]byte{'x'}, 8<<10)
+	for i := 0; i < 32; i++ {
+		f := sampleFacts()[1]
+		f.Hash = string(rune('a' + i))
+		f.Payload = payload
+		facts = append(facts, f)
+	}
+	packets, skipped := EncodePackets(facts, "s")
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %d", len(skipped))
+	}
+	if len(packets) < 2 {
+		t.Fatalf("32 8KiB facts fit one datagram (%d packets)", len(packets))
+	}
+	total := 0
+	for _, p := range packets {
+		if len(p) > MaxDatagram {
+			t.Fatalf("packet of %d bytes exceeds MaxDatagram", len(p))
+		}
+		got, err := DecodePacket(p, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(got)
+	}
+	if total != len(facts) {
+		t.Fatalf("round-tripped %d facts, want %d", total, len(facts))
+	}
+	// One fact beyond the datagram bound is skipped, not dropped quietly.
+	huge := sampleFacts()[1]
+	huge.Payload = bytes.Repeat([]byte{'y'}, MaxDatagram)
+	packets, skipped = EncodePackets([]Fact{huge, sampleFacts()[0]}, "")
+	if len(skipped) != 1 || skipped[0].Hash != huge.Hash {
+		t.Fatalf("oversized fact not reported skipped: %d", len(skipped))
+	}
+	if len(packets) != 1 {
+		t.Fatalf("remaining fact not packed: %d packets", len(packets))
+	}
+}

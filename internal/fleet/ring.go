@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over node IDs: every node projects
+// Replicas virtual points onto a 64-bit circle, and a key is owned by
+// the first N distinct nodes clockwise from the key's own point.
+// Hashing is SHA-256-based, so placement is identical across processes
+// and architectures — two nodes that agree on the membership agree on
+// every owner list without exchanging anything else. Membership changes
+// move only the keys adjacent to the changed node's points: joining or
+// leaving one node of n relocates ≈ 1/n of the keyspace (the classic
+// consistent-hashing bound, property-tested in ring_test.go).
+//
+// A Ring is immutable after construction; derive a new one per
+// membership view (the fleet node rebuilds it from live facts).
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, node)
+	nodes    []string    // sorted, deduplicated membership
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-point count per node when the caller
+// does not choose: enough that per-node load imbalance stays within a
+// few percent, small enough that rebuilds are negligible.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over nodes with the given virtual-point count
+// per node (<= 0 means DefaultReplicas). Duplicate and empty node IDs
+// are dropped.
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	member := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		member = append(member, n)
+	}
+	sort.Strings(member)
+	r := &Ring{replicas: replicas, nodes: member}
+	r.points = make([]ringPoint, 0, len(member)*replicas)
+	var buf [8]byte
+	for _, n := range member {
+		for i := 0; i < replicas; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			r.points = append(r.points, ringPoint{hash: ringHash(n, string(buf[:])), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// ringHash maps a (label, salt) pair onto the circle.
+func ringHash(label, salt string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owners returns the first n distinct nodes clockwise from key's point
+// — the key's owner set, most-preferred first. Fewer than n members
+// returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.nodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	kh := ringHash(key, "")
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary owner ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	// Placement is a pure function of the membership set: insertion
+	// order, duplicates, and rebuilds must not move anything.
+	nodes := []string{"carol", "alice", "bob", "dave"}
+	r1 := NewRing(0, nodes...)
+	r2 := NewRing(0, "dave", "bob", "bob", "alice", "", "carol")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		o1, o2 := r1.Owners(key, 2), r2.Owners(key, 2)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %s: owners differ across insertion orders: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("key %s: owner set %v", key, o1)
+		}
+	}
+	// Golden placements pin the hash function across processes and
+	// architectures: the ring is only a router if every tdxd process
+	// computes the same owners from the same membership. If these move,
+	// the wire-compatibility of a mixed-version fleet breaks — bump a
+	// fleet protocol version rather than silently changing placement.
+	golden := map[string]string{
+		"fingerprint-0": "dave",
+		"fingerprint-1": "dave",
+		"fingerprint-2": "bob",
+		"fingerprint-3": "carol",
+	}
+	for key, want := range golden {
+		if got := r1.Owner(key); got != want {
+			t.Errorf("golden placement moved: Owner(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestRingOwnersBounds(t *testing.T) {
+	empty := NewRing(0)
+	if got := empty.Owners("k", 2); got != nil {
+		t.Fatalf("empty ring owners: %v", got)
+	}
+	if empty.Owner("k") != "" {
+		t.Fatal("empty ring has an owner")
+	}
+	one := NewRing(0, "solo")
+	if got := one.Owners("k", 3); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-node owners: %v", got)
+	}
+}
+
+// TestRingMinimalMovement property-tests the consistent-hashing
+// contract over randomized memberships: adding or removing one node of
+// n moves ≈ K/n of K keys — never a wholesale reshuffle — and a
+// removal relocates only keys the removed node owned.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 2000
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed*7919))
+		n := 4 + int(rng.Uint64()%13) // 4..16 nodes
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d-%d", seed, rng.Uint64())
+		}
+		before := NewRing(0, nodes...)
+
+		// Join: one more node takes ≈ K/(n+1) keys, everything else stays.
+		joined := NewRing(0, append(append([]string(nil), nodes...), "joiner")...)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d-%d", seed, i)
+			ob, oa := before.Owner(key), joined.Owner(key)
+			if ob != oa {
+				moved++
+				if oa != "joiner" {
+					t.Fatalf("seed %d: key %s moved %s→%s, not to the joiner", seed, key, ob, oa)
+				}
+			}
+		}
+		expected := keys / (n + 1)
+		if moved == 0 || moved > 3*expected {
+			t.Fatalf("seed %d (n=%d): join moved %d keys, want ≈%d (≤%d)", seed, n, moved, expected, 3*expected)
+		}
+
+		// Leave: only the leaver's keys move.
+		leaver := nodes[rng.IntN(n)]
+		var rest []string
+		for _, m := range nodes {
+			if m != leaver {
+				rest = append(rest, m)
+			}
+		}
+		after := NewRing(0, rest...)
+		moved = 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d-%d", seed, i)
+			ob, oa := before.Owner(key), after.Owner(key)
+			if ob != oa {
+				moved++
+				if ob != leaver {
+					t.Fatalf("seed %d: key %s moved %s→%s though %s left", seed, key, ob, oa, leaver)
+				}
+				if oa == leaver {
+					t.Fatalf("seed %d: key %s still owned by the leaver", seed, key)
+				}
+			}
+		}
+		expected = keys / n
+		if moved == 0 || moved > 3*expected {
+			t.Fatalf("seed %d (n=%d): leave moved %d keys, want ≈%d (≤%d)", seed, n, moved, expected, 3*expected)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual points spread load: over many keys
+// no node of a 8-node ring owns a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	var nodes []string
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, fmt.Sprintf("n%d", i))
+	}
+	r := NewRing(0, nodes...)
+	counts := make(map[string]int)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := counts[n]
+		if share < keys/8/3 || share > keys/8*3 {
+			t.Errorf("node %s owns %d of %d keys (mean %d): imbalanced", n, share, keys, keys/8)
+		}
+	}
+}

@@ -71,6 +71,7 @@ import (
 	"time"
 
 	tdx "repro"
+	"repro/internal/fleet"
 )
 
 // Config parameterizes a Server. The zero value serves with the
@@ -122,6 +123,12 @@ type Config struct {
 	// (method, path, status, response bytes, duration). nil disables
 	// access logging; request counting happens regardless.
 	AccessLogf func(format string, args ...any)
+	// FleetConfig, when non-nil, joins this server to a tdxd fleet: the
+	// node gossips the registry contents and requests addressed to an
+	// exchange this node does not hold are forwarded to (or, failing
+	// that, compiled from) the fleet. See fleet.go. nil means a
+	// standalone daemon.
+	FleetConfig *fleet.Config
 }
 
 // DefaultMaxRunSnapshots bounds the disk run cache when the
@@ -152,6 +159,7 @@ type Server struct {
 	sources  *sourceCache
 	state    *stateStore // nil without Config.StateDir
 	gate     *gate       // admission control on chase work
+	fleet    *fleetState // nil without Config.FleetConfig
 	streamAt int         // solution fact count switching to chunked streaming
 	logf     func(format string, args ...any)
 	start    time.Time
@@ -170,6 +178,10 @@ type Server struct {
 	// Serving observability, surfaced on /metrics.
 	requests  atomic.Int64 // HTTP requests served (all endpoints)
 	errors5xx atomic.Int64 // responses with a 5xx status
+
+	// Fleet observability (zero outside fleet mode).
+	forwards      atomic.Int64 // exchange requests relayed to a fleet peer
+	fleetCompiles atomic.Int64 // fallback compiles from gossiped manifest payloads
 }
 
 // New builds a Server from the configuration. It fails only when
@@ -213,13 +225,36 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.state = state
+		s.sourceCacheHits.Store(state.sourceCacheHits())
 		s.sessions.OnEvict(func(sess *Session) {
 			if err := state.forgetSession(sess.ID); err != nil {
 				s.logf("state: drop evicted session %s: %v", sess.ID, err)
 			}
 		})
 	}
+	if cfg.FleetConfig != nil {
+		if err := s.newFleet(*cfg.FleetConfig); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// Close releases what New acquired: the fleet node (gossip socket and
+// loops) and a final state-manifest sync so restart-durable counters
+// survive a graceful shutdown. Safe without fleet or state; safe to
+// call once after serving stops.
+func (s *Server) Close() error {
+	var err error
+	if s.fleet != nil {
+		err = s.fleet.node.Close()
+	}
+	if s.state != nil {
+		if serr := s.state.syncCounters(s.sourceCacheHits.Load()); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // WarmStart replays the persisted manifest: registered mappings
@@ -249,6 +284,7 @@ func (s *Server) WarmStart() error {
 		if entry.Hash != m.Hash {
 			s.logf("state: mapping %.12s recompiled to %.12s; serving under the new hash", m.Hash, entry.Hash)
 		}
+		s.rememberOptions(entry.Hash, m.Options)
 		s.warmStarts.Add(1)
 	}
 	for _, ms := range man.Sessions {
@@ -268,7 +304,48 @@ func (s *Server) WarmStart() error {
 		s.sessions.AddWithID(ms.ID, entry, sol, ms.Deltas)
 		s.warmStarts.Add(1)
 	}
+	s.prefillSources()
 	return nil
+}
+
+// prefillSources re-decodes the persisted source bodies (DIR/sources)
+// through the replayed exchanges, so post-restart requests hit the
+// decoded-source cache exactly as they did before the restart. Entries
+// are matched by the fingerprint prefix in the file name; bodies whose
+// exchange did not replay (evicted, or no longer compiling) are
+// dropped along with files that no longer decode.
+func (s *Server) prefillSources() {
+	saved := s.state.savedSources()
+	if len(saved) == 0 {
+		return
+	}
+	byPrefix := make(map[string]*Entry)
+	for _, e := range s.reg.Entries() {
+		if len(e.Hash) >= 16 {
+			byPrefix[e.Hash[:16]] = e
+		}
+	}
+	for _, sv := range saved {
+		entry, ok := byPrefix[sv.entryPrefix]
+		if !ok {
+			_ = os.Remove(s.state.sourcePath(sv.entryPrefix, sv.srcKey))
+			continue
+		}
+		var src *tdx.Instance
+		var err error
+		if sv.jsonBody {
+			src, err = entry.Exchange.DecodeSourceJSON(bytes.NewReader(sv.body))
+		} else {
+			src, err = entry.Exchange.ParseSource(string(sv.body))
+		}
+		if err != nil {
+			s.logf("state: source %.12s no longer decodes: %v", sv.srcKey, err)
+			_ = os.Remove(s.state.sourcePath(sv.entryPrefix, sv.srcKey))
+			continue
+		}
+		src.Freeze()
+		s.sources.put(entry.Hash+"\x00"+sv.srcKey, src)
+	}
 }
 
 // Registry exposes the compiled-exchange registry (tests, metrics).
@@ -311,6 +388,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		InflightHighWater: s.gate.highWater.Load(),
 		Queued:            s.gate.queued.Load(),
 		Rejected:          s.gate.rejected.Load(),
+		Fleet:             s.fleetHealthBlock(),
 	})
 }
 
@@ -378,6 +456,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			s.logf("state: persist mapping %.12s: %v", entry.Hash, err)
 		}
 	}
+	if s.fleet != nil {
+		// Gossip the new holding now, not a gossip interval later.
+		s.rememberOptions(entry.Hash, req.Options)
+		s.fleet.node.Poke()
+	}
 	status := http.StatusCreated
 	if cached {
 		status = http.StatusOK
@@ -398,16 +481,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// resolve looks up the {hash} path segment in the registry.
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
-	hash := r.PathValue("hash")
-	entry, ok := s.reg.Get(hash)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no exchange with hash %q is registered", hash))
-		return nil, false
-	}
-	return entry, true
-}
+// resolve looks up the {hash} path segment in the registry. Fleet mode
+// widens it: see resolveOrForward (fleet.go), which every exchange
+// handler goes through.
 
 // budgetContext bounds the request context by the per-request run
 // budget. The returned context covers the whole pipeline — decode, run,
@@ -527,7 +603,12 @@ func (s *Server) runExchange(ctx context.Context, w http.ResponseWriter, r *http
 func (s *Server) decodeBody(entry *Entry, jsonBody bool, body []byte, srcKey string) (*tdx.Instance, error) {
 	ck := entry.Hash + "\x00" + srcKey
 	if src, ok := s.sources.get(ck); ok {
-		s.sourceCacheHits.Add(1)
+		hits := s.sourceCacheHits.Add(1)
+		if s.state != nil {
+			// Keep the manifest's durable copy current; it rides the next
+			// manifest write to disk.
+			s.state.noteSourceHits(hits)
+		}
 		return src, nil
 	}
 	var src *tdx.Instance
@@ -547,11 +628,18 @@ func (s *Server) decodeBody(entry *Entry, jsonBody bool, body []byte, srcKey str
 	// across the concurrent runs a cache hit implies.
 	src.Freeze()
 	s.sources.put(ck, src)
+	if s.state != nil {
+		// Persist the raw body so a restarted daemon re-decodes it at boot
+		// (WarmStart) instead of on the first request.
+		if err := s.state.saveSource(entry.Hash, srcKey, jsonBody, body); err != nil {
+			s.logf("state: persist source %.12s: %v", srcKey, err)
+		}
+	}
 	return src, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.resolve(w, r)
+	entry, ok := s.resolveOrForward(w, r)
 	if !ok {
 		return
 	}
@@ -595,7 +683,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.resolve(w, r)
+	entry, ok := s.resolveOrForward(w, r)
 	if !ok {
 		return
 	}
@@ -632,7 +720,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.resolve(w, r)
+	entry, ok := s.resolveOrForward(w, r)
 	if !ok {
 		return
 	}
@@ -679,7 +767,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // posted to /v1/sessions/{id}/facts extend the solution via the
 // semi-naive delta chase instead of re-chasing the base.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.resolve(w, r)
+	entry, ok := s.resolveOrForward(w, r)
 	if !ok {
 		return
 	}

@@ -216,6 +216,55 @@ func TestSourceCacheCounters(t *testing.T) {
 	}
 }
 
+// TestSourceCachePersistsAcrossRestart is the durable-source contract:
+// a restarted daemon prefills the decoded-source cache from the state
+// directory, so the first post-restart request that misses the run
+// cache still skips source decoding — and the hit counter continues
+// from its pre-restart value instead of resetting.
+func TestSourceCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	source := readTestdata(t, "employment.facts")
+
+	s1 := mustNew(t, quietCfg(t, dir))
+	h1 := s1.Handler()
+	hash := register(t, h1, readTestdata(t, "employment.tdx"))
+	runSolution(t, h1, hash, source) // decodes and persists the source
+	// Different run options → run-cache miss, source-cache hit.
+	if rec := do(h1, "POST", "/v1/exchanges/"+hash+"/run?norm=naive", "", source); rec.Code != http.StatusOK {
+		t.Fatalf("naive run: status %d: %s", rec.Code, rec.Body)
+	}
+	if hz := health(t, h1); hz.SourceCacheHits != 1 {
+		t.Fatalf("pre-restart sourceCacheHits = %d, want 1", hz.SourceCacheHits)
+	}
+	// Graceful shutdown syncs the durable counters.
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustNew(t, quietCfg(t, dir))
+	if err := s2.WarmStart(); err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	h2 := s2.Handler()
+	if hz := health(t, h2); hz.SourceCacheHits != 1 {
+		t.Fatalf("restart reset sourceCacheHits to %d", hz.SourceCacheHits)
+	}
+	// Yet another options variant: run-cache miss, but the prefilled
+	// source cache answers the decode — the first post-restart request
+	// is already a hit.
+	if rec := do(h2, "POST", "/v1/exchanges/"+hash+"/run?egd=stepwise", "", source); rec.Code != http.StatusOK {
+		t.Fatalf("post-restart run: status %d: %s", rec.Code, rec.Body)
+	}
+	if hz := health(t, h2); hz.SourceCacheHits != 2 {
+		t.Fatalf("post-restart sourceCacheHits = %d, want 2 (prefilled cache missed)", hz.SourceCacheHits)
+	}
+	// The persisted body survived on disk.
+	ents, err := os.ReadDir(filepath.Join(dir, "sources"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no persisted sources (err=%v, %d files)", err, len(ents))
+	}
+}
+
 // TestRunCachePruned bounds the disk run cache: distinct sources beyond
 // MaxRunSnapshots leave at most MaxRunSnapshots files on disk.
 func TestRunCachePruned(t *testing.T) {

@@ -272,7 +272,10 @@ func (ex *Exchange) RunFingerprint(opts ...Option) string {
 // byte-identical solutions for every source instance, which is what
 // makes the fingerprint a safe registry key: tdxd's compiled-exchange
 // registry is keyed on it, and a client holding a fingerprint can
-// address the exchange without re-sending the mapping.
+// address the exchange without re-sending the mapping. In fleet mode
+// the fingerprint is also the routing key: it is hashed onto the
+// fleet's consistent-hash ring to pick the owning nodes, and gossiped
+// so any node can locate — or reproduce — the exchange it names.
 func (ex *Exchange) Fingerprint() string { return ex.fp }
 
 // seedDomain interns every literal of the mapping's dependencies and
